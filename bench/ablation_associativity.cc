@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Ablation A8: set associativity (the "set size of one" half of
+ * assumption 7).  Capacity held constant in words while associativity
+ * sweeps 1..8 (and fully associative), on the Cm*-mix application and
+ * on a deliberate conflict workload.  The question: how much of the
+ * Table 1-1 miss budget is conflict misses that associativity could
+ * remove, and does it change the shared-data story?
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace ddc;
+
+/** Strided reads engineered to conflict in a direct-mapped cache. */
+Trace
+makeConflictTrace(int num_pes, std::size_t cache_words, int hot_addrs,
+                  int passes)
+{
+    Trace trace(num_pes);
+    for (PeId pe = 0; pe < num_pes; pe++) {
+        for (int pass = 0; pass < passes; pass++) {
+            for (int i = 0; i < hot_addrs; i++) {
+                // All hot addresses map to the same direct-mapped set.
+                Addr addr = localBase(pe) +
+                            static_cast<Addr>(i) * cache_words;
+                trace.append(pe, {CpuOp::Read, addr, 0, DataClass::Local});
+            }
+        }
+    }
+    return trace;
+}
+
+double
+readMissRatio(const Trace &trace, std::size_t lines, std::size_t ways,
+              ProtocolKind kind)
+{
+    SystemConfig config;
+    config.num_pes = trace.numPes();
+    config.cache_lines = lines;
+    config.ways = ways;
+    config.protocol = kind;
+    auto summary = runTrace(config, trace);
+    return 100.0 *
+           static_cast<double>(
+               summary.counters.sumPrefix("cache.read_miss.")) /
+           static_cast<double>(summary.total_refs);
+}
+
+void
+printReproduction()
+{
+    using stats::Table;
+
+    std::cout <<
+        "Ablation A8: set associativity (assumption 7's set size),\n"
+        "capacity fixed; LRU replacement within a set\n\n";
+
+    Table cmstar("(a) Cm*-mix read-miss % (1024-word caches, Cm* "
+                 "policy)");
+    cmstar.setHeader({"ways", "read miss %"});
+    auto mix = makeCmStarTrace(cmStarApplicationA(), 4, 30000, 1984);
+    for (std::size_t ways : {1u, 2u, 4u, 8u}) {
+        cmstar.addRow({std::to_string(ways),
+                       Table::num(readMissRatio(mix, 1024, ways,
+                                                ProtocolKind::CmStar),
+                                  1)});
+    }
+    std::cout << cmstar.render() << "\n";
+
+    Table conflict("(b) adversarial conflict workload (256-word "
+                   "caches, RB): 4 hot addresses per PE, all mapping "
+                   "to one direct-mapped set");
+    conflict.setHeader({"ways", "read miss %"});
+    auto adversarial = makeConflictTrace(2, 256, 4, 64);
+    for (std::size_t ways : {1u, 2u, 4u, 8u}) {
+        conflict.addRow({std::to_string(ways),
+                         Table::num(readMissRatio(adversarial, 256, ways,
+                                                  ProtocolKind::Rb),
+                                    1)});
+    }
+    std::cout << conflict.render() << "\n";
+    std::cout <<
+        "Expected shape: associativity rescues the adversarial pattern\n"
+        "completely (100% miss at 1-way -> cold misses only at 4-way)\n"
+        "but moves the realistic mix by only a couple of points --\n"
+        "consistent with the paper's choice to keep set size 1 and\n"
+        "spend the hardware budget on the coherence machinery instead.\n\n";
+}
+
+void
+BM_AssociativitySweep(benchmark::State &state)
+{
+    auto ways = static_cast<std::size_t>(state.range(0));
+    auto trace = makeCmStarTrace(cmStarApplicationA(), 4, 10000, 7);
+    for (auto _ : state) {
+        SystemConfig config;
+        config.num_pes = 4;
+        config.cache_lines = 1024;
+        config.ways = ways;
+        config.protocol = ProtocolKind::CmStar;
+        auto summary = runTrace(config, trace);
+        benchmark::DoNotOptimize(summary.cycles);
+    }
+}
+BENCHMARK(BM_AssociativitySweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+DDC_BENCH_MAIN(printReproduction)

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared scaffolding for the reproduction benches.
+ *
+ * Every bench binary (a) prints its paper table/figure reproduction
+ * when run, then (b) runs its google-benchmark timing sweeps.  The
+ * DDC_BENCH_MAIN macro wires that order up.
+ */
+
+#ifndef DDC_BENCH_COMMON_HH
+#define DDC_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+/** Print the reproduction, then run the registered benchmarks. */
+#define DDC_BENCH_MAIN(print_reproduction)                                  \
+    int                                                                     \
+    main(int argc, char **argv)                                             \
+    {                                                                       \
+        print_reproduction();                                               \
+        std::cout.flush();                                                  \
+        benchmark::Initialize(&argc, argv);                                 \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))             \
+            return 1;                                                       \
+        benchmark::RunSpecifiedBenchmarks();                                \
+        benchmark::Shutdown();                                              \
+        return 0;                                                           \
+    }
+
+#endif // DDC_BENCH_COMMON_HH

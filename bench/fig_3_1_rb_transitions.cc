@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Figure 3-1 reproduction: the RB scheme's per-line state transition
+ * diagram, printed as a transition table generated from the shipped
+ * protocol object (so the table cannot drift from the code), followed
+ * by microbenchmarks of protocol dispatch and of the elementary
+ * coherence operations on a live bus.
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+#include "core/rb.hh"
+#include "sim/scenario.hh"
+#include "stats/table.hh"
+#include "verify/product_machine.hh"
+
+namespace {
+
+using namespace ddc;
+
+/** Render a CPU-side transition row. */
+std::string
+cpuEffect(const RbProtocol &rb, LineState state, CpuOp op)
+{
+    auto reaction = rb.onCpuAccess(state, op, DataClass::Shared);
+    if (!reaction.needs_bus)
+        return std::string(toString(reaction.next)) + " (in cache)";
+    std::string bus{toString(reaction.bus_op)};
+    LineState next = rb.afterBusOp(state, reaction.bus_op, true);
+    return std::string(toString(next)) + " (" + bus + ")";
+}
+
+/** Render a snoop-side transition row. */
+std::string
+snoopEffect(const RbProtocol &rb, LineState state, BusOp op)
+{
+    auto reaction = rb.onSnoop(state, op);
+    if (reaction.supply)
+        return "interrupt BR, supply data, -> R";
+    std::string result{toString(reaction.next)};
+    if (reaction.snarf)
+        result += " (snarf data)";
+    return result;
+}
+
+void
+printReproduction()
+{
+    using stats::Table;
+    RbProtocol rb;
+
+    std::cout <<
+        "Figure 3-1: state transition diagram for each cache entry,\n"
+        "RB scheme (generated from the implementation)\n"
+        "Legend: CW/CR = CPU write/read, BW/BR = bus write/read;\n"
+        "modifiers: 1 = generate BW (write through), 2 = interrupt BR\n"
+        "and supply data, 3 = generate BR (cache miss)\n\n";
+
+    const LineState states[] = {{LineTag::Invalid, 0},
+                                {LineTag::Readable, 0},
+                                {LineTag::Local, 0},
+                                {LineTag::NotPresent, 0}};
+
+    Table table;
+    table.setHeader({"State", "CR (CPU read)", "CW (CPU write)",
+                     "BR (bus read)", "BW (bus write)"});
+    for (auto state : states) {
+        table.addRow({std::string(toString(state)),
+                      cpuEffect(rb, state, CpuOp::Read),
+                      cpuEffect(rb, state, CpuOp::Write),
+                      snoopEffect(rb, state, BusOp::Read),
+                      snoopEffect(rb, state, BusOp::Write)});
+    }
+    std::cout << table.render() << "\n";
+    std::cout <<
+        "Paper edges covered: I--CR/3-->R, I--CW/1-->L, I--BR-->R(snarf),\n"
+        "I--BW-->I, R--CR-->R, R--CW/1-->L, R--BR-->R, R--BW-->I,\n"
+        "L--CR-->L, L--CW-->L, L--BR/2-->R (interrupt + supply),\n"
+        "L--BW-->I.  Every edge is also unit-tested in\n"
+        "tests/protocol_rb_test.cc and model-checked exhaustively in\n"
+        "tests/product_machine_test.cc.\n\n";
+
+    // The Section 4 lemma, made visible: enumerate every reachable
+    // 3-cache configuration of this exact implementation.
+    auto check = checkProductMachine(rb, 3);
+    std::cout << "Section 4 lemma check (3 caches, exhaustive: "
+              << check.states_explored << " states): "
+              << (check.ok ? "PASS" : "FAIL") << "\n"
+              << "Reachable configurations (sorted tag multisets):\n";
+    for (const auto &config : check.configurations)
+        std::cout << "  [" << config << "]\n";
+    std::cout <<
+        "Every configuration is local-type (one L, rest dead) or\n"
+        "shared-type (only R/I/NP) - exactly the lemma.\n\n";
+}
+
+void
+BM_RbCpuDispatch(benchmark::State &state)
+{
+    RbProtocol rb;
+    LineState line{LineTag::Readable, 0};
+    for (auto _ : state) {
+        auto reaction = rb.onCpuAccess(line, CpuOp::Read,
+                                       DataClass::Shared);
+        benchmark::DoNotOptimize(reaction);
+    }
+}
+BENCHMARK(BM_RbCpuDispatch);
+
+void
+BM_RbSnoopDispatch(benchmark::State &state)
+{
+    RbProtocol rb;
+    LineState line{LineTag::Invalid, 0};
+    for (auto _ : state) {
+        auto reaction = rb.onSnoop(line, BusOp::Read);
+        benchmark::DoNotOptimize(reaction);
+    }
+}
+BENCHMARK(BM_RbSnoopDispatch);
+
+/** Cost of a full read-miss -> broadcast-fill round on a live bus. */
+void
+BM_RbReadMissRoundTrip(benchmark::State &state)
+{
+    Scenario scenario(ProtocolKind::Rb, 4);
+    Addr addr = 0;
+    for (auto _ : state) {
+        scenario.read(0, addr);
+        scenario.write(1, addr, 1); // invalidate, keeping misses coming
+        addr ^= 1;
+    }
+}
+BENCHMARK(BM_RbReadMissRoundTrip);
+
+/** Cost of the write-hit fast path (Local state, no bus). */
+void
+BM_RbLocalWriteHit(benchmark::State &state)
+{
+    Scenario scenario(ProtocolKind::Rb, 4);
+    scenario.write(0, 0, 1); // take ownership
+    Word value = 2;
+    for (auto _ : state) {
+        scenario.write(0, 0, value);
+        value = value % 1000 + 1;
+    }
+}
+BENCHMARK(BM_RbLocalWriteHit);
+
+/** Cost of the Local-owner intervention (kill + supply + retry). */
+void
+BM_RbIntervention(benchmark::State &state)
+{
+    Scenario scenario(ProtocolKind::Rb, 2);
+    for (auto _ : state) {
+        scenario.write(0, 0, 1);
+        scenario.write(0, 0, 2); // dirty Local
+        benchmark::DoNotOptimize(scenario.read(1, 0)); // killed + supplied
+    }
+}
+BENCHMARK(BM_RbIntervention);
+
+} // namespace
+
+DDC_BENCH_MAIN(printReproduction)

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 6-1 reproduction: synchronization with Test-and-Set under
+ * the RB scheme — the per-cache state/value table for lock S as three
+ * PEs contend, including the hot-spot property (spinning TS attempts
+ * generate bus traffic on every try).
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+#include "sim/scenario.hh"
+#include "stats/table.hh"
+#include "sync/workload.hh"
+
+namespace {
+
+using namespace ddc;
+
+constexpr Addr S = 0;
+
+void
+printReproduction()
+{
+    using stats::Table;
+
+    std::cout <<
+        "Figure 6-1: synchronization with Test-and-Set, RB scheme\n"
+        "(three PEs, lock word S; each row is the cache state/value of\n"
+        "S per PE and the memory value, exactly as in the paper)\n\n";
+
+    Scenario scenario(ProtocolKind::Rb, 3);
+    Table table;
+    table.setHeader({"P1 Cache", "P2 Cache", "Pm Cache", "S",
+                     "Observation"});
+
+    auto emit = [&](const char *what) {
+        std::vector<std::string> row;
+        for (PeId pe = 0; pe < 3; pe++) {
+            LineState line = scenario.state(pe, S);
+            std::string cell{toString(line)};
+            cell += "(";
+            cell += line.present() ? std::to_string(scenario.value(pe, S))
+                                   : "-";
+            cell += ")";
+            row.push_back(cell);
+        }
+        row.push_back(std::to_string(scenario.memoryValue(S)));
+        row.push_back(what);
+        table.addRow(row);
+    };
+
+    for (PeId pe = 0; pe < 3; pe++)
+        scenario.read(pe, S);
+    emit("Initial state");
+
+    scenario.testAndSet(1, S);
+    emit("P2 locks S");
+
+    auto before = scenario.busTransactions();
+    scenario.testAndSet(0, S);
+    scenario.testAndSet(2, S);
+    auto spin_traffic = scenario.busTransactions() - before;
+    emit("Others try to get S (Bus Traffic)");
+
+    scenario.write(1, S, 0);
+    emit("P2 releases S");
+
+    scenario.testAndSet(0, S);
+    emit("P1 gets the S");
+
+    scenario.testAndSet(1, S);
+    scenario.testAndSet(2, S);
+    emit("Others try to get S");
+
+    std::cout << table.render() << "\n";
+    std::cout << "Hot spot: the two failed TS attempts while P2 held the\n"
+              << "lock cost " << spin_traffic
+              << " bus transactions (every unsuccessful attempt pays;\n"
+              << "compare Figure 6-2, where TTS spins cost zero).\n\n";
+}
+
+/** Wall-clock cost of simulating the full TS contention workload. */
+void
+BM_TsLockContention(benchmark::State &state)
+{
+    auto num_pes = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sync::LockExperimentConfig config;
+        config.num_pes = num_pes;
+        config.lock = sync::LockKind::TestAndSet;
+        config.protocol = ProtocolKind::Rb;
+        config.acquisitions_per_pe = 16;
+        config.cs_increments = 4;
+        auto result = sync::runLockExperiment(config);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+}
+BENCHMARK(BM_TsLockContention)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/** Simulated bus transactions per acquisition, reported as a counter. */
+void
+BM_TsBusPerAcquisition(benchmark::State &state)
+{
+    auto num_pes = static_cast<int>(state.range(0));
+    double bus_per_acq = 0.0;
+    for (auto _ : state) {
+        sync::LockExperimentConfig config;
+        config.num_pes = num_pes;
+        config.lock = sync::LockKind::TestAndSet;
+        config.protocol = ProtocolKind::Rb;
+        config.acquisitions_per_pe = 16;
+        auto result = sync::runLockExperiment(config);
+        bus_per_acq = result.bus_per_acquisition;
+    }
+    state.counters["bus_per_acquisition"] = bus_per_acq;
+}
+BENCHMARK(BM_TsBusPerAcquisition)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+DDC_BENCH_MAIN(printReproduction)

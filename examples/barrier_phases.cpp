@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Phased parallel computation: "The behavior of a parallel
+ * computation can be characterized as a series of parallel actions
+ * alternated by phases of communication and/or synchronization."
+ * (Section 6.)  Every PE runs a real barrier program (TTS lock +
+ * central counter + sense-reversing flag) between compute phases;
+ * we verify all PEs stay in lock step and show how barrier cost
+ * scales with the PE count under each scheme.
+ *
+ *   ./barrier_phases
+ */
+
+#include <iostream>
+
+#include "stats/table.hh"
+#include "sync/programs.hh"
+#include "sync/workload.hh"
+#include "trace/synthetic.hh"
+
+using namespace ddc;
+
+int
+main()
+{
+    std::cout << "=== Sense-reversing barrier across compute phases ===\n\n"
+              << "Each PE executes 8 barrier episodes; the barrier is\n"
+              << "built from the paper's own primitives (TTS spin lock,\n"
+              << "shared counter, sense flag) as a real PE program.\n\n";
+
+    stats::Table table;
+    table.setHeader({"PEs", "scheme", "total cycles", "cycles/episode"});
+    for (int num_pes : {2, 4, 8, 16}) {
+        for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb,
+                              ProtocolKind::WriteOnce}) {
+            Cycle cycles = sync::runBarrierExperiment(num_pes, 8,
+                                                      protocol);
+            if (cycles == 0) {
+                std::cerr << "barrier deadlocked with " << num_pes
+                          << " PEs under " << toString(protocol) << "\n";
+                return 1;
+            }
+            table.addRow({std::to_string(num_pes),
+                          std::string(toString(protocol)),
+                          std::to_string(cycles),
+                          stats::Table::num(
+                              static_cast<double>(cycles) / 8.0, 0)});
+        }
+        table.addSeparator();
+    }
+    std::cout << table.render() << "\n";
+    std::cout
+        << "The TTS-based barrier keeps all spinning inside the private\n"
+        << "caches, so the per-episode cost grows roughly linearly in\n"
+        << "the PE count (the serialized arrivals), not quadratically\n"
+        << "as a TS hot spot would.\n";
+    return 0;
+}

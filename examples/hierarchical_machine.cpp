@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The hierarchical machine (Section 8's research direction): clusters
+ * of PEs on cluster buses, cluster caches on a global bus, RB applied
+ * recursively.  Shows how cluster caches absorb cluster-local sharing
+ * and how the machine behaves when sharing crosses clusters,
+ * including cross-cluster spinlocks.
+ *
+ *   ./hierarchical_machine
+ */
+
+#include <iostream>
+
+#include "hier/hier_system.hh"
+#include "stats/table.hh"
+#include "sync/programs.hh"
+#include "trace/synthetic.hh"
+#include "verify/consistency.hh"
+
+using namespace ddc;
+
+int
+main()
+{
+    std::cout << "=== Hierarchical machine: 4 clusters x 4 PEs ===\n\n";
+
+    // --- 1. Locality sweep: what reaches the global bus? ----------
+    std::cout << "1. Clustered-sharing workload, locality swept\n\n";
+    stats::Table table;
+    table.setHeader({"cluster-local", "cycles", "global bus ops",
+                     "cluster bus ops", "absorbed reads",
+                     "absorbed writes"});
+    for (double locality : {0.0, 0.5, 0.95}) {
+        hier::HierConfig config;
+        config.num_clusters = 4;
+        config.pes_per_cluster = 4;
+        config.cache_lines = 256;
+        config.record_log = true;
+
+        hier::HierSystem system(config);
+        auto trace = makeClusteredTrace(4, 4, 2000, locality, 0.3, 11);
+        system.loadTrace(trace);
+        system.run();
+        if (!system.allDone() ||
+            !checkSerialConsistency(system.log()).consistent) {
+            std::cerr << "hierarchical run failed\n";
+            return 1;
+        }
+
+        std::uint64_t absorbed_reads = 0;
+        std::uint64_t absorbed_writes = 0;
+        for (int c = 0; c < 4; c++) {
+            absorbed_reads +=
+                system.clusterCounters(c).get("hier.absorbed.read");
+            absorbed_writes +=
+                system.clusterCounters(c).get("hier.absorbed.write");
+        }
+        table.addRow({stats::Table::num(locality, 2),
+                      std::to_string(system.now()),
+                      std::to_string(system.globalBusTransactions()),
+                      std::to_string(system.clusterBusTransactions()),
+                      std::to_string(absorbed_reads),
+                      std::to_string(absorbed_writes)});
+    }
+    std::cout << table.render() << "\n";
+
+    // --- 2. A cross-cluster spinlock still works. -------------------
+    std::cout << "2. Cross-cluster TTS spinlock (16 PEs, 4 clusters)\n\n";
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 4;
+    config.cache_lines = 256;
+    config.record_log = true;
+
+    hier::HierSystem system(config);
+    const Addr lock = sharedBase();
+    const Addr counter = sharedBase() + 1;
+    for (PeId pe = 0; pe < 16; pe++) {
+        sync::LockProgramParams params;
+        params.kind = sync::LockKind::TestAndTestAndSet;
+        params.lock_addr = lock;
+        params.counter_addr = counter;
+        params.acquisitions = 4;
+        params.cs_increments = 4;
+        system.setProgram(pe, sync::makeLockProgram(params));
+    }
+    system.run();
+    bool counter_ok = system.coherentValue(counter) == 16u * 4u * 4u;
+    bool consistent = checkSerialConsistency(system.log()).consistent;
+    std::cout << "   completed in " << system.now() << " cycles; "
+              << system.globalBusTransactions() << " global / "
+              << system.clusterBusTransactions()
+              << " cluster bus ops\n"
+              << "   mutual exclusion: " << (counter_ok ? "OK" : "BROKEN")
+              << ", serial consistency: " << (consistent ? "OK" : "BROKEN")
+              << "\n\n"
+              << "The lock word migrates between clusters through global\n"
+              << "RMWs; the TTS spins still run inside the L1s, so even\n"
+              << "with 16 contenders the global bus sees only the\n"
+              << "acquisition/release traffic.\n";
+    return counter_ok && consistent ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Spinlock contention (the Section 6 hot spot): M PEs run real
+ * PE programs contending for one lock, with plain Test-and-Set vs
+ * Test-and-Test-and-Set, under RB and RWB.  Prints a scaling table
+ * and verifies mutual exclusion via the shared counter.
+ *
+ *   ./spinlock_contention
+ */
+
+#include <iostream>
+
+#include "stats/table.hh"
+#include "sync/analysis.hh"
+#include "sync/workload.hh"
+
+using namespace ddc;
+
+int
+main()
+{
+    std::cout << "=== Spinlock contention: TS vs TTS ===\n\n"
+              << "Each PE acquires the lock 8 times; each critical\n"
+              << "section makes 8 increments of a shared counter.  A\n"
+              << "final counter below PEs*8*8 would mean mutual\n"
+              << "exclusion was broken (it never is).\n\n";
+
+    for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+        stats::Table table(std::string("Scheme: ") +
+                           std::string(toString(protocol)));
+        table.setHeader({"PEs", "lock", "cycles", "bus ops",
+                         "bus ops/acq", "failed TS", "counter ok"});
+        for (int m : {1, 2, 4, 8, 16}) {
+            for (auto lock : {sync::LockKind::TestAndSet,
+                              sync::LockKind::TestAndTestAndSet}) {
+                sync::LockExperimentConfig config;
+                config.num_pes = m;
+                config.lock = lock;
+                config.protocol = protocol;
+                config.acquisitions_per_pe = 8;
+                config.cs_increments = 8;
+                auto result = sync::runLockExperiment(config);
+
+                table.addRow(
+                    {std::to_string(m),
+                     std::string(sync::toString(lock)),
+                     std::to_string(result.cycles),
+                     std::to_string(result.bus_transactions),
+                     stats::Table::num(result.bus_per_acquisition, 1),
+                     std::to_string(result.rmw_failures),
+                     result.counter_value == result.expected_counter
+                         ? "yes" : "NO (BUG)"});
+            }
+            table.addSeparator();
+        }
+        std::cout << table.render() << "\n";
+    }
+
+    std::cout << "Reading the table: TS failed attempts (and with them\n"
+              << "bus ops per acquisition) explode with contention;\n"
+              << "TTS spins in the caches, so its failed-TS column\n"
+              << "stays near zero and traffic stays flat -- Section 6's\n"
+              << "claim, on real instruction streams.\n\n";
+
+    // Fairness and latency distributions for one contended setup.
+    std::cout << "=== Lock behaviour, 8 PEs, TTS on RB ===\n\n";
+    sync::LockExperimentConfig config;
+    config.num_pes = 8;
+    config.lock = sync::LockKind::TestAndTestAndSet;
+    config.protocol = ProtocolKind::Rb;
+    config.acquisitions_per_pe = 8;
+    config.cs_increments = 8;
+    config.record_log = true;
+
+    std::unique_ptr<System> system;
+    sync::runLockExperiment(config, &system);
+    auto analysis = sync::analyzeLock(system->log(), sync::lockAddr(), 8);
+
+    std::cout << "acquisitions: " << analysis.acquisitions
+              << ", failed attempts: " << analysis.failed_attempts
+              << "\nfairness index (1.0 = perfectly fair): "
+              << stats::Table::num(analysis.fairnessIndex(), 3)
+              << "\nhold cycles: mean "
+              << stats::Table::num(analysis.hold_cycles.mean(), 1)
+              << ", max " << analysis.hold_cycles.max()
+              << "\nhandoff cycles: mean "
+              << stats::Table::num(analysis.handoff_cycles.mean(), 1)
+              << ", max " << analysis.handoff_cycles.max() << "\n";
+    return 0;
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, and regenerate every
+# paper table/figure + ablation, capturing the outputs the way
+# EXPERIMENTS.md documents them.
+#
+#   scripts/reproduce_all.sh [build-dir]
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -G Ninja -S "$repo_root"
+cmake --build "$build_dir"
+
+ctest --test-dir "$build_dir" --output-on-failure 2>&1 \
+    | tee "$repo_root/test_output.txt"
+
+: > "$repo_root/bench_output.txt"
+for bench in "$build_dir"/bench/*; do
+    [ -x "$bench" ] || continue
+    echo "===== $(basename "$bench") =====" >> "$repo_root/bench_output.txt"
+    "$bench" >> "$repo_root/bench_output.txt" 2>&1
+done
+
+echo "Done: test_output.txt, bench_output.txt"

@@ -1,0 +1,24 @@
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace ddc {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "panic: " << message << " [" << file << ":" << line << "]"
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::cerr << "fatal: " << message << " [" << file << ":" << line << "]"
+              << std::endl;
+    std::exit(1);
+}
+
+} // namespace ddc

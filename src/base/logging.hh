@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fatal/panic helpers in the gem5 tradition.
+ *
+ * panic() flags an internal simulator bug (aborts); fatal() flags a user
+ * configuration error (clean exit with an error code).
+ */
+
+#ifndef DDC_BASE_LOGGING_HH
+#define DDC_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ddc {
+
+/** Abort with a message; use for conditions that indicate a ddcache bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Exit(1) with a message; use for user configuration errors. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+
+namespace detail {
+
+/** Build a message string from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace ddc
+
+#define ddc_panic(...) \
+    ::ddc::panicImpl(__FILE__, __LINE__, \
+                     ::ddc::detail::formatMessage(__VA_ARGS__))
+
+#define ddc_fatal(...) \
+    ::ddc::fatalImpl(__FILE__, __LINE__, \
+                     ::ddc::detail::formatMessage(__VA_ARGS__))
+
+/** Assert an internal invariant; always checked (not tied to NDEBUG). */
+#define ddc_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::ddc::panicImpl(__FILE__, __LINE__, \
+                ::ddc::detail::formatMessage("assertion failed: " #cond " ", \
+                                             ##__VA_ARGS__)); \
+        } \
+    } while (false)
+
+#endif // DDC_BASE_LOGGING_HH

@@ -1,0 +1,59 @@
+#include "base/types.hh"
+
+namespace ddc {
+
+std::string_view
+toString(LineTag tag)
+{
+    switch (tag) {
+      case LineTag::NotPresent: return "NP";
+      case LineTag::Invalid:    return "I";
+      case LineTag::Readable:   return "R";
+      case LineTag::Local:      return "L";
+      case LineTag::FirstWrite: return "F";
+      case LineTag::Valid:      return "V";
+      case LineTag::Reserved:   return "Res";
+      case LineTag::Dirty:      return "D";
+    }
+    return "?";
+}
+
+std::string_view
+toString(CpuOp op)
+{
+    switch (op) {
+      case CpuOp::Read:       return "CpuRead";
+      case CpuOp::Write:      return "CpuWrite";
+      case CpuOp::TestAndSet: return "CpuTestAndSet";
+      case CpuOp::ReadLock:   return "CpuReadLock";
+      case CpuOp::WriteUnlock: return "CpuWriteUnlock";
+    }
+    return "?";
+}
+
+std::string_view
+toString(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read:        return "BusRead";
+      case BusOp::Write:       return "BusWrite";
+      case BusOp::Invalidate:  return "BusInvalidate";
+      case BusOp::Rmw:         return "BusRmw";
+      case BusOp::ReadLock:    return "BusReadLock";
+      case BusOp::WriteUnlock: return "BusWriteUnlock";
+    }
+    return "?";
+}
+
+std::string_view
+toString(DataClass cls)
+{
+    switch (cls) {
+      case DataClass::Code:   return "Code";
+      case DataClass::Local:  return "Local";
+      case DataClass::Shared: return "Shared";
+    }
+    return "?";
+}
+
+} // namespace ddc

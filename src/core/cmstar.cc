@@ -1,0 +1,96 @@
+#include "core/cmstar.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+CpuReaction
+CmStarProtocol::onCpuAccess(LineState state, CpuOp op, DataClass cls) const
+{
+    CpuReaction reaction;
+
+    // Shared data (and every synchronization op) bypasses the cache
+    // entirely: bus transaction, no allocation.
+    bool shared = cls == DataClass::Shared || op == CpuOp::TestAndSet ||
+                  op == CpuOp::ReadLock || op == CpuOp::WriteUnlock;
+    if (shared) {
+        reaction.needs_bus = true;
+        reaction.allocate = false;
+        switch (op) {
+          case CpuOp::Read:        reaction.bus_op = BusOp::Read; break;
+          case CpuOp::Write:       reaction.bus_op = BusOp::Write; break;
+          case CpuOp::TestAndSet:  reaction.bus_op = BusOp::Rmw; break;
+          case CpuOp::ReadLock:    reaction.bus_op = BusOp::ReadLock; break;
+          case CpuOp::WriteUnlock:
+            reaction.bus_op = BusOp::WriteUnlock;
+            break;
+        }
+        return reaction;
+    }
+
+    switch (op) {
+      case CpuOp::Read:
+        if (state.present()) {
+            reaction.next = state;
+            return reaction;
+        }
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Read;
+        return reaction;
+
+      case CpuOp::Write:
+        // Local data writes through on every write ("writes to local
+        // data were counted as cache misses"); the copy stays cached.
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Write;
+        return reaction;
+
+      default:
+        break;
+    }
+    ddc_panic("unhandled CpuOp");
+}
+
+LineState
+CmStarProtocol::afterBusOp(LineState state, BusOp op, bool rmw_success) const
+{
+    (void)state;
+    (void)rmw_success;
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::Write:
+        return {LineTag::Valid, 0};
+      default:
+        break;
+    }
+    ddc_panic("Cm* policy completed unexpected cachable bus op");
+}
+
+SnoopReaction
+CmStarProtocol::onSnoop(LineState state, BusOp op) const
+{
+    SnoopReaction reaction;
+    reaction.next = state;
+
+    // Only private data is ever cached, so coherence traffic cannot
+    // target a cached line; react defensively anyway.
+    if (op != BusOp::Read && state.tag != LineTag::NotPresent)
+        reaction.next = {LineTag::Invalid, 0};
+    return reaction;
+}
+
+LineState
+CmStarProtocol::afterSupply(LineState state) const
+{
+    (void)state;
+    ddc_panic("Cm* policy never supplies data");
+}
+
+bool
+CmStarProtocol::needsWriteback(LineState state) const
+{
+    (void)state;
+    return false; // Write-through: memory is always current.
+}
+
+} // namespace ddc

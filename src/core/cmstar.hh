@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The Cm* cache-emulation policy behind Table 1-1.
+ *
+ * Raskin's Cm* experiments [RAS78] considered "only code and local
+ * data ... cachable and a write-through policy was adopted for local
+ * data.  Thus writes to local data were counted as cache misses ...
+ * All references to shared (non-code) data also caused a cache miss."
+ * (Section 1.)  This policy reproduces those rules: shared references
+ * always use the bus and never allocate; local writes write through;
+ * code/local reads cache normally.  No coherence actions are needed
+ * because nothing shared is ever cached.
+ */
+
+#ifndef DDC_CORE_CMSTAR_HH
+#define DDC_CORE_CMSTAR_HH
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** The Cm*-style code+local-only caching policy of Table 1-1. */
+class CmStarProtocol : public Protocol
+{
+  public:
+    std::string_view name() const override { return "CmStar"; }
+    bool broadcastsWrites() const override { return false; }
+
+    CpuReaction onCpuAccess(LineState state, CpuOp op,
+                            DataClass cls) const override;
+    LineState afterBusOp(LineState state, BusOp op,
+                         bool rmw_success) const override;
+    SnoopReaction onSnoop(LineState state, BusOp op) const override;
+    LineState afterSupply(LineState state) const override;
+    bool needsWriteback(LineState state) const override;
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_CMSTAR_HH

@@ -1,0 +1,60 @@
+#include "core/factory.hh"
+
+#include "base/logging.hh"
+#include "core/cmstar.hh"
+#include "core/goodman.hh"
+#include "core/rb.hh"
+#include "core/rwb.hh"
+#include "core/write_through.hh"
+
+namespace ddc {
+
+std::string_view
+toString(ProtocolKind kind)
+{
+    switch (kind) {
+      case ProtocolKind::Rb:           return "RB";
+      case ProtocolKind::Rwb:          return "RWB";
+      case ProtocolKind::WriteOnce:    return "WriteOnce";
+      case ProtocolKind::WriteThrough: return "WriteThrough";
+      case ProtocolKind::CmStar:       return "CmStar";
+    }
+    return "?";
+}
+
+ProtocolKind
+parseProtocolKind(const std::string &name)
+{
+    for (ProtocolKind kind : allProtocolKinds()) {
+        if (name == toString(kind))
+            return kind;
+    }
+    ddc_fatal("unknown protocol name: ", name);
+}
+
+std::unique_ptr<Protocol>
+makeProtocol(ProtocolKind kind, int rwb_writes_to_local)
+{
+    switch (kind) {
+      case ProtocolKind::Rb:
+        return std::make_unique<RbProtocol>();
+      case ProtocolKind::Rwb:
+        return std::make_unique<RwbProtocol>(rwb_writes_to_local);
+      case ProtocolKind::WriteOnce:
+        return std::make_unique<GoodmanProtocol>();
+      case ProtocolKind::WriteThrough:
+        return std::make_unique<WriteThroughProtocol>();
+      case ProtocolKind::CmStar:
+        return std::make_unique<CmStarProtocol>();
+    }
+    ddc_panic("unhandled ProtocolKind");
+}
+
+std::vector<ProtocolKind>
+allProtocolKinds()
+{
+    return {ProtocolKind::Rb, ProtocolKind::Rwb, ProtocolKind::WriteOnce,
+            ProtocolKind::WriteThrough, ProtocolKind::CmStar};
+}
+
+} // namespace ddc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Protocol factory: construct any scheme by name.
+ */
+
+#ifndef DDC_CORE_FACTORY_HH
+#define DDC_CORE_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** Identifier of a coherence scheme. */
+enum class ProtocolKind
+{
+    Rb,           //!< the paper's RB scheme
+    Rwb,          //!< the paper's RWB scheme
+    WriteOnce,    //!< Goodman's write-once baseline
+    WriteThrough, //!< write-through-invalidate baseline
+    CmStar,       //!< Table 1-1's code+local-only policy
+};
+
+/** Printable name of a ProtocolKind. */
+std::string_view toString(ProtocolKind kind);
+
+/** Parse a protocol name ("RB", "RWB", ...); fatal() on unknown names. */
+ProtocolKind parseProtocolKind(const std::string &name);
+
+/**
+ * Build a protocol.
+ *
+ * @param kind Which scheme.
+ * @param rwb_writes_to_local RWB's k (ignored by the other schemes).
+ */
+std::unique_ptr<Protocol> makeProtocol(ProtocolKind kind,
+                                       int rwb_writes_to_local = 2);
+
+/** All protocol kinds, for sweeping comparisons. */
+std::vector<ProtocolKind> allProtocolKinds();
+
+} // namespace ddc
+
+#endif // DDC_CORE_FACTORY_HH

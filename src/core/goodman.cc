@@ -1,0 +1,140 @@
+#include "core/goodman.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+CpuReaction
+GoodmanProtocol::onCpuAccess(LineState state, CpuOp op, DataClass cls) const
+{
+    (void)cls;
+
+    CpuReaction reaction;
+    switch (op) {
+      case CpuOp::Read:
+        if (state.present()) {
+            reaction.next = state;
+            return reaction;
+        }
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Read;
+        return reaction;
+
+      case CpuOp::Write:
+        if (state.tag == LineTag::Reserved || state.tag == LineTag::Dirty) {
+            // Past the write-once point: purely local writes.
+            reaction.next = {LineTag::Dirty, 0};
+            reaction.update_value = true;
+            return reaction;
+        }
+        // Valid, Invalid, or NotPresent: write through exactly once.
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Write;
+        return reaction;
+
+      case CpuOp::TestAndSet:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Rmw;
+        return reaction;
+
+      case CpuOp::ReadLock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::ReadLock;
+        return reaction;
+
+      case CpuOp::WriteUnlock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::WriteUnlock;
+        return reaction;
+    }
+    ddc_panic("unhandled CpuOp");
+}
+
+LineState
+GoodmanProtocol::afterBusOp(LineState state, BusOp op, bool rmw_success) const
+{
+    (void)state;
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+        return {LineTag::Valid, 0};
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+        return {LineTag::Reserved, 0};
+      case BusOp::Rmw:
+        return rmw_success ? LineState{LineTag::Reserved, 0}
+                           : LineState{LineTag::Valid, 0};
+      case BusOp::Invalidate:
+        break;
+    }
+    ddc_panic("write-once completed unexpected bus op");
+}
+
+SnoopReaction
+GoodmanProtocol::onSnoop(LineState state, BusOp op) const
+{
+    SnoopReaction reaction;
+    reaction.next = state;
+
+    switch (op) {
+      case BusOp::Read:
+        switch (state.tag) {
+          case LineTag::Dirty:
+            // Memory is stale: intervene and supply.
+            reaction.supply = true;
+            return reaction;
+          case LineTag::Reserved:
+            // Another reader exists now; a later write must go back
+            // through the bus.
+            reaction.next = {LineTag::Valid, 0};
+            return reaction;
+          case LineTag::Valid:
+          case LineTag::Invalid:   // Event broadcast only: no snarf.
+          case LineTag::NotPresent:
+            return reaction;
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Write:
+        switch (state.tag) {
+          case LineTag::Valid:
+          case LineTag::Reserved:
+          case LineTag::Dirty:
+            reaction.next = {LineTag::Invalid, 0};
+            return reaction;
+          case LineTag::Invalid:
+          case LineTag::NotPresent:
+            return reaction;
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Invalidate:
+        if (state.tag != LineTag::NotPresent)
+            reaction.next = {LineTag::Invalid, 0};
+        return reaction;
+
+      default:
+        break;
+    }
+    ddc_panic("write-once snooped unexpected bus op / state combination");
+}
+
+LineState
+GoodmanProtocol::afterSupply(LineState state) const
+{
+    ddc_assert(state.tag == LineTag::Dirty,
+               "only a Dirty line can supply data");
+    return {LineTag::Valid, 0};
+}
+
+bool
+GoodmanProtocol::needsWriteback(LineState state) const
+{
+    return state.tag == LineTag::Dirty;
+}
+
+} // namespace ddc

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Goodman's write-once scheme [GOO83] — the paper's baseline.
+ *
+ * "Our scheme is in many ways an extension of the one presented by
+ * Goodman.  The Goodman scheme may be classified as 'event
+ * broadcasting', whereas in our proposed schemes events and data
+ * values are broadcast." (Section 1.)  Concretely: no read broadcast
+ * (only the requester installs the value of a bus read) and no write
+ * broadcast; the first write writes through once (Reserved), further
+ * writes stay in the cache (Dirty) until a snooped read forces a
+ * supply.  With the paper's one-word blocks a write miss simply writes
+ * through and reserves the line.
+ */
+
+#ifndef DDC_CORE_GOODMAN_HH
+#define DDC_CORE_GOODMAN_HH
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** Goodman's write-once protocol on one-word blocks. */
+class GoodmanProtocol : public Protocol
+{
+  public:
+    std::string_view name() const override { return "WriteOnce"; }
+    bool broadcastsWrites() const override { return false; }
+
+    CpuReaction onCpuAccess(LineState state, CpuOp op,
+                            DataClass cls) const override;
+    LineState afterBusOp(LineState state, BusOp op,
+                         bool rmw_success) const override;
+    SnoopReaction onSnoop(LineState state, BusOp op) const override;
+    LineState afterSupply(LineState state) const override;
+    bool needsWriteback(LineState state) const override;
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_GOODMAN_HH

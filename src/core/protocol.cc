@@ -1,0 +1,16 @@
+#include "core/protocol.hh"
+
+#include <string>
+
+namespace ddc {
+
+std::string
+toString(const LineState &state)
+{
+    std::string result{ddc::toString(state.tag)};
+    if (state.tag == LineTag::FirstWrite && state.streak > 1)
+        result += std::to_string(static_cast<int>(state.streak));
+    return result;
+}
+
+} // namespace ddc

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The coherence-protocol policy interface.
+ *
+ * A Protocol is pure policy for a single cache line ("address line" in
+ * the paper's terms): it maps (current line state, event) to (next line
+ * state, actions).  The cache substrate executes the actions; the bus
+ * serializes transactions.  Crucially, the product-machine model
+ * checker in src/verify drives these same Protocol objects, so the
+ * consistency proof of Section 4 is checked against the shipped
+ * implementation rather than a re-transcription of the state diagram.
+ *
+ * Events a protocol sees:
+ *  - a CPU access from its own PE (onCpuAccess);
+ *  - completion of its own bus transaction (afterBusOp);
+ *  - a snooped transaction issued by another cache (onSnoop);
+ *  - being chosen to supply data for a killed bus read (afterSupply);
+ *  - eviction (needsWriteback decides whether a write-back is due).
+ *
+ * The bus resolves conditional transactions before snoop delivery:
+ * protocols never snoop BusOp::Rmw / ReadLock / WriteUnlock — they see
+ * the effective BusOp::Read or BusOp::Write (plus BusOp::Invalidate for
+ * the RWB scheme's BI signal).
+ */
+
+#ifndef DDC_CORE_PROTOCOL_HH
+#define DDC_CORE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/types.hh"
+
+namespace ddc {
+
+/**
+ * Coherence state of one cache line.
+ *
+ * @c streak counts consecutive writes by the owning PE with no
+ * intervening bus-visible reference by another PE; only the RWB scheme
+ * uses it (its First-write state generalized to the paper's footnote-6
+ * "at least k uninterrupted writes" rule).
+ */
+struct LineState
+{
+    LineTag tag = LineTag::NotPresent;
+    std::uint8_t streak = 0;
+
+    bool operator==(const LineState &other) const = default;
+
+    /** True when this line currently holds a copy of its address. */
+    bool
+    present() const
+    {
+        return tag != LineTag::NotPresent && tag != LineTag::Invalid;
+    }
+};
+
+/** Render a LineState as e.g. "R" or "F1". */
+std::string toString(const LineState &state);
+
+/** Reaction of a protocol to a CPU access. */
+struct CpuReaction
+{
+    /** True when the access needs a bus transaction to complete. */
+    bool needs_bus = false;
+    /** Which transaction to issue (valid when needs_bus). */
+    BusOp bus_op = BusOp::Read;
+    /** Next state when the access completes locally (hit). */
+    LineState next{};
+    /** Hit-write: store the CPU's data into the cached line. */
+    bool update_value = false;
+    /**
+     * Install the line when the bus transaction completes.  The
+     * Cm*-style baseline sets this false for shared data, which is
+     * never cached (Table 1-1's emulation rule).
+     */
+    bool allocate = true;
+};
+
+/** Reaction of a protocol to a snooped bus transaction. */
+struct SnoopReaction
+{
+    /** Next state of the snooping line. */
+    LineState next{};
+    /** Latch the transaction's data value into the line. */
+    bool snarf = false;
+    /**
+     * Kill the transaction and supply this line's value via a bus
+     * write (the Local-state intervention of the RB scheme).  Only
+     * meaningful for snooped reads.
+     */
+    bool supply = false;
+};
+
+/**
+ * Abstract decentralized cache-coherence scheme.
+ *
+ * Implementations are stateless policy objects (all per-line state
+ * lives in LineState), so one Protocol instance serves every line of
+ * every cache.
+ */
+class Protocol
+{
+  public:
+    virtual ~Protocol() = default;
+
+    /** Short scheme name, e.g. "RB". */
+    virtual std::string_view name() const = 0;
+
+    /**
+     * True when the scheme latches the data portion of bus writes
+     * (the defining difference between RWB and RB, Section 5).
+     */
+    virtual bool broadcastsWrites() const = 0;
+
+    /**
+     * React to a CPU access.
+     *
+     * @param state Current state of the addressed line (for the
+     *              accessed address; NotPresent if another address
+     *              occupies the line).
+     * @param op The CPU operation.
+     * @param cls Software data classification (transparent schemes
+     *            ignore it; the Cm* baseline keys off it).
+     */
+    virtual CpuReaction onCpuAccess(LineState state, CpuOp op,
+                                    DataClass cls) const = 0;
+
+    /**
+     * State after this cache's own bus transaction completed.
+     *
+     * @param state State when the transaction was issued.
+     * @param op The transaction that completed.
+     * @param rmw_success For BusOp::Rmw: whether the test succeeded
+     *                    (write semantics) or failed (read semantics).
+     */
+    virtual LineState afterBusOp(LineState state, BusOp op,
+                                 bool rmw_success) const = 0;
+
+    /**
+     * React to another cache's transaction for an address this line
+     * holds.  @p op is the effective operation: Read, Write, or
+     * Invalidate.
+     */
+    virtual SnoopReaction onSnoop(LineState state, BusOp op) const = 0;
+
+    /**
+     * State after this line killed a bus read and supplied its value
+     * (always Readable in the paper's schemes: the supplied value now
+     * matches memory).
+     */
+    virtual LineState afterSupply(LineState state) const = 0;
+
+    /** Does eviction of a line in @p state require a bus write-back? */
+    virtual bool needsWriteback(LineState state) const = 0;
+
+    /**
+     * May memory hold a stale value while a line is in @p state?  When
+     * true, the cache flushes (bus-writes) the line before issuing an
+     * Rmw or ReadLock for the same address, since those transactions
+     * take their input from memory.
+     */
+    virtual bool
+    memoryMayBeStale(LineState state) const
+    {
+        return needsWriteback(state);
+    }
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_PROTOCOL_HH

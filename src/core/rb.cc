@@ -1,0 +1,153 @@
+#include "core/rb.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+CpuReaction
+RbProtocol::onCpuAccess(LineState state, CpuOp op, DataClass cls) const
+{
+    (void)cls; // The scheme is transparent: classification is dynamic.
+
+    CpuReaction reaction;
+    switch (op) {
+      case CpuOp::Read:
+        if (state.tag == LineTag::Readable || state.tag == LineTag::Local) {
+            // Hit: return the cached value, no state change.
+            reaction.next = state;
+            return reaction;
+        }
+        // Miss (I or NP): fetch over the bus; afterBusOp lands in R.
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Read;
+        return reaction;
+
+      case CpuOp::Write:
+        if (state.tag == LineTag::Local) {
+            // The variable is already local to this PE: pure cache write.
+            reaction.next = state;
+            reaction.update_value = true;
+            return reaction;
+        }
+        // R, I, or NP: write through the bus (the bus write doubles as
+        // the invalidation broadcast); afterBusOp lands in L.
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Write;
+        return reaction;
+
+      case CpuOp::TestAndSet:
+        // Always a serialized bus RMW, regardless of cached state; the
+        // cache flushes first when memoryMayBeStale(state).
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Rmw;
+        return reaction;
+
+      case CpuOp::ReadLock:
+        // "The initial read-with-lock does not reference the value in
+        // the cache" (Section 3).
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::ReadLock;
+        return reaction;
+
+      case CpuOp::WriteUnlock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::WriteUnlock;
+        return reaction;
+    }
+    ddc_panic("unhandled CpuOp");
+}
+
+LineState
+RbProtocol::afterBusOp(LineState state, BusOp op, bool rmw_success) const
+{
+    (void)state;
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+        return {LineTag::Readable, 0};
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+        return {LineTag::Local, 0};
+      case BusOp::Rmw:
+        // Success acts as a write (local configuration), failure as a
+        // non-cachable read whose broadcast lands everyone in R.
+        return rmw_success ? LineState{LineTag::Local, 0}
+                           : LineState{LineTag::Readable, 0};
+      case BusOp::Invalidate:
+        break; // RB never issues BI.
+    }
+    ddc_panic("RB completed unexpected bus op");
+}
+
+SnoopReaction
+RbProtocol::onSnoop(LineState state, BusOp op) const
+{
+    SnoopReaction reaction;
+    reaction.next = state;
+
+    switch (op) {
+      case BusOp::Read:
+        switch (state.tag) {
+          case LineTag::Local:
+            // Interrupt the read and supply the latest value; the
+            // supplier then holds a memory-consistent copy (R).
+            reaction.supply = true;
+            return reaction;
+          case LineTag::Invalid:
+            // Read broadcast: latch the value flowing past on the bus.
+            reaction.next = {LineTag::Readable, 0};
+            reaction.snarf = true;
+            return reaction;
+          case LineTag::Readable:
+          case LineTag::NotPresent:
+            return reaction; // No effect.
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Write:
+        switch (state.tag) {
+          case LineTag::Readable:
+          case LineTag::Local:
+            // Another PE wrote: our copy is now stale.
+            reaction.next = {LineTag::Invalid, 0};
+            return reaction;
+          case LineTag::Invalid:
+          case LineTag::NotPresent:
+            return reaction;
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Invalidate:
+        // Defensive: RB has no BI signal, but invalidation is always a
+        // safe reaction.
+        if (state.tag != LineTag::NotPresent)
+            reaction.next = {LineTag::Invalid, 0};
+        return reaction;
+
+      default:
+        break;
+    }
+    ddc_panic("RB snooped unexpected bus op / state combination");
+}
+
+LineState
+RbProtocol::afterSupply(LineState state) const
+{
+    ddc_assert(state.tag == LineTag::Local,
+               "only a Local line can supply data");
+    return {LineTag::Readable, 0};
+}
+
+bool
+RbProtocol::needsWriteback(LineState state) const
+{
+    // Only Local lines can diverge from memory (Section 3: "Only those
+    // overwritten items that are tagged local need to be written back").
+    return state.tag == LineTag::Local;
+}
+
+} // namespace ddc

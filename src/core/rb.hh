@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The RB (Read Broadcast) cache scheme — Section 3 / Figure 3-1.
+ *
+ * Three tag states per line: Readable (R), Invalid (I), Local (L),
+ * plus NotPresent for the product-machine NP extension.  Values
+ * fetched by bus reads are broadcast: every cache holding the address
+ * snarfs the returned value and enters R.  CPU writes write through
+ * the bus (invalidating all other copies) and leave the writer in L;
+ * subsequent writes by the same PE stay inside the cache.  A cache in
+ * L that snoops a bus read kills the transaction and supplies its
+ * value with a bus write; the killed read retries the next cycle.
+ */
+
+#ifndef DDC_CORE_RB_HH
+#define DDC_CORE_RB_HH
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** The paper's RB scheme. */
+class RbProtocol : public Protocol
+{
+  public:
+    std::string_view name() const override { return "RB"; }
+    bool broadcastsWrites() const override { return false; }
+
+    CpuReaction onCpuAccess(LineState state, CpuOp op,
+                            DataClass cls) const override;
+    LineState afterBusOp(LineState state, BusOp op,
+                         bool rmw_success) const override;
+    SnoopReaction onSnoop(LineState state, BusOp op) const override;
+    LineState afterSupply(LineState state) const override;
+    bool needsWriteback(LineState state) const override;
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_RB_HH

@@ -1,0 +1,166 @@
+#include "core/rwb.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+RwbProtocol::RwbProtocol(int writes_to_local) : k(writes_to_local)
+{
+    ddc_assert(k >= 1 && k <= 255, "writes_to_local must be in [1, 255]");
+}
+
+CpuReaction
+RwbProtocol::onCpuAccess(LineState state, CpuOp op, DataClass cls) const
+{
+    (void)cls;
+
+    CpuReaction reaction;
+    switch (op) {
+      case CpuOp::Read:
+        if (state.present()) {
+            // R, F, and L all hold a current value; reads by the
+            // owning PE never break its write streak.
+            reaction.next = state;
+            return reaction;
+        }
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Read;
+        return reaction;
+
+      case CpuOp::Write: {
+        if (state.tag == LineTag::Local) {
+            reaction.next = state;
+            reaction.update_value = true;
+            return reaction;
+        }
+        // The streak this write would complete.
+        int streak = state.tag == LineTag::FirstWrite ? state.streak + 1 : 1;
+        reaction.needs_bus = true;
+        // The k-th uninterrupted write confirms local usage: broadcast
+        // BI so every other copy is dropped instead of updated.
+        reaction.bus_op = streak >= k ? BusOp::Invalidate : BusOp::Write;
+        return reaction;
+      }
+
+      case CpuOp::TestAndSet:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Rmw;
+        return reaction;
+
+      case CpuOp::ReadLock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::ReadLock;
+        return reaction;
+
+      case CpuOp::WriteUnlock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::WriteUnlock;
+        return reaction;
+    }
+    ddc_panic("unhandled CpuOp");
+}
+
+LineState
+RwbProtocol::afterBusOp(LineState state, BusOp op, bool rmw_success) const
+{
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+        return {LineTag::Readable, 0};
+      case BusOp::Write: {
+        // A non-final write of the streak: enter / stay in F.
+        std::uint8_t streak =
+            state.tag == LineTag::FirstWrite ? state.streak + 1 : 1;
+        return {LineTag::FirstWrite, streak};
+      }
+      case BusOp::Invalidate:
+        return {LineTag::Local, 0};
+      case BusOp::WriteUnlock:
+      case BusOp::Rmw:
+        // RMW completion leaves the caches in a shared configuration
+        // "so that subsequent reads cause no bus activity" (Section 5):
+        // a successful set behaves like a first write (F), a failed
+        // test like a read (R).  Even with k == 1 the success lands in
+        // F: the data went out as an (update) bus write, so other
+        // caches hold live copies and Local would be unsound.
+        if (op == BusOp::Rmw && !rmw_success)
+            return {LineTag::Readable, 0};
+        return {LineTag::FirstWrite, 1};
+    }
+    ddc_panic("RWB completed unexpected bus op");
+}
+
+SnoopReaction
+RwbProtocol::onSnoop(LineState state, BusOp op) const
+{
+    SnoopReaction reaction;
+    reaction.next = state;
+
+    switch (op) {
+      case BusOp::Read:
+        switch (state.tag) {
+          case LineTag::Local:
+            reaction.supply = true;
+            return reaction;
+          case LineTag::Invalid:
+            reaction.next = {LineTag::Readable, 0};
+            reaction.snarf = true;
+            return reaction;
+          case LineTag::Readable:
+          case LineTag::FirstWrite:
+            // "All other configurations will be unchanged" — an F
+            // holder keeps its streak across other PEs' bus reads
+            // (memory is current, so memory supplies the reader).
+          case LineTag::NotPresent:
+            return reaction;
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Write:
+        switch (state.tag) {
+          case LineTag::Readable:
+          case LineTag::Invalid:
+          case LineTag::FirstWrite:
+          case LineTag::Local:
+            // Write broadcast: another PE's write *updates* our copy
+            // (and resets any write streak / local ownership).
+            reaction.next = {LineTag::Readable, 0};
+            reaction.snarf = true;
+            return reaction;
+          case LineTag::NotPresent:
+            return reaction;
+          default:
+            break;
+        }
+        break;
+
+      case BusOp::Invalidate:
+        // The BI signal: drop every other copy.
+        if (state.tag != LineTag::NotPresent)
+            reaction.next = {LineTag::Invalid, 0};
+        return reaction;
+
+      default:
+        break;
+    }
+    ddc_panic("RWB snooped unexpected bus op / state combination");
+}
+
+LineState
+RwbProtocol::afterSupply(LineState state) const
+{
+    ddc_assert(state.tag == LineTag::Local,
+               "only a Local line can supply data");
+    return {LineTag::Readable, 0};
+}
+
+bool
+RwbProtocol::needsWriteback(LineState state) const
+{
+    // F lines wrote through (memory current); only L can be dirty.
+    return state.tag == LineTag::Local;
+}
+
+} // namespace ddc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The RWB (Read and Write Broadcast) cache scheme — Section 5 /
+ * Figure 5-1.
+ *
+ * RWB extends RB: caches also latch the data portion of bus writes,
+ * so a write to a variable in the shared configuration *updates* every
+ * interested cache instead of invalidating it.  A new First-write (F)
+ * state and a Bus Invalidate (BI) signal implement the return to the
+ * local configuration: only after the same PE writes k times with no
+ * intervening bus-visible reference by another PE (k = 2 in the paper,
+ * generalized per its footnote 6) does the writer broadcast BI, enter
+ * Local, and silence further writes.
+ *
+ * The paper encodes BI by reserving one data value; our bus carries BI
+ * as a distinct op code whose data payload still updates memory, which
+ * is what the paper's Figure 6-3 shows (memory holds the released
+ * lock's value immediately after the BI-generating release write).
+ */
+
+#ifndef DDC_CORE_RWB_HH
+#define DDC_CORE_RWB_HH
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** The paper's RWB scheme, parameterized by the writes-to-local k. */
+class RwbProtocol : public Protocol
+{
+  public:
+    /**
+     * @param writes_to_local Number of uninterrupted writes by one PE
+     *        after which the variable is assumed local (paper: 2).
+     */
+    explicit RwbProtocol(int writes_to_local = 2);
+
+    std::string_view name() const override { return "RWB"; }
+    bool broadcastsWrites() const override { return true; }
+
+    CpuReaction onCpuAccess(LineState state, CpuOp op,
+                            DataClass cls) const override;
+    LineState afterBusOp(LineState state, BusOp op,
+                         bool rmw_success) const override;
+    SnoopReaction onSnoop(LineState state, BusOp op) const override;
+    LineState afterSupply(LineState state) const override;
+    bool needsWriteback(LineState state) const override;
+
+    /** The configured k. */
+    int writesToLocal() const { return k; }
+
+  private:
+    int k;
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_RWB_HH

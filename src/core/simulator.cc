@@ -1,0 +1,62 @@
+#include "core/simulator.hh"
+
+#include <sstream>
+
+#include "verify/consistency.hh"
+
+namespace ddc {
+
+RunSummary
+runTrace(SystemConfig config, const Trace &trace, bool check_consistency)
+{
+    if (check_consistency)
+        config.record_log = true;
+    if (config.num_pes < trace.numPes())
+        config.num_pes = trace.numPes();
+
+    System system(config);
+    system.loadTrace(trace);
+
+    RunSummary summary;
+    summary.cycles = system.run();
+    summary.completed = system.allDone();
+    summary.total_refs = trace.totalRefs();
+    summary.bus_transactions = system.totalBusTransactions();
+    summary.counters = system.counters();
+
+    if (summary.total_refs > 0) {
+        summary.bus_per_ref =
+            static_cast<double>(summary.bus_transactions) /
+            static_cast<double>(summary.total_refs);
+        std::uint64_t misses =
+            summary.counters.sumPrefix("cache.read_miss.") +
+            summary.counters.sumPrefix("cache.write_miss.") +
+            summary.counters.sumPrefix("cache.ts.") +
+            summary.counters.sumPrefix("cache.readlock.") +
+            summary.counters.sumPrefix("cache.writeunlock.");
+        summary.miss_ratio = static_cast<double>(misses) /
+                             static_cast<double>(summary.total_refs);
+    }
+
+    if (check_consistency) {
+        auto report = checkSerialConsistency(system.log());
+        summary.consistent = report.consistent;
+    }
+    return summary;
+}
+
+std::string
+describe(const RunSummary &summary)
+{
+    std::ostringstream os;
+    os << (summary.completed ? "completed" : "TIMED OUT") << " in "
+       << summary.cycles << " cycles; " << summary.total_refs
+       << " refs; " << summary.bus_transactions << " bus transactions ("
+       << summary.bus_per_ref << " per ref); miss ratio "
+       << summary.miss_ratio;
+    if (!summary.consistent)
+        os << "; INCONSISTENT";
+    return os.str();
+}
+
+} // namespace ddc

@@ -1,0 +1,107 @@
+#include "core/write_through.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+CpuReaction
+WriteThroughProtocol::onCpuAccess(LineState state, CpuOp op,
+                                  DataClass cls) const
+{
+    (void)cls;
+
+    CpuReaction reaction;
+    switch (op) {
+      case CpuOp::Read:
+        if (state.present()) {
+            reaction.next = state;
+            return reaction;
+        }
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Read;
+        return reaction;
+
+      case CpuOp::Write:
+        // Always through the bus; the local copy is refreshed too.
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Write;
+        return reaction;
+
+      case CpuOp::TestAndSet:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::Rmw;
+        return reaction;
+
+      case CpuOp::ReadLock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::ReadLock;
+        return reaction;
+
+      case CpuOp::WriteUnlock:
+        reaction.needs_bus = true;
+        reaction.bus_op = BusOp::WriteUnlock;
+        return reaction;
+    }
+    ddc_panic("unhandled CpuOp");
+}
+
+LineState
+WriteThroughProtocol::afterBusOp(LineState state, BusOp op,
+                                 bool rmw_success) const
+{
+    (void)state;
+    (void)rmw_success;
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+      case BusOp::Rmw:
+        return {LineTag::Valid, 0};
+      case BusOp::Invalidate:
+        break;
+    }
+    ddc_panic("write-through completed unexpected bus op");
+}
+
+SnoopReaction
+WriteThroughProtocol::onSnoop(LineState state, BusOp op) const
+{
+    SnoopReaction reaction;
+    reaction.next = state;
+
+    switch (op) {
+      case BusOp::Read:
+        return reaction; // Memory serves reads; nothing to do.
+
+      case BusOp::Write:
+        if (state.tag == LineTag::Valid)
+            reaction.next = {LineTag::Invalid, 0};
+        return reaction;
+
+      case BusOp::Invalidate:
+        if (state.tag != LineTag::NotPresent)
+            reaction.next = {LineTag::Invalid, 0};
+        return reaction;
+
+      default:
+        break;
+    }
+    ddc_panic("write-through snooped unexpected bus op");
+}
+
+LineState
+WriteThroughProtocol::afterSupply(LineState state) const
+{
+    (void)state;
+    ddc_panic("write-through never supplies data (memory is current)");
+}
+
+bool
+WriteThroughProtocol::needsWriteback(LineState state) const
+{
+    (void)state;
+    return false;
+}
+
+} // namespace ddc

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Write-through-with-invalidate — the classical pre-1984 baseline.
+ *
+ * Two states (Valid / Invalid).  Every write goes over the bus and
+ * invalidates all other copies; no read broadcast, no intervention
+ * (memory is always current).  This is the scheme the paper's schemes
+ * are designed to beat on shared-data reference patterns.
+ */
+
+#ifndef DDC_CORE_WRITE_THROUGH_HH
+#define DDC_CORE_WRITE_THROUGH_HH
+
+#include "core/protocol.hh"
+
+namespace ddc {
+
+/** Classic write-through-invalidate snooping protocol. */
+class WriteThroughProtocol : public Protocol
+{
+  public:
+    std::string_view name() const override { return "WriteThrough"; }
+    bool broadcastsWrites() const override { return false; }
+
+    CpuReaction onCpuAccess(LineState state, CpuOp op,
+                            DataClass cls) const override;
+    LineState afterBusOp(LineState state, BusOp op,
+                         bool rmw_success) const override;
+    SnoopReaction onSnoop(LineState state, BusOp op) const override;
+    LineState afterSupply(LineState state) const override;
+    bool needsWriteback(LineState state) const override;
+};
+
+} // namespace ddc
+
+#endif // DDC_CORE_WRITE_THROUGH_HH

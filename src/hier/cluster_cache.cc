@@ -1,0 +1,487 @@
+#include "hier/cluster_cache.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace hier {
+
+ClusterCache::ClusterCache(int cluster_id, stats::CounterSet &stats)
+    : clusterId(cluster_id), stats(stats)
+{
+}
+
+void
+ClusterCache::connectGlobalBus(Bus &bus)
+{
+    ddc_assert(globalBus == nullptr, "cluster already on a global bus");
+    ddc_assert(bus.blockWords() == 1,
+               "the hierarchical machine uses one-word blocks");
+    globalBus = &bus;
+    bus.attach(this);
+}
+
+void
+ClusterCache::addChild(Cache *child)
+{
+    ddc_assert(child != nullptr, "null child cache");
+    ddc_assert(child->blockWords() == 1,
+               "the hierarchical machine uses one-word blocks");
+    children.push_back(child);
+    childByPe[child->peId()] = child;
+}
+
+bool
+ClusterCache::owns(Addr addr) const
+{
+    auto it = entries.find(addr);
+    return it != entries.end() && it->second.tag == LineTag::Local;
+}
+
+bool
+ClusterCache::holds(Addr addr) const
+{
+    return entries.find(addr) != entries.end();
+}
+
+Word
+ClusterCache::value(Addr addr) const
+{
+    auto it = entries.find(addr);
+    return it == entries.end() ? 0 : it->second.value;
+}
+
+// ---- Forwarding machinery ---------------------------------------------
+
+void
+ClusterCache::enqueueForward(BusOp op, Addr addr, Word data, PeId pe)
+{
+    for (const Forward &forward : forwards) {
+        if (forward.origin == pe)
+            return; // One outstanding global op per PE.
+    }
+    auto it = childByPe.find(pe);
+    ddc_assert(it != childByPe.end(), "forward from an unknown PE ", pe);
+
+    Forward forward;
+    forward.op = op;
+    forward.addr = addr;
+    forward.data = data;
+    forward.origin = pe;
+    forward.origin_child = it->second;
+    forward.child_access = it->second->accessId();
+    forwards.push_back(forward);
+    stats.add("hier.forward." + std::string(toString(op)));
+}
+
+void
+ClusterCache::cancelForward(PeId pe)
+{
+    // The cluster bus is about to service this PE's operation locally
+    // (a sibling's forward acquired ownership first, or the block
+    // arrived meanwhile), so a queued global forward for it is stale.
+    // Between bus ticks no forward is mid-flight, so erasing the front
+    // is safe too.
+    for (auto it = forwards.begin(); it != forwards.end(); ++it) {
+        if (it->origin == pe) {
+            if (it == forwards.begin())
+                flushing = false;
+            forwards.erase(it);
+            stats.add("hier.forward_cancelled");
+            return;
+        }
+    }
+}
+
+void
+ClusterCache::deliverToChild(const Forward &forward,
+                             const BusResult &result)
+{
+    Cache *child = forward.origin_child;
+    if (child->busy() && child->accessId() == forward.child_access) {
+        child->requestComplete(result);
+    } else {
+        ddc_assert(forward.op == BusOp::Read,
+                   "a non-read forward was abandoned by its L1");
+        stats.add("hier.dropped_read_completion");
+    }
+}
+
+void
+ClusterCache::resolvePendingLocally()
+{
+    // Queue rotation (NACK handling) and sibling forwards can make an
+    // already-queued forward serviceable inside the cluster: a read
+    // whose word arrived meanwhile, or a write to a word the cluster
+    // now owns.  Serving it locally keeps it off the global bus and,
+    // crucially, keeps a global read from bypassing cluster ownership.
+    for (auto it = forwards.begin(); it != forwards.end();) {
+        auto entry_it = entries.find(it->addr);
+        bool resolved = false;
+
+        if (it->op == BusOp::Read && entry_it != entries.end()) {
+            Word value = entry_it->second.value;
+            for (Cache *child : children) {
+                Word child_value = 0;
+                if (child != it->origin_child &&
+                    child->wouldSupply(it->addr, child_value)) {
+                    entry_it->second.value = child_value;
+                    child->supplied(it->addr);
+                    stats.add("hier.pull");
+                    value = child_value;
+                    break;
+                }
+            }
+            deliverToChild(*it, {value, false, {}});
+            resolved = true;
+        } else if ((it->op == BusOp::Write ||
+                    it->op == BusOp::Invalidate) &&
+                   entry_it != entries.end() &&
+                   entry_it->second.tag == LineTag::Local) {
+            entry_it->second.value = it->data;
+            // Preserve the op downward: a BI must invalidate the
+            // sibling copies, a plain write updates them (RWB).
+            forwardDown({it->op, it->addr, it->data, -1, {}});
+            deliverToChild(*it, {it->data, false, {}});
+            resolved = true;
+        }
+
+        if (resolved) {
+            if (it == forwards.begin())
+                flushing = false;
+            it = forwards.erase(it);
+            stats.add("hier.forward_resolved_locally");
+        } else {
+            ++it;
+        }
+    }
+}
+
+// ---- Global-bus client side ---------------------------------------------
+
+bool
+ClusterCache::hasRequest()
+{
+    resolvePendingLocally();
+    return !forwards.empty();
+}
+
+BusRequest
+ClusterCache::currentRequest()
+{
+    ddc_assert(!forwards.empty(), "no pending forward");
+    const Forward &front = forwards.front();
+
+    // RMW-class operations take their input from global memory; if
+    // this cluster owns the word, its (latest) value goes back first.
+    // A sibling L1 may have dirtied the word since the forward was
+    // queued; pull its value (and demote it) before flushing.
+    bool rmw_like = front.op == BusOp::Rmw || front.op == BusOp::ReadLock;
+    if (rmw_like && owns(front.addr)) {
+        for (Cache *child : children) {
+            Word child_value = 0;
+            if (child->wouldSupply(front.addr, child_value)) {
+                entries[front.addr].value = child_value;
+                child->supplied(front.addr);
+                stats.add("hier.pull");
+                break;
+            }
+        }
+        flushing = true;
+        return {BusOp::Write, front.addr, entries[front.addr].value,
+                false, {}};
+    }
+    flushing = false;
+    return {front.op, front.addr, front.data, false, {}};
+}
+
+void
+ClusterCache::requestComplete(const BusResult &result)
+{
+    ddc_assert(!forwards.empty(), "completion without a forward");
+    Forward front = forwards.front();
+
+    if (flushing) {
+        // The pre-flush write went out: global memory is current, the
+        // cluster demotes to Readable, and the real op goes next.
+        entries[front.addr].tag = LineTag::Readable;
+        flushing = false;
+        stats.add("hier.flush");
+        return;
+    }
+    forwards.pop_front();
+
+    // Apply the global RB completion to the cluster-level entry and
+    // forward the effective broadcast to the children: the global bus
+    // skipped us as issuer, but our L1s must snoop the event in the
+    // very cycle it commits (the buses form one logical broadcast
+    // medium).
+    BusTransaction down;
+    down.addr = front.addr;
+    down.issuer = -1;
+    switch (front.op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+        entries[front.addr] = {LineTag::Readable, result.data};
+        down.op = BusOp::Read;
+        down.data = result.data;
+        break;
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+        entries[front.addr] = {LineTag::Local, front.data};
+        down.op = BusOp::Write;
+        down.data = front.data;
+        break;
+      case BusOp::Invalidate:
+        // A forwarded BI: the cluster takes ownership and the signal
+        // invalidates (never updates) every other copy, downward too.
+        entries[front.addr] = {LineTag::Local, front.data};
+        down.op = BusOp::Invalidate;
+        down.data = front.data;
+        break;
+      case BusOp::Rmw:
+        if (result.rmw_success) {
+            entries[front.addr] = {LineTag::Local, front.data};
+            down.op = BusOp::Write;
+            down.data = front.data;
+        } else {
+            entries[front.addr] = {LineTag::Readable, result.data};
+            down.op = BusOp::Read;
+            down.data = result.data;
+        }
+        break;
+    }
+    forwardDown(down);
+
+    // Complete the originating L1 at the global commit instant, so
+    // the serial position of its access is the global transaction's.
+    deliverToChild(front, result);
+}
+
+bool
+ClusterCache::wouldSupply(Addr addr, Word &out)
+{
+    auto it = entries.find(addr);
+    if (it == entries.end() || it->second.tag != LineTag::Local)
+        return false;
+
+    // The latest value is the dirty child's if one exists, else ours.
+    pendingSupplyChild = nullptr;
+    for (Cache *child : children) {
+        Word child_value = 0;
+        if (child->wouldSupply(addr, child_value)) {
+            pendingSupplyChild = child;
+            out = child_value;
+            return true;
+        }
+    }
+    out = it->second.value;
+    return true;
+}
+
+void
+ClusterCache::observe(const BusTransaction &txn)
+{
+    auto it = entries.find(txn.addr);
+    if (it == entries.end())
+        return; // Inclusion: no child can hold it either.
+
+    switch (txn.op) {
+      case BusOp::Read:
+        // Another cluster read the word; our copy stays valid (it
+        // cannot be Local here — a Local entry would have supplied).
+        ddc_assert(it->second.tag != LineTag::Local,
+                   "global read proceeded past a Local cluster entry");
+        it->second.value = txn.data;
+        forwardDown(txn); // read broadcast refills Invalid L1 copies
+        return;
+
+      case BusOp::Write:
+      case BusOp::Invalidate: {
+        // Another cluster wrote: every copy in this cluster dies.
+        // The downward broadcast is always an *invalidation*: the
+        // cluster entry is gone, so update-snarfing L1s (RWB) must
+        // not keep live copies inclusion no longer covers.
+        entries.erase(it);
+        stats.add("hier.global_invalidation");
+        BusTransaction down = txn;
+        down.op = BusOp::Invalidate;
+        forwardDown(down);
+        return;
+      }
+
+      default:
+        break;
+    }
+    ddc_panic("cluster cache snooped unexpected bus op");
+}
+
+void
+ClusterCache::supplied(Addr addr)
+{
+    auto it = entries.find(addr);
+    ddc_assert(it != entries.end() && it->second.tag == LineTag::Local,
+               "supplied() without global ownership");
+    stats.add("hier.supply");
+    if (pendingSupplyChild != nullptr) {
+        Word child_value = 0;
+        bool still = pendingSupplyChild->wouldSupply(addr, child_value);
+        ddc_assert(still, "supply child vanished mid-cycle");
+        it->second.value = child_value;
+        pendingSupplyChild->supplied(addr);
+        pendingSupplyChild = nullptr;
+    }
+    // The supplied value now matches global memory.
+    it->second.tag = LineTag::Readable;
+}
+
+void
+ClusterCache::requestNacked()
+{
+    // The front forward is blocked (e.g. a TS on a word another PE
+    // holds locked).  Rotate so a forward that would unblock it — the
+    // holder's unlock may be queued right behind — gets its turn.
+    flushing = false;
+    if (forwards.size() > 1) {
+        std::rotate(forwards.begin(), forwards.begin() + 1,
+                    forwards.end());
+        stats.add("hier.forward_rotate");
+    }
+}
+
+PeId
+ClusterCache::peId() const
+{
+    // Global lock bookkeeping must see the originating PE so that
+    // cross-cluster two-phase RMWs pair up correctly.
+    if (!forwards.empty())
+        return forwards.front().origin;
+    return -1000 - clusterId;
+}
+
+void
+ClusterCache::forwardDown(const BusTransaction &txn)
+{
+    stats.add("hier.downward_broadcast");
+    for (Cache *child : children)
+        child->observe(txn);
+}
+
+// ---- Cluster-bus memory side ---------------------------------------------
+
+bool
+ClusterCache::tryRead(Addr addr, PeId pe, Word &data)
+{
+    auto it = entries.find(addr);
+    if (it != entries.end()) {
+        // A dirty child would have killed the read before it got
+        // here, so our copy is the cluster's latest.
+        stats.add("hier.absorbed.read");
+        cancelForward(pe);
+        data = it->second.value;
+        return true;
+    }
+    enqueueForward(BusOp::Read, addr, 0, pe);
+    return false;
+}
+
+bool
+ClusterCache::tryReadBlock(Addr base, std::size_t words, PeId pe,
+                           std::vector<Word> &block)
+{
+    (void)base;
+    (void)words;
+    (void)pe;
+    (void)block;
+    ddc_panic("hierarchical machine uses one-word blocks");
+}
+
+bool
+ClusterCache::tryWrite(Addr addr, PeId pe, Word data)
+{
+    auto it = entries.find(addr);
+    if (it != entries.end() && it->second.tag == LineTag::Local) {
+        // The cluster owns the word: the write is cluster-internal.
+        stats.add("hier.absorbed.write");
+        cancelForward(pe);
+        it->second.value = data;
+        return true;
+    }
+    enqueueForward(BusOp::Write, addr, data, pe);
+    return false;
+}
+
+bool
+ClusterCache::tryInvalidate(Addr addr, PeId pe, Word data)
+{
+    auto it = entries.find(addr);
+    if (it != entries.end() && it->second.tag == LineTag::Local) {
+        // Cluster-internal BI: the bus broadcasts the Invalidate to
+        // the sibling L1s; we just absorb the data.
+        stats.add("hier.absorbed.write");
+        cancelForward(pe);
+        it->second.value = data;
+        return true;
+    }
+    enqueueForward(BusOp::Invalidate, addr, data, pe);
+    return false;
+}
+
+bool
+ClusterCache::tryWriteBlock(Addr base, PeId pe,
+                            const std::vector<Word> &block)
+{
+    (void)base;
+    (void)pe;
+    (void)block;
+    ddc_panic("hierarchical machine uses one-word blocks");
+}
+
+bool
+ClusterCache::tryRmw(Addr addr, PeId pe, Word set_value, Word &old,
+                     bool &success)
+{
+    (void)old;
+    (void)success;
+    enqueueForward(BusOp::Rmw, addr, set_value, pe);
+    return false;
+}
+
+bool
+ClusterCache::tryReadLock(Addr addr, PeId pe, Word &data)
+{
+    (void)data;
+    enqueueForward(BusOp::ReadLock, addr, 0, pe);
+    return false;
+}
+
+bool
+ClusterCache::tryWriteUnlock(Addr addr, PeId pe, Word data)
+{
+    enqueueForward(BusOp::WriteUnlock, addr, data, pe);
+    return false;
+}
+
+void
+ClusterCache::acceptSupply(Addr addr, Word data)
+{
+    // A dirty child supplied a cluster-bus read.  We are the cluster
+    // bus's "memory": absorb the latest value.  The cluster keeps
+    // global ownership (global memory is still stale).
+    auto it = entries.find(addr);
+    ddc_assert(it != entries.end() && it->second.tag == LineTag::Local,
+               "cluster-level supply without global ownership");
+    it->second.value = data;
+}
+
+void
+ClusterCache::acceptSupplyBlock(Addr base, const std::vector<Word> &block)
+{
+    (void)base;
+    (void)block;
+    ddc_panic("hierarchical machine uses one-word blocks");
+}
+
+} // namespace hier
+} // namespace ddc

@@ -1,0 +1,282 @@
+#include "hier/hier_system.hh"
+
+#include "base/logging.hh"
+#include "core/rb.hh"
+#include "sim/trace_agent.hh"
+
+namespace ddc {
+namespace hier {
+
+HierSystem::HierSystem(const HierConfig &config) : config(config)
+{
+    ddc_assert(config.num_clusters >= 1, "need at least one cluster");
+    ddc_assert(config.pes_per_cluster >= 1,
+               "need at least one PE per cluster");
+    ddc_assert(config.cache_lines >= 1, "need at least one cache line");
+    ddc_assert(config.protocol == ProtocolKind::Rb ||
+                   config.protocol == ProtocolKind::Rwb,
+               "the hierarchical machine supports the RB and RWB schemes");
+    protocol = makeProtocol(config.protocol, config.rwb_writes_to_local);
+
+    memory = std::make_unique<Memory>(globalStats);
+    globalBus = std::make_unique<Bus>(*memory, config.arbiter, clock,
+                                      globalStats, config.arbiter_seed);
+
+    ExecutionLog *log = config.record_log ? &execLog : nullptr;
+    for (int c = 0; c < config.num_clusters; c++) {
+        clusterStats.push_back(std::make_unique<stats::CounterSet>());
+        clusterCaches.push_back(
+            std::make_unique<ClusterCache>(c, *clusterStats.back()));
+        clusterCaches.back()->connectGlobalBus(*globalBus);
+        clusterBuses.push_back(std::make_unique<Bus>(
+            *clusterCaches.back(), config.arbiter, clock,
+            *clusterStats.back(),
+            config.arbiter_seed + static_cast<std::uint64_t>(c) + 1));
+
+        for (int p = 0; p < config.pes_per_cluster; p++) {
+            PeId pe = c * config.pes_per_cluster + p;
+            l1s.push_back(std::make_unique<Cache>(
+                pe, config.cache_lines, *protocol, clock, cacheStats,
+                log));
+            l1s.back()->connectBus(*clusterBuses.back());
+            clusterCaches.back()->addChild(l1s.back().get());
+        }
+    }
+    agents.resize(static_cast<std::size_t>(numPes()));
+}
+
+void
+HierSystem::loadTrace(const Trace &trace)
+{
+    ddc_assert(trace.numPes() <= numPes(),
+               "trace has more PE streams than the machine has PEs");
+    for (PeId pe = 0; pe < numPes(); pe++) {
+        std::vector<MemRef> stream;
+        if (pe < trace.numPes())
+            stream = trace.stream(pe);
+        agents[static_cast<std::size_t>(pe)] = std::make_unique<TraceAgent>(
+            pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
+            std::move(stream), cacheStats);
+    }
+}
+
+void
+HierSystem::setProgram(PeId pe, Program program)
+{
+    ddc_assert(pe >= 0 && pe < numPes(), "PE id out of range");
+    agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
+        pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
+        std::move(program), cacheStats);
+}
+
+Processor &
+HierSystem::processor(PeId pe)
+{
+    ddc_assert(pe >= 0 && pe < numPes(), "PE id out of range");
+    auto *processor =
+        dynamic_cast<Processor *>(agents[static_cast<std::size_t>(pe)]
+                                      .get());
+    if (processor == nullptr)
+        ddc_fatal("PE ", pe, " is not running a program");
+    return *processor;
+}
+
+void
+HierSystem::tick()
+{
+    // Global commits first: a cluster's forwarded completion lands
+    // before the cluster bus (and the PEs) run this cycle.
+    globalBus->tick();
+    for (auto &bus : clusterBuses)
+        bus->tick();
+    for (auto &agent : agents) {
+        if (agent)
+            agent->tick();
+    }
+    clock.now++;
+}
+
+Cycle
+HierSystem::run(Cycle max_cycles)
+{
+    Cycle start = clock.now;
+    while (!allDone() && clock.now - start < max_cycles)
+        tick();
+    return clock.now - start;
+}
+
+bool
+HierSystem::allDone() const
+{
+    for (const auto &agent : agents) {
+        if (agent && !agent->done())
+            return false;
+    }
+    return true;
+}
+
+const Cache &
+HierSystem::l1(PeId pe) const
+{
+    ddc_assert(pe >= 0 && pe < numPes(), "PE id out of range");
+    return *l1s[static_cast<std::size_t>(pe)];
+}
+
+Word
+HierSystem::coherentValue(Addr addr) const
+{
+    // A dirty L1 holds the latest value; else an owning cluster cache;
+    // else global memory.
+    for (PeId pe = 0; pe < numPes(); pe++) {
+        if (protocol->needsWriteback(l1(pe).lineState(addr)))
+            return l1(pe).lineValue(addr);
+    }
+    for (const auto &cluster : clusterCaches) {
+        if (cluster->owns(addr))
+            return cluster->value(addr);
+    }
+    return memory->peek(addr);
+}
+
+LineState
+HierSystem::lineState(PeId pe, Addr addr) const
+{
+    return l1(pe).lineState(addr);
+}
+
+Word
+HierSystem::cacheValue(PeId pe, Addr addr) const
+{
+    return l1(pe).lineValue(addr);
+}
+
+const ClusterCache &
+HierSystem::clusterCache(int cluster) const
+{
+    ddc_assert(cluster >= 0 && cluster < config.num_clusters,
+               "cluster index out of range");
+    return *clusterCaches[static_cast<std::size_t>(cluster)];
+}
+
+stats::CounterSet
+HierSystem::counters() const
+{
+    stats::CounterSet merged;
+    merged.merge(globalStats);
+    merged.merge(cacheStats);
+    for (const auto &cluster : clusterStats)
+        merged.merge(*cluster);
+    return merged;
+}
+
+const stats::CounterSet &
+HierSystem::clusterCounters(int cluster) const
+{
+    ddc_assert(cluster >= 0 && cluster < config.num_clusters,
+               "cluster index out of range");
+    return *clusterStats[static_cast<std::size_t>(cluster)];
+}
+
+std::uint64_t
+HierSystem::globalBusTransactions() const
+{
+    return globalStats.get("bus.busy_cycles");
+}
+
+std::uint64_t
+HierSystem::clusterBusTransactions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &cluster : clusterStats)
+        total += cluster->get("bus.busy_cycles");
+    return total;
+}
+
+namespace {
+
+void
+flag(HierInvariantReport &report, const std::string &message)
+{
+    if (report.ok) {
+        report.ok = false;
+        report.first_error = message;
+    }
+    report.violations++;
+}
+
+} // namespace
+
+HierInvariantReport
+checkHierarchyInvariants(const HierSystem &system,
+                         const std::vector<Addr> &addrs)
+{
+    HierInvariantReport report;
+    RbProtocol rb; // needsWriteback is shared by RB and RWB (Local only)
+
+    for (Addr addr : addrs) {
+        std::string where = "addr " + std::to_string(addr) + ": ";
+
+        int owner_cluster = -1;
+        for (int c = 0; c < system.numClusters(); c++) {
+            if (!system.clusterCache(c).owns(addr))
+                continue;
+            if (owner_cluster >= 0)
+                flag(report, where + "two owning clusters");
+            owner_cluster = c;
+        }
+
+        // L1-dirty implies cluster ownership and machine-wide latest.
+        for (PeId pe = 0; pe < system.numPes(); pe++) {
+            LineState state = system.lineState(pe, addr);
+            if (!rb.needsWriteback(state))
+                continue;
+            if (system.clusterOf(pe) != owner_cluster) {
+                flag(report, where + "dirty L1 outside the owning "
+                                     "cluster");
+            }
+            if (system.cacheValue(pe, addr) !=
+                system.coherentValue(addr)) {
+                flag(report, where + "dirty L1 is not the latest value");
+            }
+        }
+
+        if (owner_cluster >= 0) {
+            // Exclusivity: nothing lives outside the owning cluster.
+            for (int c = 0; c < system.numClusters(); c++) {
+                if (c != owner_cluster &&
+                    system.clusterCache(c).holds(addr)) {
+                    flag(report, where + "entry outside the owning "
+                                         "cluster");
+                }
+            }
+            for (PeId pe = 0; pe < system.numPes(); pe++) {
+                if (system.clusterOf(pe) != owner_cluster &&
+                    system.lineState(pe, addr).present()) {
+                    flag(report, where + "live L1 copy outside the "
+                                         "owning cluster");
+                }
+            }
+        } else {
+            // Shared configuration: every live copy matches memory.
+            Word memory_value = system.memoryValue(addr);
+            for (int c = 0; c < system.numClusters(); c++) {
+                if (system.clusterCache(c).holds(addr) &&
+                    system.clusterCache(c).value(addr) != memory_value) {
+                    flag(report, where + "cluster entry disagrees with "
+                                         "memory");
+                }
+            }
+            for (PeId pe = 0; pe < system.numPes(); pe++) {
+                if (system.lineState(pe, addr).present() &&
+                    system.cacheValue(pe, addr) != memory_value) {
+                    flag(report, where + "live L1 copy disagrees with "
+                                         "memory");
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace hier
+} // namespace ddc

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The two-level hierarchical machine: clusters of PEs on cluster
+ * buses, cluster caches on a global bus (Section 8's hierarchical-
+ * structures research direction, built on the recursive-RB design of
+ * hier/cluster_cache.hh).
+ */
+
+#ifndef DDC_HIER_HIER_SYSTEM_HH
+#define DDC_HIER_HIER_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "hier/cluster_cache.hh"
+#include "sim/agent.hh"
+#include "sim/bus.hh"
+#include "sim/clock.hh"
+#include "sim/exec_log.hh"
+#include "sim/isa.hh"
+#include "sim/memory.hh"
+#include "sim/processor.hh"
+#include "stats/counter.hh"
+#include "trace/trace.hh"
+
+namespace ddc {
+namespace hier {
+
+/** Configuration of a hierarchical machine. */
+struct HierConfig
+{
+    int num_clusters = 4;
+    int pes_per_cluster = 4;
+    /** Lines per L1 cache. */
+    std::size_t cache_lines = 256;
+    /**
+     * L1 coherence scheme within clusters: Rb or Rwb.  The cluster
+     * level always runs RB (ownership acquire / invalidate across
+     * clusters); RWB's update broadcast then applies cluster-
+     * internally.
+     */
+    ProtocolKind protocol = ProtocolKind::Rb;
+    /** RWB's writes-to-local threshold k (RWB only). */
+    int rwb_writes_to_local = 2;
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
+    std::uint64_t arbiter_seed = 1;
+    bool record_log = false;
+};
+
+/** A complete hierarchical shared-bus multiprocessor (RB recursive). */
+class HierSystem
+{
+  public:
+    explicit HierSystem(const HierConfig &config);
+
+    /** Total number of PEs. */
+    int numPes() const { return config.num_clusters *
+                                config.pes_per_cluster; }
+
+    int numClusters() const { return config.num_clusters; }
+
+    /** The cluster PE @p pe belongs to. */
+    int clusterOf(PeId pe) const { return pe / config.pes_per_cluster; }
+
+    /** Replace every agent with trace replay of @p trace. */
+    void loadTrace(const Trace &trace);
+
+    /** Install @p program on PE @p pe (creates a Processor agent). */
+    void setProgram(PeId pe, Program program);
+
+    /** The Processor on @p pe. */
+    Processor &processor(PeId pe);
+
+    /** Advance one cycle: global bus, cluster buses, then PEs. */
+    void tick();
+
+    /** Run until every agent is done (or @p max_cycles elapse). */
+    Cycle run(Cycle max_cycles = 100'000'000);
+
+    bool allDone() const;
+    Cycle now() const { return clock.now; }
+
+    /** Global memory's value of @p addr. */
+    Word memoryValue(Addr addr) const { return memory->peek(addr); }
+
+    /** Overwrite global memory directly (fault-injection hook). */
+    void pokeMemory(Addr addr, Word value) { memory->poke(addr, value); }
+
+    /** The machine's latest value of @p addr. */
+    Word coherentValue(Addr addr) const;
+
+    /** PE @p pe's L1 coherence state for @p addr. */
+    LineState lineState(PeId pe, Addr addr) const;
+
+    /** PE @p pe's L1 cached value of @p addr. */
+    Word cacheValue(PeId pe, Addr addr) const;
+
+    /** Cluster @p cluster's cache. */
+    const ClusterCache &clusterCache(int cluster) const;
+
+    /** The serial execution log (empty unless record_log). */
+    const ExecutionLog &log() const { return execLog; }
+
+    /** Merged counters from all components. */
+    stats::CounterSet counters() const;
+
+    /** Global-bus (and global-memory) counters only. */
+    const stats::CounterSet &globalCounters() const { return globalStats; }
+
+    /** Cluster @p cluster's bus/cache counters. */
+    const stats::CounterSet &clusterCounters(int cluster) const;
+
+    /** Transactions executed on the global bus. */
+    std::uint64_t globalBusTransactions() const;
+
+    /** Transactions executed on all cluster buses. */
+    std::uint64_t clusterBusTransactions() const;
+
+  private:
+    const Cache &l1(PeId pe) const;
+
+    HierConfig config;
+    Clock clock;
+    ExecutionLog execLog;
+    std::unique_ptr<Protocol> protocol;
+
+    stats::CounterSet globalStats;
+    stats::CounterSet cacheStats;
+    std::vector<std::unique_ptr<stats::CounterSet>> clusterStats;
+
+    std::unique_ptr<Memory> memory;
+    std::unique_ptr<Bus> globalBus;
+    std::vector<std::unique_ptr<ClusterCache>> clusterCaches;
+    std::vector<std::unique_ptr<Bus>> clusterBuses;
+    /** l1s[pe]. */
+    std::vector<std::unique_ptr<Cache>> l1s;
+    std::vector<std::unique_ptr<Agent>> agents;
+};
+
+/** Outcome of a hierarchical invariant check. */
+struct HierInvariantReport
+{
+    bool ok = true;
+    std::size_t violations = 0;
+    std::string first_error;
+};
+
+/**
+ * Check the Section 4 configuration lemma lifted one level, for each
+ * address in @p addrs on a quiescent machine:
+ *
+ *  1. at most one cluster owns the word (entry Local);
+ *  2. when a cluster owns it, no other cluster holds any entry and
+ *     no L1 outside that cluster holds a live copy;
+ *  3. an L1 holding the word dirty (Local) implies its cluster owns
+ *     it, all other copies in the machine are dead, and the L1 holds
+ *     the machine's latest value;
+ *  4. with no owning cluster, every live copy (cluster entries and
+ *     L1 lines) agrees with global memory.
+ */
+HierInvariantReport checkHierarchyInvariants(
+    const HierSystem &system, const std::vector<Addr> &addrs);
+
+} // namespace hier
+} // namespace ddc
+
+#endif // DDC_HIER_HIER_SYSTEM_HH

@@ -1,0 +1,102 @@
+#include "reliability/replication.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace reliability {
+
+namespace {
+
+/** Copies of @p addr's latest value: (cache copies, dirty owner?). */
+std::pair<int, bool>
+census(const System &system, Addr addr)
+{
+    const Protocol &protocol = system.protocol();
+    int cache_copies = 0;
+    bool dirty_owner = false;
+    for (PeId pe = 0; pe < system.numPes(); pe++) {
+        LineState state = system.lineState(pe, addr);
+        if (!state.present())
+            continue;
+        cache_copies++;
+        if (protocol.needsWriteback(state))
+            dirty_owner = true;
+    }
+    return {cache_copies, dirty_owner};
+}
+
+} // namespace
+
+ReplicationReport
+measureReplication(const System &system, const std::vector<Addr> &addrs)
+{
+    ReplicationReport report;
+    report.addresses = addrs.size();
+    for (Addr addr : addrs) {
+        auto [cache_copies, dirty_owner] = census(system, addr);
+        // With no dirty owner the configuration lemma guarantees
+        // memory and every present copy hold the latest value, so
+        // memory counts as one more replica.
+        int copies = cache_copies + (dirty_owner ? 0 : 1);
+        report.total_copies += static_cast<std::uint64_t>(copies);
+        if (copies >= 2)
+            report.redundant++;
+        if (dirty_owner || cache_copies >= 1)
+            report.memory_fault_recoverable++;
+    }
+    return report;
+}
+
+bool
+recoverMemoryWord(System &system, Addr addr)
+{
+    auto [cache_copies, dirty_owner] = census(system, addr);
+    if (dirty_owner) {
+        // The datum lives in the owner's cache; the memory image was
+        // stale anyway and will be overwritten by the write-back or
+        // supply.  Nothing to repair.
+        return true;
+    }
+    if (cache_copies == 0)
+        return false; // The only copy was the corrupted memory word.
+
+    // Any present copy is correct in the shared configuration; use
+    // the first one found.
+    for (PeId pe = 0; pe < system.numPes(); pe++) {
+        if (system.lineState(pe, addr).present()) {
+            system.pokeMemory(addr, system.cacheValue(pe, addr));
+            return true;
+        }
+    }
+    ddc_panic("census said a copy exists but none was found");
+}
+
+FaultCampaignResult
+runMemoryFaultCampaign(System &system, const std::vector<Addr> &addrs,
+                       std::size_t faults, Rng &rng)
+{
+    ddc_assert(!addrs.empty(), "fault campaign needs target addresses");
+
+    FaultCampaignResult result;
+    for (std::size_t i = 0; i < faults; i++) {
+        Addr addr = addrs[rng.nextBelow(addrs.size())];
+        Word before = system.memoryValue(addr);
+        // Flip low bits; keep within the legal data range.
+        Word corrupted = (before ^ (1 + rng.nextBelow(255))) &
+                         kMaxDataValue;
+        system.pokeMemory(addr, corrupted);
+        result.faults_injected++;
+
+        if (recoverMemoryWord(system, addr)) {
+            result.recovered++;
+        } else {
+            // Restore by fiat so later faults stay independent (the
+            // experiment models isolated single faults).
+            system.pokeMemory(addr, before);
+        }
+    }
+    return result;
+}
+
+} // namespace reliability
+} // namespace ddc

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Replication-based memory reliability (the paper's Section 8 future
+ * work: "the exploitation of replicated values in the various caches
+ * to improve the reliability of the memory", foreshadowed in Section
+ * 5: "if the value of a variable is corrupted while in memory or in
+ * some cache, there is a higher probability that some cache contains
+ * a correct copy" under RWB).
+ *
+ * Two facilities:
+ *  - measurement: how many independent correct copies of each live
+ *    word exist right now (memory + caches), per scheme;
+ *  - fault injection + recovery: corrupt a memory word (as a detected
+ *    fault, e.g. a parity error) and repair it from a clean cache
+ *    copy, or scrub a corrupted cache line by invalidating it so the
+ *    next reference refetches.
+ */
+
+#ifndef DDC_RELIABILITY_REPLICATION_HH
+#define DDC_RELIABILITY_REPLICATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/rng.hh"
+
+namespace ddc {
+namespace reliability {
+
+/** Replication census of a set of addresses on a live machine. */
+struct ReplicationReport
+{
+    /** Addresses inspected. */
+    std::size_t addresses = 0;
+    /** Sum over addresses of correct-copy counts (memory included). */
+    std::uint64_t total_copies = 0;
+    /**
+     * Addresses whose latest value survives a single-location fault:
+     * at least two independent correct copies exist.
+     */
+    std::size_t redundant = 0;
+    /** Addresses recoverable after a *memory* fault specifically. */
+    std::size_t memory_fault_recoverable = 0;
+
+    /** Mean correct copies per address. */
+    double
+    meanCopies() const
+    {
+        return addresses == 0
+                   ? 0.0
+                   : static_cast<double>(total_copies) /
+                         static_cast<double>(addresses);
+    }
+
+    /** Fraction of addresses with >= 2 correct copies. */
+    double
+    redundantFraction() const
+    {
+        return addresses == 0
+                   ? 0.0
+                   : static_cast<double>(redundant) /
+                         static_cast<double>(addresses);
+    }
+
+    /** Fraction recoverable after a memory-word fault. */
+    double
+    memoryFaultRecoverableFraction() const
+    {
+        return addresses == 0
+                   ? 0.0
+                   : static_cast<double>(memory_fault_recoverable) /
+                         static_cast<double>(addresses);
+    }
+};
+
+/**
+ * Count the correct copies of each address in @p addrs.
+ *
+ * A copy is correct when it holds the machine's latest value of the
+ * word (System::coherentValue).  Memory counts as a copy when no
+ * dirty owner exists; every present cache line holding the latest
+ * value counts as one.
+ */
+ReplicationReport measureReplication(const System &system,
+                                     const std::vector<Addr> &addrs);
+
+/**
+ * Repair a detected memory fault at @p addr from cache replicas.
+ *
+ * Scans the caches for a clean copy holding the pre-fault value and
+ * writes it back into memory.  (A dirty owner makes the memory value
+ * irrelevant — the owner's copy *is* the datum — so that case also
+ * reports success without touching memory.)
+ *
+ * @return true when the fault was repaired (or moot), false when the
+ *         word's latest value existed only in the (now corrupt)
+ *         memory.
+ */
+bool recoverMemoryWord(System &system, Addr addr);
+
+/** Outcome of a randomized fault-injection campaign. */
+struct FaultCampaignResult
+{
+    std::size_t faults_injected = 0;
+    std::size_t recovered = 0;
+
+    double
+    recoveryRate() const
+    {
+        return faults_injected == 0
+                   ? 0.0
+                   : static_cast<double>(recovered) /
+                         static_cast<double>(faults_injected);
+    }
+};
+
+/**
+ * Inject @p faults single-word memory corruptions at random live
+ * addresses from @p addrs and attempt recovery from cache replicas.
+ * Each fault is repaired (or declared lost) before the next one, so
+ * faults are independent single-fault events.
+ */
+FaultCampaignResult runMemoryFaultCampaign(System &system,
+                                           const std::vector<Addr> &addrs,
+                                           std::size_t faults, Rng &rng);
+
+} // namespace reliability
+} // namespace ddc
+
+#endif // DDC_RELIABILITY_REPLICATION_HH

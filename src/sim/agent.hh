@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Agent interface and the per-PE cache-bank selector.
+ *
+ * An Agent is whatever drives one PE's reference stream: a Processor
+ * executing a Program, or a TraceAgent replaying a Trace stream.  The
+ * System ticks every agent once per cycle after the bus phase.
+ *
+ * CacheSet implements the multiple-bus extension of Section 7 /
+ * Figure 7-1: "The private caches and the shared memory are divided
+ * into ... memory banks using the least significant address bit[s]".
+ * Each PE owns one cache bank per bus and routes each access by
+ * address interleaving.
+ */
+
+#ifndef DDC_SIM_AGENT_HH
+#define DDC_SIM_AGENT_HH
+
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/cache.hh"
+
+namespace ddc {
+
+/** Anything that issues one PE's reference stream. */
+class Agent
+{
+  public:
+    virtual ~Agent() = default;
+
+    /** Advance one cycle. */
+    virtual void tick() = 0;
+
+    /** True when the agent has no more work. */
+    virtual bool done() const = 0;
+};
+
+/** Routes one PE's accesses across its per-bus cache banks. */
+class CacheSet
+{
+  public:
+    /** @param banks One cache per bus, in bus order (non-owning). */
+    explicit CacheSet(std::vector<Cache *> banks)
+        : banks(std::move(banks))
+    {
+        ddc_assert(!this->banks.empty(), "CacheSet needs at least one bank");
+    }
+
+    /** Issue an access on the bank owning ref.addr. */
+    Cache::AccessResult
+    access(const MemRef &ref)
+    {
+        ddc_assert(pendingBank == nullptr, "access while one is pending");
+        Cache &bank = bankFor(ref.addr);
+        auto result = bank.cpuAccess(ref);
+        if (!result.complete)
+            pendingBank = &bank;
+        return result;
+    }
+
+    /** True when the outstanding access has completed. */
+    bool
+    hasCompletion() const
+    {
+        return pendingBank != nullptr && pendingBank->hasCompletion();
+    }
+
+    /** Consume the completed access's result. */
+    Cache::AccessResult
+    takeCompletion()
+    {
+        ddc_assert(pendingBank != nullptr, "no pending access");
+        auto result = pendingBank->takeCompletion();
+        pendingBank = nullptr;
+        return result;
+    }
+
+    /** True while an access is outstanding. */
+    bool busy() const { return pendingBank != nullptr; }
+
+    /** The bank that owns @p addr (block-granular interleaving). */
+    Cache &
+    bankFor(Addr addr)
+    {
+        auto block = static_cast<Addr>(banks.front()->blockWords());
+        return *banks[static_cast<std::size_t>((addr / block) %
+                                               banks.size())];
+    }
+
+  private:
+    std::vector<Cache *> banks;
+    Cache *pendingBank = nullptr;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_AGENT_HH

@@ -1,0 +1,89 @@
+#include "sim/arbiter.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+std::string_view
+toString(ArbiterKind kind)
+{
+    switch (kind) {
+      case ArbiterKind::RoundRobin:    return "RoundRobin";
+      case ArbiterKind::FixedPriority: return "FixedPriority";
+      case ArbiterKind::Random:        return "Random";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Rotating-priority arbitration; guarantees progress for every client. */
+class RoundRobinArbiter : public Arbiter
+{
+  public:
+    int
+    pick(const std::vector<int> &requesters) override
+    {
+        ddc_assert(!requesters.empty(), "arbiter invoked with no requests");
+        // Grant the smallest index strictly greater than the previous
+        // grant, wrapping around.
+        for (int index : requesters) {
+            if (index > last) {
+                last = index;
+                return index;
+            }
+        }
+        last = requesters.front();
+        return last;
+    }
+
+  private:
+    int last = -1;
+};
+
+/** Lowest index always wins; can starve high-index clients. */
+class FixedPriorityArbiter : public Arbiter
+{
+  public:
+    int
+    pick(const std::vector<int> &requesters) override
+    {
+        ddc_assert(!requesters.empty(), "arbiter invoked with no requests");
+        return requesters.front();
+    }
+};
+
+/** Uniform random grant; starvation-free in expectation. */
+class RandomArbiter : public Arbiter
+{
+  public:
+    explicit RandomArbiter(std::uint64_t seed) : rng(seed) {}
+
+    int
+    pick(const std::vector<int> &requesters) override
+    {
+        ddc_assert(!requesters.empty(), "arbiter invoked with no requests");
+        return requesters[rng.nextBelow(requesters.size())];
+    }
+
+  private:
+    Rng rng;
+};
+
+} // namespace
+
+std::unique_ptr<Arbiter>
+makeArbiter(ArbiterKind kind, std::uint64_t seed)
+{
+    switch (kind) {
+      case ArbiterKind::RoundRobin:
+        return std::make_unique<RoundRobinArbiter>();
+      case ArbiterKind::FixedPriority:
+        return std::make_unique<FixedPriorityArbiter>();
+      case ArbiterKind::Random:
+        return std::make_unique<RandomArbiter>(seed);
+    }
+    ddc_panic("unhandled ArbiterKind");
+}
+
+} // namespace ddc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Bus arbitration policies (the paper's assumption 2: "There is a bus
+ * arbitrator that allocates access to the bus").
+ */
+
+#ifndef DDC_SIM_ARBITER_HH
+#define DDC_SIM_ARBITER_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "trace/rng.hh"
+
+namespace ddc {
+
+/** Available arbitration policies. */
+enum class ArbiterKind
+{
+    RoundRobin,    //!< rotating priority; starvation-free
+    FixedPriority, //!< lowest requester index always wins
+    Random,        //!< uniform random among requesters
+};
+
+/** Printable name of an ArbiterKind. */
+std::string_view toString(ArbiterKind kind);
+
+/** Picks which requester owns the bus this cycle. */
+class Arbiter
+{
+  public:
+    virtual ~Arbiter() = default;
+
+    /**
+     * Choose one of @p requesters (non-empty, ascending client
+     * indices).  Called once per cycle with at least one requester.
+     */
+    virtual int pick(const std::vector<int> &requesters) = 0;
+};
+
+/**
+ * Build an arbiter.
+ * @param seed Used by ArbiterKind::Random only.
+ */
+std::unique_ptr<Arbiter> makeArbiter(ArbiterKind kind,
+                                     std::uint64_t seed = 0);
+
+} // namespace ddc
+
+#endif // DDC_SIM_ARBITER_HH

@@ -1,0 +1,292 @@
+#include "sim/bus.hh"
+
+#include <string>
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+namespace {
+
+std::string
+statName(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read:        return "bus.read";
+      case BusOp::Write:       return "bus.write";
+      case BusOp::Invalidate:  return "bus.invalidate";
+      case BusOp::Rmw:         return "bus.rmw";
+      case BusOp::ReadLock:    return "bus.readlock";
+      case BusOp::WriteUnlock: return "bus.writeunlock";
+    }
+    return "bus.unknown";
+}
+
+} // namespace
+
+Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
+         stats::CounterSet &stats, std::uint64_t seed,
+         std::size_t block_words, std::size_t memory_latency)
+    : memory(memory), arbiter(makeArbiter(arbiter_kind, seed)),
+      clock(clock), stats(stats), blockSize(block_words),
+      memoryLatency(memory_latency)
+{
+    ddc_assert(block_words >= 1, "block size must be at least one word");
+}
+
+int
+Bus::attach(BusClient *client)
+{
+    ddc_assert(client != nullptr, "null bus client");
+    clients.push_back(client);
+    return static_cast<int>(clients.size()) - 1;
+}
+
+bool
+Bus::idle()
+{
+    if (transferCyclesLeft > 0)
+        return false;
+    for (auto *client : clients) {
+        if (client->hasRequest())
+            return false;
+    }
+    return true;
+}
+
+void
+Bus::occupy(std::size_t extra_cycles)
+{
+    transferCyclesLeft += extra_cycles;
+}
+
+void
+Bus::tick()
+{
+    if (transferCyclesLeft > 0) {
+        // A multi-cycle transfer is still streaming over the bus.
+        transferCyclesLeft--;
+        stats.add("bus.busy_cycles");
+        stats.add("bus.transfer_cycles");
+        return;
+    }
+
+    std::vector<int> requesters;
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (clients[i]->hasRequest())
+            requesters.push_back(static_cast<int>(i));
+    }
+    if (requesters.empty()) {
+        stats.add("bus.idle_cycles");
+        return;
+    }
+    stats.add("bus.busy_cycles");
+
+    int grant = arbiter->pick(requesters);
+    BusRequest request = clients[static_cast<std::size_t>(grant)]
+                             ->currentRequest();
+
+    switch (request.op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+      case BusOp::Rmw:
+        executeReadLike(grant, request);
+        break;
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+      case BusOp::Invalidate:
+        executeWriteLike(grant, request);
+        break;
+    }
+}
+
+void
+Bus::executeReadLike(int grant, const BusRequest &request)
+{
+    auto *grantee = clients[static_cast<std::size_t>(grant)];
+
+    // Snoop phase: does a cache hold the latest value (Local state)?
+    int supplier = -1;
+    Word supplied_value = 0;
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (static_cast<int>(i) == grant)
+            continue;
+        Word value = 0;
+        if (clients[i]->wouldSupply(request.addr, value)) {
+            ddc_assert(supplier < 0,
+                       "two caches claim ownership of addr ", request.addr,
+                       " (single-Local invariant violated)");
+            supplier = static_cast<int>(i);
+            supplied_value = value;
+        }
+    }
+
+    if (supplier >= 0) {
+        // Kill the transaction and replace it with the owner's bus
+        // write; the original request stays pending and retries.
+        auto *owner = clients[static_cast<std::size_t>(supplier)];
+        stats.add("bus.kill");
+        stats.add("bus.supply_write");
+        stats.add(statName(BusOp::Write));
+
+        BusTransaction txn{BusOp::Write, request.addr, supplied_value,
+                           supplier, {}};
+        if (blockSize > 1) {
+            Addr base = blockBase(request.addr);
+            txn.block = owner->supplyBlock(request.addr);
+            ddc_assert(txn.block.size() == blockSize,
+                       "supplier returned a malformed block");
+            memory.acceptSupplyBlock(base, txn.block);
+            occupy(blockCost());
+        } else {
+            memory.acceptSupply(request.addr, supplied_value);
+            occupy(wordCost());
+        }
+        broadcast(txn, supplier);
+        owner->supplied(request.addr);
+        return;
+    }
+
+    PeId pe = grantee->peId();
+    switch (request.op) {
+      case BusOp::Read: {
+        if (request.block_transfer && blockSize > 1) {
+            Addr base = blockBase(request.addr);
+            BusResult result;
+            if (!memory.tryReadBlock(base, blockSize, pe, result.block)) {
+                nack(grant, request);
+                return;
+            }
+            stats.add(statName(request.op));
+            result.data =
+                result.block[static_cast<std::size_t>(request.addr -
+                                                      base)];
+            occupy(blockCost());
+            BusTransaction txn{BusOp::Read, request.addr, result.data,
+                               grant, result.block};
+            broadcast(txn, grant);
+            grantee->requestComplete(result);
+        } else {
+            Word data = 0;
+            if (!memory.tryRead(request.addr, pe, data)) {
+                nack(grant, request);
+                return;
+            }
+            stats.add(statName(request.op));
+            occupy(wordCost());
+            broadcast({BusOp::Read, request.addr, data, grant, {}},
+                      grant);
+            grantee->requestComplete({data, false, {}});
+        }
+        return;
+      }
+      case BusOp::ReadLock: {
+        Word data = 0;
+        if (!memory.tryReadLock(request.addr, pe, data)) {
+            nack(grant, request);
+            return;
+        }
+        stats.add(statName(request.op));
+        occupy(wordCost());
+        broadcast({BusOp::Read, request.addr, data, grant, {}}, grant);
+        grantee->requestComplete({data, false, {}});
+        return;
+      }
+      case BusOp::Rmw: {
+        Word old = 0;
+        bool success = false;
+        if (!memory.tryRmw(request.addr, pe, request.data, old, success)) {
+            nack(grant, request);
+            return;
+        }
+        stats.add(statName(request.op));
+        occupy(wordCost());
+        if (success) {
+            stats.add("bus.rmw_success");
+            broadcast({BusOp::Write, request.addr, request.data, grant,
+                       {}},
+                      grant);
+            grantee->requestComplete({old, true, {}});
+        } else {
+            stats.add("bus.rmw_fail");
+            broadcast({BusOp::Read, request.addr, old, grant, {}}, grant);
+            grantee->requestComplete({old, false, {}});
+        }
+        return;
+      }
+      default:
+        break;
+    }
+    ddc_panic("unreachable");
+}
+
+void
+Bus::executeWriteLike(int grant, const BusRequest &request)
+{
+    auto *grantee = clients[static_cast<std::size_t>(grant)];
+    PeId pe = grantee->peId();
+
+    BusTransaction txn;
+    txn.addr = request.addr;
+    txn.data = request.data;
+    txn.issuer = grant;
+    // Snoopers see the RWB BI signal as-is and everything else as an
+    // effective bus write.
+    txn.op = request.op == BusOp::Invalidate ? BusOp::Invalidate
+                                             : BusOp::Write;
+
+    if (request.block_transfer && blockSize > 1) {
+        // Write-back / flush of a whole dirty block.
+        ddc_assert(request.block_data.size() == blockSize,
+                   "malformed block write");
+        if (!memory.tryWriteBlock(blockBase(request.addr), pe,
+                                  request.block_data)) {
+            nack(grant, request);
+            return;
+        }
+        txn.block = request.block_data;
+        occupy(blockCost());
+    } else if (request.op == BusOp::WriteUnlock) {
+        if (!memory.tryWriteUnlock(request.addr, pe, request.data)) {
+            nack(grant, request);
+            return;
+        }
+        occupy(wordCost());
+    } else if (request.op == BusOp::Invalidate) {
+        if (!memory.tryInvalidate(request.addr, pe, request.data)) {
+            nack(grant, request);
+            return;
+        }
+        occupy(wordCost());
+    } else {
+        if (!memory.tryWrite(request.addr, pe, request.data)) {
+            // "Any bus writes before the unlock will fail" (Section 3).
+            nack(grant, request);
+            return;
+        }
+        occupy(wordCost());
+    }
+
+    stats.add(statName(request.op));
+    broadcast(txn, grant);
+    grantee->requestComplete({request.data, false, {}});
+}
+
+void
+Bus::broadcast(const BusTransaction &txn, int skip)
+{
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (static_cast<int>(i) != skip)
+            clients[i]->observe(txn);
+    }
+}
+
+void
+Bus::nack(int grant, const BusRequest &request)
+{
+    stats.add("bus.nack");
+    stats.add("bus.nack." + std::string(toString(request.op)));
+    clients[static_cast<std::size_t>(grant)]->requestNacked();
+}
+
+} // namespace ddc

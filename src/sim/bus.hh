@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The logically single shared bus (Section 2, assumptions 1-6).
+ *
+ * One transaction begins per free cycle.  Every cache listens to the
+ * bus and reacts before the next cycle; a cache holding the latest
+ * value of a read's target may *kill* the transaction and replace it
+ * with a bus write of its value, after which the original read
+ * retries (Section 3: "The cache is fast enough to first observe a
+ * bus action and to then interrupt it").  Bus writes to a word locked
+ * by a two-phase RMW fail (NACK) and retry until the unlock.
+ *
+ * Conditional transactions are resolved here: snooping caches never
+ * see BusOp::Rmw / ReadLock / WriteUnlock — they observe the
+ * effective BusOp::Read or BusOp::Write, matching the paper's
+ * treatment of a failing test-and-set as a read and a succeeding one
+ * as a write.
+ *
+ * Block transfers (the assumption-7 ablation): when the machine is
+ * configured with multi-word blocks, allocating reads, write-backs,
+ * and owner supplies move whole blocks; a B-word transfer occupies
+ * the bus for B cycles.  CPU writes remain word-granular
+ * write-throughs (their snoop effect is block-granular in the
+ * invalidating schemes — false sharing).
+ */
+
+#ifndef DDC_SIM_BUS_HH
+#define DDC_SIM_BUS_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/arbiter.hh"
+#include "sim/clock.hh"
+#include "sim/memory_side.hh"
+#include "stats/counter.hh"
+
+namespace ddc {
+
+/** A bus transaction a cache wants to issue. */
+struct BusRequest
+{
+    BusOp op = BusOp::Read;
+    Addr addr = 0;
+    /** Write data, or the value an Rmw stores on success. */
+    Word data = 0;
+    /** Transfer a whole block (allocating read / write-back). */
+    bool block_transfer = false;
+    /** Payload of a block write (write-back); block_words long. */
+    std::vector<Word> block_data;
+};
+
+/** Completion data handed back to the issuing cache. */
+struct BusResult
+{
+    /** Read data / the Rmw's observed old value / the written data. */
+    Word data = 0;
+    /** BusOp::Rmw only: whether the conditional store happened. */
+    bool rmw_success = false;
+    /** Block read payload (empty for word-granular transactions). */
+    std::vector<Word> block;
+};
+
+/** A transaction as seen by snooping caches (effective ops only). */
+struct BusTransaction
+{
+    BusOp op = BusOp::Read;
+    Addr addr = 0;
+    Word data = 0;
+    /** Client index of the issuer on this bus. */
+    int issuer = -1;
+    /** Block payload (empty for word-granular transactions). */
+    std::vector<Word> block;
+};
+
+/**
+ * Interface between the bus and an attached cache.
+ *
+ * A client has at most one pending request; the bus polls hasRequest()
+ * each cycle (giving the cache a chance to lazily re-validate multi-
+ * phase operations whose preconditions a snooped transaction erased).
+ */
+class BusClient
+{
+  public:
+    virtual ~BusClient() = default;
+
+    /** Does this client want the bus this cycle? */
+    virtual bool hasRequest() = 0;
+
+    /** The pending request (valid only when hasRequest()). */
+    virtual BusRequest currentRequest() = 0;
+
+    /** The pending request completed with @p result. */
+    virtual void requestComplete(const BusResult &result) = 0;
+
+    /**
+     * Would this client kill a read of @p addr and supply the value?
+     * On true, @p value receives the supplied (word) data.
+     */
+    virtual bool wouldSupply(Addr addr, Word &value) = 0;
+
+    /**
+     * The full block this client would supply for @p addr (multi-word
+     * machines only; called after wouldSupply() returned true).
+     */
+    virtual std::vector<Word>
+    supplyBlock(Addr addr)
+    {
+        Word value = 0;
+        wouldSupply(addr, value);
+        return {value};
+    }
+
+    /** Observe another client's (effective) transaction. */
+    virtual void observe(const BusTransaction &txn) = 0;
+
+    /** This client supplied data for @p addr (apply afterSupply). */
+    virtual void supplied(Addr addr) = 0;
+
+    /**
+     * The client's granted request was NACKed (locked word / memory
+     * side not ready) and will retry.  Multi-request proxies (the
+     * hierarchical cluster cache) use this to rotate their queue so a
+     * blocked operation cannot starve the one that would unblock it.
+     */
+    virtual void requestNacked() {}
+
+    /** Owning PE, for memory-lock bookkeeping. */
+    virtual PeId peId() const = 0;
+};
+
+/** The shared bus: arbitration, execution, snooping, kill/retry. */
+class Bus
+{
+  public:
+    /**
+     * @param memory The memory side this bus reaches (main memory on
+     *        a flat machine, a cluster cache on the hierarchical one;
+     *        a not-ready side NACKs and the transaction retries).
+     * @param arbiter_kind Arbitration policy.
+     * @param clock Shared cycle counter (read-only use).
+     * @param stats Counter set receiving bus.* statistics.
+     * @param seed Seed for the Random arbitration policy.
+     * @param block_words Words per cache block (block transfers
+     *        occupy the bus for block_words cycles).
+     * @param memory_latency Extra cycles every memory-touching
+     *        transaction holds the bus (0 = the paper's unified
+     *        cycle).
+     */
+    Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
+        stats::CounterSet &stats, std::uint64_t seed = 0,
+        std::size_t block_words = 1, std::size_t memory_latency = 0);
+
+    /** Attach a client; returns its client index on this bus. */
+    int attach(BusClient *client);
+
+    /** Advance one cycle (at most one new transaction begins). */
+    void tick();
+
+    /** True when no client has a pending request. */
+    bool idle();
+
+    /** Words per block on this bus. */
+    std::size_t blockWords() const { return blockSize; }
+
+    /** First word address of the block containing @p addr. */
+    Addr
+    blockBase(Addr addr) const
+    {
+        return addr - addr % static_cast<Addr>(blockSize);
+    }
+
+  private:
+    /** Handle Read / ReadLock / Rmw, including the kill/supply path. */
+    void executeReadLike(int grant, const BusRequest &request);
+
+    /** Handle Write / WriteUnlock / Invalidate. */
+    void executeWriteLike(int grant, const BusRequest &request);
+
+    /** Deliver @p txn to every client except @p skip. */
+    void broadcast(const BusTransaction &txn, int skip);
+
+    /** Record a retry due to a locked word / not-ready memory side. */
+    void nack(int grant, const BusRequest &request);
+
+    /** Hold the bus for a transaction's extra cycles. */
+    void occupy(std::size_t extra_cycles);
+
+    /** Extra occupancy of a word-granular memory transaction. */
+    std::size_t wordCost() const { return memoryLatency; }
+
+    /** Extra occupancy of a block transfer. */
+    std::size_t
+    blockCost() const
+    {
+        return memoryLatency + (blockSize > 1 ? blockSize - 1 : 0);
+    }
+
+    MemorySide &memory;
+    std::unique_ptr<Arbiter> arbiter;
+    const Clock &clock;
+    stats::CounterSet &stats;
+    std::size_t blockSize;
+    std::size_t memoryLatency;
+    std::vector<BusClient *> clients;
+    /** Remaining cycles of an in-flight transaction. */
+    std::size_t transferCyclesLeft = 0;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_BUS_HH

@@ -1,0 +1,504 @@
+#include "sim/cache.hh"
+
+#include <string>
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+namespace {
+
+std::string
+refStatName(const MemRef &ref, bool miss)
+{
+    std::string name = "cache.";
+    switch (ref.op) {
+      case CpuOp::Read:        name += miss ? "read_miss." : "read_hit.";
+                               break;
+      case CpuOp::Write:       name += miss ? "write_miss." : "write_hit.";
+                               break;
+      case CpuOp::TestAndSet:  name += "ts."; break;
+      case CpuOp::ReadLock:    name += "readlock."; break;
+      case CpuOp::WriteUnlock: name += "writeunlock."; break;
+    }
+    name += toString(ref.cls);
+    return name;
+}
+
+} // namespace
+
+Cache::Cache(PeId pe, std::size_t num_lines, const Protocol &protocol,
+             const Clock &clock, stats::CounterSet &stats,
+             ExecutionLog *log, std::size_t block_words, std::size_t ways)
+    : pe(pe), protocol(protocol), clock(clock), stats(stats), log(log),
+      blockSize(block_words), ways(ways)
+{
+    ddc_assert(num_lines > 0, "cache needs at least one line");
+    ddc_assert(block_words >= 1, "block size must be at least one word");
+    ddc_assert(ways >= 1 && num_lines % ways == 0,
+               "associativity must divide the line count");
+    lines.resize(num_lines);
+    for (auto &line : lines)
+        line.data.assign(blockSize, 0);
+}
+
+void
+Cache::connectBus(Bus &bus_to_join)
+{
+    ddc_assert(bus == nullptr, "cache already attached to a bus");
+    ddc_assert(bus_to_join.blockWords() == blockSize,
+               "cache and bus disagree on the block size");
+    bus = &bus_to_join;
+    bus->attach(this);
+}
+
+Addr
+Cache::blockBase(Addr addr) const
+{
+    return addr - addr % static_cast<Addr>(blockSize);
+}
+
+std::size_t
+Cache::setBase(Addr addr) const
+{
+    std::size_t num_sets = lines.size() / ways;
+    auto set = static_cast<std::size_t>(
+        (addr / static_cast<Addr>(blockSize)) %
+        static_cast<Addr>(num_sets));
+    return set * ways;
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    std::size_t base = setBase(addr);
+    for (std::size_t way = 0; way < ways; way++) {
+        Line &line = lines[base + way];
+        if (line.state.tag != LineTag::NotPresent &&
+            line.base == blockBase(addr)) {
+            return &line;
+        }
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line &
+Cache::victimLine(Addr addr)
+{
+    if (Line *match = findLine(addr))
+        return *match;
+    std::size_t base = setBase(addr);
+    Line *victim = &lines[base];
+    for (std::size_t way = 0; way < ways; way++) {
+        Line &line = lines[base + way];
+        if (line.state.tag == LineTag::NotPresent)
+            return line;
+        if (line.last_use < victim->last_use)
+            victim = &line;
+    }
+    return *victim;
+}
+
+Cache::Line &
+Cache::pendingLine()
+{
+    return lines[pending.way_index];
+}
+
+const Cache::Line &
+Cache::pendingLine() const
+{
+    return lines[pending.way_index];
+}
+
+bool
+Cache::holdsBlock(const Line &line, Addr addr) const
+{
+    return line.state.tag != LineTag::NotPresent &&
+           line.base == blockBase(addr);
+}
+
+LineState
+Cache::stateFor(const Line &line, Addr addr) const
+{
+    if (!holdsBlock(line, addr))
+        return {LineTag::NotPresent, 0};
+    return line.state;
+}
+
+Cache::AccessResult
+Cache::cpuAccess(const MemRef &ref)
+{
+    ddc_assert(bus != nullptr, "cache not attached to a bus");
+    ddc_assert(!pending.active, "access issued while one is outstanding");
+    ddc_assert(!completionReady, "previous completion not consumed");
+
+    accessCounter++;
+    Line &line = victimLine(ref.addr);
+    LineState state = stateFor(line, ref.addr);
+    CpuReaction reaction = protocol.onCpuAccess(state, ref.op, ref.cls);
+
+    stats.add("cache.refs");
+    stats.add(refStatName(ref, reaction.needs_bus));
+
+    std::size_t offset =
+        static_cast<std::size_t>(ref.addr - blockBase(ref.addr));
+
+    if (!reaction.needs_bus) {
+        // Hit: complete within the cache cycle.
+        line.state = reaction.next;
+        line.last_use = ++lruClock;
+        if (reaction.update_value)
+            line.data[offset] = ref.data;
+        AccessResult result;
+        result.complete = true;
+        result.value = ref.op == CpuOp::Write ? ref.data
+                                              : line.data[offset];
+        logCommit(ref, result);
+        return result;
+    }
+
+    pending.active = true;
+    pending.ref = ref;
+    pending.reaction = reaction;
+    pending.way_index = static_cast<std::size_t>(&line - lines.data());
+    pending.phase = computePhase();
+    return {};
+}
+
+Cache::Phase
+Cache::computePhase() const
+{
+    const Line &line = pendingLine();
+    Addr base = blockBase(pending.ref.addr);
+    const CpuReaction &reaction = pending.reaction;
+
+    // A dirty victim occupying the target line goes back first.
+    if (reaction.allocate && line.state.tag != LineTag::NotPresent &&
+        line.base != base && protocol.needsWriteback(line.state)) {
+        return Phase::Writeback;
+    }
+
+    // An RMW-class transaction takes its input from memory, so a
+    // dirty copy of the target block must be flushed first.
+    bool rmw_like = reaction.bus_op == BusOp::Rmw ||
+                    reaction.bus_op == BusOp::ReadLock;
+    if (rmw_like && holdsBlock(line, pending.ref.addr) &&
+        protocol.memoryMayBeStale(line.state)) {
+        return Phase::Flush;
+    }
+
+    // Write-allocate on multi-word blocks needs the block's other
+    // words before the write-class transaction can install the line.
+    // An Invalid resident block does not count: its data may be
+    // partially stale (invalidations carry no data).
+    if (reaction.allocate && blockSize > 1 &&
+        !stateFor(line, pending.ref.addr).present() &&
+        reaction.bus_op != BusOp::Read) {
+        return Phase::Fill;
+    }
+    return Phase::Main;
+}
+
+Cache::AccessResult
+Cache::takeCompletion()
+{
+    ddc_assert(completionReady, "no completion available");
+    completionReady = false;
+    return completion;
+}
+
+LineState
+Cache::lineState(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    if (line == nullptr)
+        return {LineTag::NotPresent, 0};
+    return line->state;
+}
+
+Word
+Cache::lineValue(Addr addr) const
+{
+    const Line *line = findLine(addr);
+    if (line == nullptr)
+        return 0;
+    return line->data[static_cast<std::size_t>(addr - line->base)];
+}
+
+bool
+Cache::hasRequest()
+{
+    if (!pending.active)
+        return false;
+    revalidatePending();
+    return pending.active;
+}
+
+BusRequest
+Cache::currentRequest()
+{
+    ddc_assert(pending.active, "no pending request");
+    const Line &line = pendingLine();
+
+    BusRequest request;
+    switch (pending.phase) {
+      case Phase::Writeback:
+      case Phase::Flush:
+        // Write the dirty victim (Writeback) or the target block
+        // itself (Flush) back to memory.
+        request.op = BusOp::Write;
+        request.addr = line.base;
+        request.data = line.data[0];
+        if (blockSize > 1) {
+            request.block_transfer = true;
+            request.block_data = line.data;
+        }
+        return request;
+
+      case Phase::Fill:
+        request.op = BusOp::Read;
+        request.addr = pending.ref.addr;
+        request.block_transfer = true;
+        return request;
+
+      case Phase::Main:
+        request.op = pending.reaction.bus_op;
+        request.addr = pending.ref.addr;
+        request.data = pending.ref.data;
+        request.block_transfer = pending.reaction.bus_op == BusOp::Read &&
+                                 pending.reaction.allocate &&
+                                 blockSize > 1;
+        return request;
+    }
+    ddc_panic("unreachable");
+}
+
+void
+Cache::requestComplete(const BusResult &result)
+{
+    ddc_assert(pending.active, "completion without a pending request");
+    Line &line = pendingLine();
+    Addr base = blockBase(pending.ref.addr);
+    std::size_t offset = static_cast<std::size_t>(pending.ref.addr - base);
+
+    switch (pending.phase) {
+      case Phase::Writeback:
+        stats.add("cache.writeback");
+        line.state = {LineTag::NotPresent, 0};
+        revalidatePending();
+        return;
+
+      case Phase::Flush:
+        stats.add("cache.flush");
+        // The flushed block now matches memory.
+        line.state = protocol.afterSupply(line.state);
+        revalidatePending();
+        return;
+
+      case Phase::Fill: {
+        stats.add("cache.fill");
+        ddc_assert(result.block.size() == blockSize,
+                   "fill returned a malformed block");
+        LineState state = stateFor(line, pending.ref.addr);
+        line.base = base;
+        line.data = result.block;
+        line.state = protocol.afterBusOp(state, BusOp::Read, false);
+        line.last_use = ++lruClock;
+        revalidatePending();
+        return;
+      }
+
+      case Phase::Main: {
+        const MemRef &ref = pending.ref;
+        if (pending.reaction.allocate) {
+            LineState state = stateFor(line, ref.addr);
+            switch (pending.reaction.bus_op) {
+              case BusOp::Read:
+                line.base = base;
+                if (blockSize > 1) {
+                    ddc_assert(result.block.size() == blockSize,
+                               "block read returned a malformed block");
+                    line.data = result.block;
+                } else {
+                    line.data[0] = result.data;
+                }
+                break;
+              case BusOp::ReadLock:
+                ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
+                           "ReadLock allocation without a resident block");
+                line.base = base;
+                line.data[offset] = result.data;
+                break;
+              case BusOp::Write:
+              case BusOp::WriteUnlock:
+              case BusOp::Invalidate:
+                ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
+                           "write allocation without a resident block");
+                line.base = base;
+                line.data[offset] = ref.data;
+                break;
+              case BusOp::Rmw:
+                ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
+                           "RMW allocation without a resident block");
+                line.base = base;
+                line.data[offset] =
+                    result.rmw_success ? ref.data : result.data;
+                break;
+            }
+            line.state = protocol.afterBusOp(state, pending.reaction.bus_op,
+                                             result.rmw_success);
+            line.last_use = ++lruClock;
+        }
+        AccessResult access;
+        access.complete = true;
+        access.ts_success = result.rmw_success;
+        access.value = ref.op == CpuOp::Write || ref.op == CpuOp::WriteUnlock
+                           ? ref.data : result.data;
+        finish(access);
+        return;
+      }
+    }
+    ddc_panic("unreachable");
+}
+
+bool
+Cache::wouldSupply(Addr addr, Word &value)
+{
+    const Line *line = findLine(addr);
+    if (line == nullptr)
+        return false;
+    if (!protocol.onSnoop(line->state, BusOp::Read).supply)
+        return false;
+    value = line->data[static_cast<std::size_t>(addr - line->base)];
+    return true;
+}
+
+std::vector<Word>
+Cache::supplyBlock(Addr addr)
+{
+    const Line *line = findLine(addr);
+    ddc_assert(line != nullptr,
+               "supplyBlock for an address this cache does not hold");
+    return line->data;
+}
+
+void
+Cache::observe(const BusTransaction &txn)
+{
+    Line *found = findLine(txn.addr);
+    if (found == nullptr)
+        return; // Caches react only to blocks they contain.
+    Line &line = *found;
+    LineState state = line.state;
+
+    SnoopReaction reaction = protocol.onSnoop(state, txn.op);
+    ddc_assert(!reaction.supply,
+               "supply decision must be resolved before broadcast");
+
+    bool was_present = state.present();
+    if (reaction.snarf && !was_present && blockSize > 1 &&
+        txn.block.empty()) {
+        // The protocol wants to revive this dead block from the data
+        // flowing past, but a word-granular transaction (e.g. a
+        // failed test-and-set broadcast) cannot fill a multi-word
+        // line: the block's other words may be stale.  Stay dead.
+        stats.add("cache.snarf_suppressed");
+        return;
+    }
+    line.state = reaction.next;
+    if (reaction.snarf) {
+        if (!txn.block.empty()) {
+            ddc_assert(txn.block.size() == blockSize,
+                       "snarf of a malformed block");
+            line.data = txn.block;
+        } else {
+            line.data[static_cast<std::size_t>(txn.addr - line.base)] =
+                txn.data;
+        }
+        stats.add("cache.snarf");
+    }
+    if (was_present && !reaction.next.present())
+        stats.add("cache.invalidated");
+}
+
+void
+Cache::supplied(Addr addr)
+{
+    Line *line = findLine(addr);
+    ddc_assert(line != nullptr,
+               "supplied() for an address this cache does not hold");
+    stats.add("cache.supply");
+    line->state = protocol.afterSupply(line->state);
+}
+
+void
+Cache::revalidatePending()
+{
+    if (!pending.active)
+        return;
+
+    // Re-evaluate the access against the current line state: a snooped
+    // broadcast may have completed it (RWB write broadcast / RB read
+    // broadcast), changed which transaction is appropriate (e.g. a
+    // broken write streak downgrades BI to a plain bus write), or
+    // erased / re-created the need for a write-back, fill, or flush.
+    Line &line = pendingLine();
+    LineState state = stateFor(line, pending.ref.addr);
+    CpuReaction reaction = protocol.onCpuAccess(state, pending.ref.op,
+                                                pending.ref.cls);
+    if (!reaction.needs_bus) {
+        stats.add("cache.broadcast_fill");
+        line.state = reaction.next;
+        if (reaction.update_value) {
+            line.data[static_cast<std::size_t>(
+                pending.ref.addr - line.base)] = pending.ref.data;
+        }
+        AccessResult access;
+        access.complete = true;
+        access.value =
+            pending.ref.op == CpuOp::Write
+                ? pending.ref.data
+                : line.data[static_cast<std::size_t>(pending.ref.addr -
+                                                     line.base)];
+        finish(access);
+        return;
+    }
+    pending.reaction = reaction;
+    pending.phase = computePhase();
+}
+
+void
+Cache::finish(const AccessResult &result)
+{
+    logCommit(pending.ref, result);
+    pending.active = false;
+    completionReady = true;
+    completion = result;
+}
+
+void
+Cache::logCommit(const MemRef &ref, const AccessResult &result)
+{
+    if (log == nullptr)
+        return;
+    LogEntry entry;
+    entry.cycle = clock.now;
+    entry.pe = pe;
+    entry.op = ref.op;
+    entry.addr = ref.addr;
+    entry.value = result.value;
+    if (ref.op == CpuOp::TestAndSet) {
+        entry.stored = ref.data;
+        entry.ts_success = result.ts_success;
+    }
+    log->append(entry);
+}
+
+} // namespace ddc

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * A private per-PE cache: direct-mapped, with the paper's one-word
+ * blocks by default (Section 2, assumption 7) and optional multi-word
+ * blocks for the assumption-7 ablation.
+ *
+ * The cache owns tag/state/value storage and *executes* whatever the
+ * configured Protocol decides.  A CPU access either completes locally
+ * in the same cycle (hit) or becomes the cache's single pending bus
+ * operation, which may take up to three sequential bus transactions:
+ *
+ *   Writeback  - evict a dirty victim occupying the target line,
+ *   Fill       - fetch the target block before a write-class
+ *                transaction, when blocks are multi-word and the
+ *                block is not resident (write-allocate needs the
+ *                block's other words),
+ *   Flush      - write back the target word/block itself before an
+ *                RMW-class transaction that takes its input from
+ *                memory,
+ *   Main       - the protocol-chosen transaction for the access.
+ *
+ * Preconditions of the earlier phases can be erased (or re-created)
+ * by snooped transactions, so the whole plan is lazily re-validated
+ * each time the bus polls hasRequest(); a pending read whose line was
+ * refilled by a snooped broadcast completes without ever using the
+ * bus — the RWB scheme's "data can be fetched from any cache".
+ */
+
+#ifndef DDC_SIM_CACHE_HH
+#define DDC_SIM_CACHE_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "core/protocol.hh"
+#include "sim/bus.hh"
+#include "sim/clock.hh"
+#include "sim/exec_log.hh"
+#include "stats/counter.hh"
+#include "trace/trace.hh"
+
+namespace ddc {
+
+/** One direct-mapped private cache (or one bank of a multi-bus set). */
+class Cache : public BusClient
+{
+  public:
+    /** Outcome of a CPU access. */
+    struct AccessResult
+    {
+        bool complete = false;
+        Word value = 0;
+        bool ts_success = false;
+    };
+
+    /**
+     * @param pe Owning PE.
+     * @param num_lines Number of lines (> 0); capacity in words is
+     *        num_lines * block_words.
+     * @param protocol Coherence policy (shared, not owned).
+     * @param clock Shared cycle counter.
+     * @param stats Counter set receiving cache.* statistics.
+     * @param log Optional serial execution log for consistency checks.
+     * @param block_words Words per block (paper default: 1).
+     * @param ways Set associativity (paper default: 1, direct-mapped);
+     *        must divide num_lines.  Replacement within a set is LRU.
+     */
+    Cache(PeId pe, std::size_t num_lines, const Protocol &protocol,
+          const Clock &clock, stats::CounterSet &stats,
+          ExecutionLog *log = nullptr, std::size_t block_words = 1,
+          std::size_t ways = 1);
+
+    /** Attach to @p bus (must be called exactly once before use). */
+    void connectBus(Bus &bus);
+
+    /**
+     * Issue a CPU access.  Returns complete=true for hits; otherwise
+     * the access is pending (at most one at a time) and the caller
+     * polls takeCompletion() on subsequent cycles.
+     */
+    AccessResult cpuAccess(const MemRef &ref);
+
+    /** True while an access is outstanding. */
+    bool busy() const { return pending.active; }
+
+    /**
+     * Monotonic id of the most recent cpuAccess.  A component that
+     * completes this cache's request out-of-band (the hierarchical
+     * cluster cache) records it to detect abandoned operations.
+     */
+    std::uint64_t accessId() const { return accessCounter; }
+
+    /** True when a previously pending access has completed. */
+    bool hasCompletion() const { return completionReady; }
+
+    /** Retrieve (and consume) the completed access's result. */
+    AccessResult takeCompletion();
+
+    /** Coherence state this cache holds for @p addr's block. */
+    LineState lineState(Addr addr) const;
+
+    /** Cached value for @p addr (0 when not present). */
+    Word lineValue(Addr addr) const;
+
+    /** Number of lines. */
+    std::size_t numLines() const { return lines.size(); }
+
+    /** Words per block. */
+    std::size_t blockWords() const { return blockSize; }
+
+    /** Set associativity. */
+    std::size_t numWays() const { return ways; }
+
+    // BusClient interface.
+    bool hasRequest() override;
+    BusRequest currentRequest() override;
+    void requestComplete(const BusResult &result) override;
+    bool wouldSupply(Addr addr, Word &value) override;
+    std::vector<Word> supplyBlock(Addr addr) override;
+    void observe(const BusTransaction &txn) override;
+    void supplied(Addr addr) override;
+    PeId peId() const override { return pe; }
+
+  private:
+    /** Storage for one line (one block). */
+    struct Line
+    {
+        /** Block base address (valid when state is not NotPresent). */
+        Addr base = 0;
+        std::vector<Word> data;
+        LineState state{};
+        /** LRU stamp (updated on CPU use and install). */
+        std::uint64_t last_use = 0;
+    };
+
+    /** Phases of a pending access. */
+    enum class Phase { Writeback, Fill, Flush, Main };
+
+    /** The (single) outstanding access. */
+    struct PendingOp
+    {
+        bool active = false;
+        MemRef ref{};
+        CpuReaction reaction{};
+        Phase phase = Phase::Main;
+        /** Line index reserved for this access (stable across phases). */
+        std::size_t way_index = 0;
+    };
+
+    Addr blockBase(Addr addr) const;
+
+    /** First line index of @p addr's set. */
+    std::size_t setBase(Addr addr) const;
+
+    /** The way of @p addr's set holding its tag, or nullptr. */
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+
+    /**
+     * The line a (re)fill of @p addr will use: the tag-matching way
+     * when one exists (even Invalid, so a set never holds duplicate
+     * tags), else an empty way, else the LRU way.
+     */
+    Line &victimLine(Addr addr);
+
+    /** The line reserved for the pending access. */
+    Line &pendingLine();
+    const Line &pendingLine() const;
+
+    /** True when @p line holds the block containing @p addr. */
+    bool holdsBlock(const Line &line, Addr addr) const;
+
+    /** State of @p line as seen for @p addr (NotPresent on tag miss). */
+    LineState stateFor(const Line &line, Addr addr) const;
+
+    /** Choose the next phase for the current pending reaction. */
+    Phase computePhase() const;
+
+    /**
+     * Re-derive the reaction and phase from the current line state;
+     * completes the access locally if a snooped broadcast already
+     * satisfied it.
+     */
+    void revalidatePending();
+
+    /** Finish the pending access with @p result and log the commit. */
+    void finish(const AccessResult &result);
+
+    /** Record the commit of @p ref in the serial execution log. */
+    void logCommit(const MemRef &ref, const AccessResult &result);
+
+    PeId pe;
+    const Protocol &protocol;
+    const Clock &clock;
+    stats::CounterSet &stats;
+    ExecutionLog *log;
+    std::size_t blockSize;
+    std::size_t ways;
+    std::uint64_t lruClock = 0;
+    Bus *bus = nullptr;
+
+    std::vector<Line> lines;
+    PendingOp pending;
+    std::uint64_t accessCounter = 0;
+    bool completionReady = false;
+    AccessResult completion{};
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_CACHE_HH

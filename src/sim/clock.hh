@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The global cycle counter shared by every component of one System.
+ *
+ * Per the paper's timing assumptions (Section 2, assumption 5) the bus,
+ * cache, and PE cycles are unified: one Clock tick is one bus cycle,
+ * during which one bus transaction executes and every non-stalled PE
+ * executes one instruction.
+ */
+
+#ifndef DDC_SIM_CLOCK_HH
+#define DDC_SIM_CLOCK_HH
+
+#include "base/types.hh"
+
+namespace ddc {
+
+/** Shared simulation clock. */
+struct Clock
+{
+    Cycle now = 0;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_CLOCK_HH

@@ -1,0 +1,162 @@
+#include "sim/isa.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+std::string_view
+toString(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:             return "Nop";
+      case Opcode::Halt:            return "Halt";
+      case Opcode::LoadImm:         return "LoadImm";
+      case Opcode::Move:            return "Move";
+      case Opcode::Load:            return "Load";
+      case Opcode::Store:           return "Store";
+      case Opcode::TestAndSet:      return "TestAndSet";
+      case Opcode::LoadLocked:      return "LoadLocked";
+      case Opcode::StoreUnlock:     return "StoreUnlock";
+      case Opcode::Add:             return "Add";
+      case Opcode::Sub:             return "Sub";
+      case Opcode::AddImm:          return "AddImm";
+      case Opcode::BranchIfZero:    return "BranchIfZero";
+      case Opcode::BranchIfNotZero: return "BranchIfNotZero";
+      case Opcode::Jump:            return "Jump";
+    }
+    return "?";
+}
+
+ProgramBuilder &
+ProgramBuilder::emit(Instruction instruction)
+{
+    ddc_assert(instruction.dst >= 0 && instruction.dst < kNumRegs &&
+               instruction.a >= 0 && instruction.a < kNumRegs &&
+               instruction.b >= 0 && instruction.b < kNumRegs,
+               "register index out of range");
+    program.push_back(instruction);
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::nop()
+{
+    return emit({Opcode::Nop, 0, 0, 0, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::halt()
+{
+    return emit({Opcode::Halt, 0, 0, 0, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::loadImm(int dst, std::int64_t imm)
+{
+    return emit({Opcode::LoadImm, dst, 0, 0, imm, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::move(int dst, int a)
+{
+    return emit({Opcode::Move, dst, a, 0, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::load(int dst, int addr_reg, std::int64_t offset,
+                     DataClass cls)
+{
+    return emit({Opcode::Load, dst, addr_reg, 0, offset, cls});
+}
+
+ProgramBuilder &
+ProgramBuilder::store(int addr_reg, int src_reg, std::int64_t offset,
+                      DataClass cls)
+{
+    return emit({Opcode::Store, 0, addr_reg, src_reg, offset, cls});
+}
+
+ProgramBuilder &
+ProgramBuilder::testAndSet(int dst, int addr_reg, int set_reg,
+                           std::int64_t offset)
+{
+    return emit({Opcode::TestAndSet, dst, addr_reg, set_reg, offset,
+                 DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::loadLocked(int dst, int addr_reg, std::int64_t offset)
+{
+    return emit({Opcode::LoadLocked, dst, addr_reg, 0, offset,
+                 DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::storeUnlock(int addr_reg, int src_reg, std::int64_t offset)
+{
+    return emit({Opcode::StoreUnlock, 0, addr_reg, src_reg, offset,
+                 DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::add(int dst, int a, int b)
+{
+    return emit({Opcode::Add, dst, a, b, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::sub(int dst, int a, int b)
+{
+    return emit({Opcode::Sub, dst, a, b, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::addImm(int dst, int a, std::int64_t imm)
+{
+    return emit({Opcode::AddImm, dst, a, 0, imm, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::label(const std::string &name)
+{
+    ddc_assert(labels.find(name) == labels.end(),
+               "duplicate label: ", name);
+    labels[name] = program.size();
+    return *this;
+}
+
+ProgramBuilder &
+ProgramBuilder::branchIfZero(int a, const std::string &target)
+{
+    fixups.emplace_back(program.size(), target);
+    return emit({Opcode::BranchIfZero, 0, a, 0, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::branchIfNotZero(int a, const std::string &target)
+{
+    fixups.emplace_back(program.size(), target);
+    return emit({Opcode::BranchIfNotZero, 0, a, 0, 0, DataClass::Shared});
+}
+
+ProgramBuilder &
+ProgramBuilder::jump(const std::string &target)
+{
+    fixups.emplace_back(program.size(), target);
+    return emit({Opcode::Jump, 0, 0, 0, 0, DataClass::Shared});
+}
+
+Program
+ProgramBuilder::build()
+{
+    for (const auto &[index, name] : fixups) {
+        auto it = labels.find(name);
+        if (it == labels.end())
+            ddc_fatal("undefined label: ", name);
+        program[index].imm = static_cast<std::int64_t>(it->second);
+    }
+    fixups.clear();
+    return program;
+}
+
+} // namespace ddc

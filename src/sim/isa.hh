@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The PE instruction set and program builder.
+ *
+ * The paper assumes "off-the-shelf processing elements" and implements
+ * test-and-test-and-set in software as a test preceding a test-and-set
+ * (Section 6).  This tiny ISA is just enough to express those spin
+ * loops, critical sections, barriers and array sweeps as real
+ * instruction streams: 16 registers, loads/stores through the cache,
+ * an atomic TestAndSet, the two-phase LoadLocked/StoreUnlock pair,
+ * ALU ops and branches.  One instruction executes per cycle; memory
+ * operations stall the PE until the cache completes them.
+ */
+
+#ifndef DDC_SIM_ISA_HH
+#define DDC_SIM_ISA_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ddc {
+
+/** Number of general-purpose registers per PE. */
+inline constexpr int kNumRegs = 16;
+
+/** PE opcodes. */
+enum class Opcode : std::uint8_t
+{
+    Nop,
+    Halt,
+    LoadImm,     //!< r[dst] = imm
+    Move,        //!< r[dst] = r[a]
+    Load,        //!< r[dst] = mem[r[a] + imm]
+    Store,       //!< mem[r[a] + imm] = r[b]
+    TestAndSet,  //!< r[dst] = old(mem[r[a]+imm]); if old==0 store r[b]
+    LoadLocked,  //!< r[dst] = mem[r[a] + imm], locking the word
+    StoreUnlock, //!< mem[r[a] + imm] = r[b], unlocking the word
+    Add,         //!< r[dst] = r[a] + r[b]
+    Sub,         //!< r[dst] = r[a] - r[b]
+    AddImm,      //!< r[dst] = r[a] + imm
+    BranchIfZero,    //!< if r[a] == 0: pc = imm
+    BranchIfNotZero, //!< if r[a] != 0: pc = imm
+    Jump,            //!< pc = imm
+};
+
+/** Printable opcode name. */
+std::string_view toString(Opcode op);
+
+/** One PE instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    int dst = 0;
+    int a = 0;
+    int b = 0;
+    std::int64_t imm = 0;
+    /** Classification attached to memory operations. */
+    DataClass cls = DataClass::Shared;
+};
+
+/** An executable PE program. */
+using Program = std::vector<Instruction>;
+
+/**
+ * Fluent program assembler with named labels.
+ *
+ * Branch targets may reference labels defined later; build() resolves
+ * them and reports unresolved names via fatal().
+ */
+class ProgramBuilder
+{
+  public:
+    ProgramBuilder &nop();
+    ProgramBuilder &halt();
+    ProgramBuilder &loadImm(int dst, std::int64_t imm);
+    ProgramBuilder &move(int dst, int a);
+    ProgramBuilder &load(int dst, int addr_reg, std::int64_t offset = 0,
+                         DataClass cls = DataClass::Shared);
+    ProgramBuilder &store(int addr_reg, int src_reg,
+                          std::int64_t offset = 0,
+                          DataClass cls = DataClass::Shared);
+    ProgramBuilder &testAndSet(int dst, int addr_reg, int set_reg,
+                               std::int64_t offset = 0);
+    ProgramBuilder &loadLocked(int dst, int addr_reg,
+                               std::int64_t offset = 0);
+    ProgramBuilder &storeUnlock(int addr_reg, int src_reg,
+                                std::int64_t offset = 0);
+    ProgramBuilder &add(int dst, int a, int b);
+    ProgramBuilder &sub(int dst, int a, int b);
+    ProgramBuilder &addImm(int dst, int a, std::int64_t imm);
+    ProgramBuilder &label(const std::string &name);
+    ProgramBuilder &branchIfZero(int a, const std::string &target);
+    ProgramBuilder &branchIfNotZero(int a, const std::string &target);
+    ProgramBuilder &jump(const std::string &target);
+
+    /** Resolve labels and return the program. */
+    Program build();
+
+  private:
+    ProgramBuilder &emit(Instruction instruction);
+
+    Program program;
+    std::map<std::string, std::size_t> labels;
+    /** (instruction index, label) pairs awaiting resolution. */
+    std::vector<std::pair<std::size_t, std::string>> fixups;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_ISA_HH

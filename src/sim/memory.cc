@@ -1,0 +1,172 @@
+#include "sim/memory.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+Memory::Memory(stats::CounterSet &stats) : stats(stats)
+{
+}
+
+Word
+Memory::read(Addr addr)
+{
+    stats.add("memory.read");
+    auto it = words.find(addr);
+    return it == words.end() ? 0 : it->second;
+}
+
+void
+Memory::write(Addr addr, Word data)
+{
+    ddc_assert(data <= kMaxDataValue,
+               "write of the reserved invalidate encoding");
+    stats.add("memory.write");
+    words[addr] = data;
+}
+
+std::vector<Word>
+Memory::readBlock(Addr base, std::size_t count)
+{
+    stats.add("memory.block_read");
+    std::vector<Word> block;
+    block.reserve(count);
+    for (std::size_t i = 0; i < count; i++)
+        block.push_back(peek(base + i));
+    return block;
+}
+
+void
+Memory::writeBlock(Addr base, const std::vector<Word> &block)
+{
+    stats.add("memory.block_write");
+    for (std::size_t i = 0; i < block.size(); i++) {
+        ddc_assert(block[i] <= kMaxDataValue,
+                   "block write of the reserved invalidate encoding");
+        words[base + i] = block[i];
+    }
+}
+
+Word
+Memory::peek(Addr addr) const
+{
+    auto it = words.find(addr);
+    return it == words.end() ? 0 : it->second;
+}
+
+void
+Memory::poke(Addr addr, Word data)
+{
+    words[addr] = data;
+}
+
+bool
+Memory::lockedByOther(Addr addr, PeId pe) const
+{
+    auto it = locks.find(addr);
+    return it != locks.end() && it->second != pe;
+}
+
+void
+Memory::lock(Addr addr, PeId pe)
+{
+    ddc_assert(!lockedByOther(addr, pe), "lock of a word locked by another");
+    locks[addr] = pe;
+}
+
+void
+Memory::unlock(Addr addr, PeId pe)
+{
+    auto it = locks.find(addr);
+    ddc_assert(it != locks.end() && it->second == pe,
+               "unlock of a word not held by PE ", pe);
+    locks.erase(it);
+}
+
+bool
+Memory::locked(Addr addr) const
+{
+    return locks.find(addr) != locks.end();
+}
+
+bool
+Memory::tryRead(Addr addr, PeId pe, Word &data)
+{
+    (void)pe; // Plain reads are allowed even while a word is locked.
+    data = read(addr);
+    return true;
+}
+
+bool
+Memory::tryReadBlock(Addr base, std::size_t words, PeId pe,
+                     std::vector<Word> &block)
+{
+    (void)pe;
+    block = readBlock(base, words);
+    return true;
+}
+
+bool
+Memory::tryWrite(Addr addr, PeId pe, Word data)
+{
+    if (lockedByOther(addr, pe))
+        return false; // "Any bus writes before the unlock will fail."
+    write(addr, data);
+    return true;
+}
+
+bool
+Memory::tryWriteBlock(Addr base, PeId pe, const std::vector<Word> &block)
+{
+    for (std::size_t i = 0; i < block.size(); i++) {
+        if (lockedByOther(base + i, pe))
+            return false;
+    }
+    writeBlock(base, block);
+    return true;
+}
+
+bool
+Memory::tryRmw(Addr addr, PeId pe, Word set_value, Word &old,
+               bool &success)
+{
+    if (lockedByOther(addr, pe))
+        return false;
+    old = read(addr);
+    success = old == 0;
+    if (success)
+        write(addr, set_value);
+    return true;
+}
+
+bool
+Memory::tryReadLock(Addr addr, PeId pe, Word &data)
+{
+    if (lockedByOther(addr, pe))
+        return false;
+    lock(addr, pe);
+    data = read(addr);
+    return true;
+}
+
+bool
+Memory::tryWriteUnlock(Addr addr, PeId pe, Word data)
+{
+    write(addr, data);
+    unlock(addr, pe);
+    return true;
+}
+
+void
+Memory::acceptSupply(Addr addr, Word data)
+{
+    write(addr, data);
+}
+
+void
+Memory::acceptSupplyBlock(Addr base, const std::vector<Word> &block)
+{
+    writeBlock(base, block);
+}
+
+} // namespace ddc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Main-memory module (one bank per shared bus).
+ *
+ * Sparse word-addressed storage plus the per-word lock map that
+ * implements the paper's two-phase read-modify-write: a "read with
+ * lock" locks the word and "any bus writes before the unlock will
+ * fail" (Section 3).
+ */
+
+#ifndef DDC_SIM_MEMORY_HH
+#define DDC_SIM_MEMORY_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/memory_side.hh"
+#include "stats/counter.hh"
+
+namespace ddc {
+
+/** One interleaved main-memory bank. */
+class Memory : public MemorySide
+{
+  public:
+    /** @param stats Counter set receiving memory.read / memory.write. */
+    explicit Memory(stats::CounterSet &stats);
+
+    /** Read a word (uninitialized words read as zero). */
+    Word read(Addr addr);
+
+    /** Write a word; data must not exceed kMaxDataValue. */
+    void write(Addr addr, Word data);
+
+    /** Read @p count consecutive words starting at @p base. */
+    std::vector<Word> readBlock(Addr base, std::size_t count);
+
+    /** Write @p block starting at @p base. */
+    void writeBlock(Addr base, const std::vector<Word> &block);
+
+    /** Non-counting read for inspection by tests and benches. */
+    Word peek(Addr addr) const;
+
+    /**
+     * Overwrite a word directly, bypassing the bus and statistics.
+     * Fault-injection / test hook only (models e.g. a bit flip).
+     */
+    void poke(Addr addr, Word data);
+
+    /** True when @p addr is locked by a PE other than @p pe. */
+    bool lockedByOther(Addr addr, PeId pe) const;
+
+    /** Lock @p addr on behalf of @p pe (must not be locked by another). */
+    void lock(Addr addr, PeId pe);
+
+    /** Unlock @p addr (must be held by @p pe). */
+    void unlock(Addr addr, PeId pe);
+
+    /** True when any PE holds a lock on @p addr. */
+    bool locked(Addr addr) const;
+
+    // MemorySide interface: memory always services synchronously,
+    // NACKing only lock-violating writes and RMW-class ops.
+    bool tryRead(Addr addr, PeId pe, Word &data) override;
+    bool tryReadBlock(Addr base, std::size_t words, PeId pe,
+                      std::vector<Word> &block) override;
+    bool tryWrite(Addr addr, PeId pe, Word data) override;
+    bool tryWriteBlock(Addr base, PeId pe,
+                       const std::vector<Word> &block) override;
+    bool tryRmw(Addr addr, PeId pe, Word set_value, Word &old,
+                bool &success) override;
+    bool tryReadLock(Addr addr, PeId pe, Word &data) override;
+    bool tryWriteUnlock(Addr addr, PeId pe, Word data) override;
+    void acceptSupply(Addr addr, Word data) override;
+    void acceptSupplyBlock(Addr base,
+                           const std::vector<Word> &block) override;
+
+  private:
+    std::unordered_map<Addr, Word> words;
+    std::unordered_map<Addr, PeId> locks;
+    stats::CounterSet &stats;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_MEMORY_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Scripted coherence scenarios.
+ *
+ * The paper's Figures 6-1, 6-2 and 6-3 are tables of per-cache state
+ * and value for one lock word as specific PEs act in a specific order.
+ * Scenario builds an N-cache machine and lets a test or bench issue
+ * one access at a time (run to completion), then snapshot exactly the
+ * row the paper prints: "R(0)  L(1)  I(-)  | S=1".
+ */
+
+#ifndef DDC_SIM_SCENARIO_HH
+#define DDC_SIM_SCENARIO_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/factory.hh"
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+#include "sim/clock.hh"
+#include "sim/exec_log.hh"
+#include "sim/memory.hh"
+#include "stats/counter.hh"
+
+namespace ddc {
+
+/** An N-cache, one-bus machine driven one access at a time. */
+class Scenario
+{
+  public:
+    /**
+     * @param kind Coherence scheme.
+     * @param num_caches Number of PEs/caches.
+     * @param cache_lines Lines per cache.
+     * @param rwb_writes_to_local RWB's k.
+     * @param block_words Words per block (paper default: 1).
+     */
+    Scenario(ProtocolKind kind, int num_caches, std::size_t cache_lines = 16,
+             int rwb_writes_to_local = 2, std::size_t block_words = 1);
+
+    /** Issue @p ref from PE @p pe and run the bus until it completes. */
+    Cache::AccessResult run(PeId pe, const MemRef &ref);
+
+    /** Convenience: completed read. */
+    Word read(PeId pe, Addr addr);
+
+    /** Convenience: completed write. */
+    void write(PeId pe, Addr addr, Word data);
+
+    /** Convenience: completed test-and-set; returns the old value. */
+    Cache::AccessResult testAndSet(PeId pe, Addr addr, Word data = 1);
+
+    /** Coherence state PE @p pe holds for @p addr. */
+    LineState state(PeId pe, Addr addr) const;
+
+    /** Cached value PE @p pe holds for @p addr. */
+    Word value(PeId pe, Addr addr) const;
+
+    /** Memory's value of @p addr. */
+    Word memoryValue(Addr addr) const;
+
+    /** Bus transactions executed so far. */
+    std::uint64_t busTransactions() const;
+
+    /** Merged statistics. */
+    const stats::CounterSet &counters() const { return stats; }
+
+    /** The serial execution log of every completed access. */
+    const ExecutionLog &log() const { return execLog; }
+
+    int numCaches() const { return static_cast<int>(caches.size()); }
+
+    /**
+     * Format the paper's figure row for @p addr:
+     * one "STATE(value)" cell per cache plus the memory value.
+     */
+    std::string row(Addr addr) const;
+
+  private:
+    stats::CounterSet stats;
+    Clock clock;
+    ExecutionLog execLog;
+    std::unique_ptr<Protocol> protocol;
+    Memory memory;
+    Bus bus;
+    std::vector<std::unique_ptr<Cache>> caches;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_SCENARIO_HH

@@ -1,0 +1,193 @@
+#include "sim/system.hh"
+
+#include "base/logging.hh"
+#include "sim/trace_agent.hh"
+
+namespace ddc {
+
+System::System(const SystemConfig &config) : config(config)
+{
+    ddc_assert(config.num_pes >= 1, "need at least one PE");
+    ddc_assert(config.num_buses >= 1, "need at least one bus");
+    ddc_assert(config.cache_lines >= 1, "need at least one cache line");
+    ddc_assert(config.block_words >= 1, "need at least one word per block");
+
+    proto = makeProtocol(config.protocol, config.rwb_writes_to_local);
+
+    for (int b = 0; b < config.num_buses; b++) {
+        busStats.push_back(std::make_unique<stats::CounterSet>());
+        memories.push_back(std::make_unique<Memory>(*busStats.back()));
+        buses.push_back(std::make_unique<Bus>(
+            *memories.back(), config.arbiter, clock, *busStats.back(),
+            config.arbiter_seed + static_cast<std::uint64_t>(b),
+            config.block_words, config.memory_latency));
+    }
+
+    ExecutionLog *log = config.record_log ? &execLog : nullptr;
+    for (PeId pe = 0; pe < config.num_pes; pe++) {
+        for (int b = 0; b < config.num_buses; b++) {
+            caches.push_back(std::make_unique<Cache>(
+                pe, config.cache_lines, *proto, clock, cacheStats, log,
+                config.block_words, config.ways));
+            caches.back()->connectBus(*buses[static_cast<std::size_t>(b)]);
+        }
+    }
+    agents.resize(static_cast<std::size_t>(config.num_pes));
+}
+
+CacheSet
+System::cacheSetFor(PeId pe)
+{
+    std::vector<Cache *> banks;
+    for (int b = 0; b < config.num_buses; b++) {
+        banks.push_back(
+            caches[static_cast<std::size_t>(pe * config.num_buses + b)]
+                .get());
+    }
+    return CacheSet(std::move(banks));
+}
+
+void
+System::loadTrace(const Trace &trace)
+{
+    ddc_assert(trace.numPes() <= config.num_pes,
+               "trace has more PE streams than the system has PEs");
+    for (PeId pe = 0; pe < config.num_pes; pe++) {
+        std::vector<MemRef> stream;
+        if (pe < trace.numPes())
+            stream = trace.stream(pe);
+        agents[static_cast<std::size_t>(pe)] = std::make_unique<TraceAgent>(
+            pe, cacheSetFor(pe), std::move(stream), cacheStats);
+    }
+}
+
+void
+System::setProgram(PeId pe, Program program)
+{
+    ddc_assert(pe >= 0 && pe < config.num_pes, "PE id out of range");
+    agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
+        pe, cacheSetFor(pe), std::move(program), cacheStats);
+}
+
+Processor &
+System::processor(PeId pe)
+{
+    ddc_assert(pe >= 0 && pe < config.num_pes, "PE id out of range");
+    auto *agent = agents[static_cast<std::size_t>(pe)].get();
+    auto *processor = dynamic_cast<Processor *>(agent);
+    if (processor == nullptr)
+        ddc_fatal("PE ", pe, " is not running a program");
+    return *processor;
+}
+
+void
+System::tick()
+{
+    for (auto &bus : buses)
+        bus->tick();
+    for (auto &agent : agents) {
+        if (agent)
+            agent->tick();
+    }
+    clock.now++;
+}
+
+Cycle
+System::run(Cycle max_cycles)
+{
+    Cycle start = clock.now;
+    while (!allDone() && clock.now - start < max_cycles)
+        tick();
+    return clock.now - start;
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &agent : agents) {
+        if (agent && !agent->done())
+            return false;
+    }
+    return true;
+}
+
+const Cache &
+System::cacheBank(PeId pe, Addr addr) const
+{
+    ddc_assert(pe >= 0 && pe < config.num_pes, "PE id out of range");
+    // Interleave across buses at block granularity so a block never
+    // straddles two banks (with one-word blocks this is the paper's
+    // least-significant-address-bit split).
+    int bank = static_cast<int>(
+        (addr / static_cast<Addr>(config.block_words)) %
+        static_cast<Addr>(config.num_buses));
+    return *caches[static_cast<std::size_t>(pe * config.num_buses + bank)];
+}
+
+LineState
+System::lineState(PeId pe, Addr addr) const
+{
+    return cacheBank(pe, addr).lineState(addr);
+}
+
+Word
+System::cacheValue(PeId pe, Addr addr) const
+{
+    return cacheBank(pe, addr).lineValue(addr);
+}
+
+Word
+System::memoryValue(Addr addr) const
+{
+    auto bank = static_cast<std::size_t>(
+        (addr / static_cast<Addr>(config.block_words)) %
+        static_cast<Addr>(config.num_buses));
+    return memories[bank]->peek(addr);
+}
+
+void
+System::pokeMemory(Addr addr, Word value)
+{
+    auto bank = static_cast<std::size_t>(
+        (addr / static_cast<Addr>(config.block_words)) %
+        static_cast<Addr>(config.num_buses));
+    memories[bank]->poke(addr, value);
+}
+
+Word
+System::coherentValue(Addr addr) const
+{
+    for (PeId pe = 0; pe < config.num_pes; pe++) {
+        if (proto->needsWriteback(lineState(pe, addr)))
+            return cacheValue(pe, addr);
+    }
+    return memoryValue(addr);
+}
+
+stats::CounterSet
+System::counters() const
+{
+    stats::CounterSet merged;
+    merged.merge(cacheStats);
+    for (const auto &bus_stats : busStats)
+        merged.merge(*bus_stats);
+    return merged;
+}
+
+const stats::CounterSet &
+System::busCounters(int bus) const
+{
+    ddc_assert(bus >= 0 && bus < config.num_buses, "bus index out of range");
+    return *busStats[static_cast<std::size_t>(bus)];
+}
+
+std::uint64_t
+System::totalBusTransactions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bus_stats : busStats)
+        total += bus_stats->get("bus.busy_cycles");
+    return total;
+}
+
+} // namespace ddc

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Full-machine wiring: N PEs, N (x buses) private caches, arbitrated
+ * shared bus(es), interleaved memory banks, and a shared clock.
+ *
+ * With num_buses == 1 this is the paper's baseline machine; with
+ * num_buses == k it is the Figure 7-1 multiple-shared-bus extension
+ * (addresses interleaved across buses by their low-order bits, one
+ * memory bank and one cache bank per bus per PE).
+ */
+
+#ifndef DDC_SIM_SYSTEM_HH
+#define DDC_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "core/factory.hh"
+#include "sim/agent.hh"
+#include "sim/arbiter.hh"
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+#include "sim/clock.hh"
+#include "sim/exec_log.hh"
+#include "sim/isa.hh"
+#include "sim/memory.hh"
+#include "sim/processor.hh"
+#include "stats/counter.hh"
+#include "trace/trace.hh"
+
+namespace ddc {
+
+/** Configuration of one simulated machine. */
+struct SystemConfig
+{
+    int num_pes = 4;
+    /** Lines per cache bank; capacity in words = lines * block_words. */
+    std::size_t cache_lines = 1024;
+    /** Words per cache block (the paper's assumption 7: 1). */
+    std::size_t block_words = 1;
+    /** Set associativity (the paper's assumption 7: 1, direct-mapped). */
+    std::size_t ways = 1;
+    /**
+     * Extra bus-occupancy cycles per memory-touching transaction
+     * (0 = the paper's unified bus/cache/PE cycle, assumption 5).
+     */
+    std::size_t memory_latency = 0;
+    ProtocolKind protocol = ProtocolKind::Rb;
+    /** RWB's writes-to-local threshold k (RWB only). */
+    int rwb_writes_to_local = 2;
+    /** Number of interleaved shared buses (Section 7). */
+    int num_buses = 1;
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
+    /** Seed for the Random arbitration policy. */
+    std::uint64_t arbiter_seed = 1;
+    /** Record the serial execution log for consistency checking. */
+    bool record_log = false;
+};
+
+/** A complete simulated shared-bus multiprocessor. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    /** Replace every agent with trace replay of @p trace. */
+    void loadTrace(const Trace &trace);
+
+    /** Install @p program on PE @p pe (creates a Processor agent). */
+    void setProgram(PeId pe, Program program);
+
+    /** The Processor on @p pe (fatal unless setProgram was used). */
+    Processor &processor(PeId pe);
+
+    /** Advance one cycle: bus phase, then PE phase. */
+    void tick();
+
+    /**
+     * Run until every agent is done (or @p max_cycles elapse).
+     * @return Number of cycles executed.
+     */
+    Cycle run(Cycle max_cycles = 100'000'000);
+
+    /** True when every agent has finished. */
+    bool allDone() const;
+
+    /** Current cycle. */
+    Cycle now() const { return clock.now; }
+
+    int numPes() const { return config.num_pes; }
+    int numBuses() const { return config.num_buses; }
+    const SystemConfig &configuration() const { return config; }
+    const Protocol &protocol() const { return *proto; }
+
+    /** Coherence state PE @p pe's cache holds for @p addr. */
+    LineState lineState(PeId pe, Addr addr) const;
+
+    /** Value PE @p pe's cache holds for @p addr (0 if absent). */
+    Word cacheValue(PeId pe, Addr addr) const;
+
+    /** Memory's current value of @p addr. */
+    Word memoryValue(Addr addr) const;
+
+    /**
+     * The latest value of @p addr in the machine: the dirty owner's
+     * cached copy when one exists (Local/Dirty), otherwise memory.
+     */
+    Word coherentValue(Addr addr) const;
+
+    /**
+     * Overwrite a memory word directly (fault injection / test hook;
+     * bypasses the bus, coherence, and statistics).
+     */
+    void pokeMemory(Addr addr, Word value);
+
+    /** The serial execution log (empty unless record_log). */
+    const ExecutionLog &log() const { return execLog; }
+
+    /** Merged counters from caches, buses, memory, and PEs. */
+    stats::CounterSet counters() const;
+
+    /** Counters of bus @p bus only (bus.* and memory.* of its bank). */
+    const stats::CounterSet &busCounters(int bus) const;
+
+    /** Shared cache/PE counter set. */
+    const stats::CounterSet &cacheCounters() const { return cacheStats; }
+
+    /** Total bus transactions across all buses. */
+    std::uint64_t totalBusTransactions() const;
+
+  private:
+    const Cache &cacheBank(PeId pe, Addr addr) const;
+    CacheSet cacheSetFor(PeId pe);
+
+    SystemConfig config;
+    Clock clock;
+    ExecutionLog execLog;
+    std::unique_ptr<Protocol> proto;
+
+    stats::CounterSet cacheStats;
+    std::vector<std::unique_ptr<stats::CounterSet>> busStats;
+    std::vector<std::unique_ptr<Memory>> memories;
+    std::vector<std::unique_ptr<Bus>> buses;
+    /** caches[pe * num_buses + bus]. */
+    std::vector<std::unique_ptr<Cache>> caches;
+    std::vector<std::unique_ptr<Agent>> agents;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_SYSTEM_HH

@@ -1,0 +1,45 @@
+#include "sim/trace_agent.hh"
+
+namespace ddc {
+
+TraceAgent::TraceAgent(PeId pe, CacheSet caches, std::vector<MemRef> stream,
+                       stats::CounterSet &stats)
+    : pe(pe), caches(std::move(caches)), stream(std::move(stream)),
+      stats(stats)
+{
+    (void)this->pe;
+}
+
+bool
+TraceAgent::done() const
+{
+    return !waiting && next >= stream.size();
+}
+
+void
+TraceAgent::tick()
+{
+    if (waiting) {
+        if (!caches.hasCompletion()) {
+            stats.add("pe.stall_cycles");
+            return;
+        }
+        caches.takeCompletion();
+        waiting = false;
+        completed++;
+        return;
+    }
+    if (next >= stream.size())
+        return;
+
+    auto result = caches.access(stream[next]);
+    next++;
+    if (result.complete) {
+        completed++;
+    } else {
+        waiting = true;
+        stats.add("pe.stall_cycles");
+    }
+}
+
+} // namespace ddc

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Trace-driven agent: replays one PE's MemRef stream in order.
+ */
+
+#ifndef DDC_SIM_TRACE_AGENT_HH
+#define DDC_SIM_TRACE_AGENT_HH
+
+#include <vector>
+
+#include "sim/agent.hh"
+#include "stats/counter.hh"
+#include "trace/trace.hh"
+
+namespace ddc {
+
+/** Replays a reference stream; one reference in flight at a time. */
+class TraceAgent : public Agent
+{
+  public:
+    /**
+     * @param pe This PE's id.
+     * @param caches The PE's cache banks.
+     * @param stream References to issue, in order (copied).
+     * @param stats Counter set receiving pe.* statistics.
+     */
+    TraceAgent(PeId pe, CacheSet caches, std::vector<MemRef> stream,
+               stats::CounterSet &stats);
+
+    void tick() override;
+    bool done() const override;
+
+    /** References fully completed so far. */
+    std::size_t refsCompleted() const { return completed; }
+
+  private:
+    PeId pe;
+    CacheSet caches;
+    std::vector<MemRef> stream;
+    stats::CounterSet &stats;
+    std::size_t next = 0;
+    std::size_t completed = 0;
+    bool waiting = false;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_TRACE_AGENT_HH

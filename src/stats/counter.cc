@@ -1,0 +1,87 @@
+#include "stats/counter.hh"
+
+#include <sstream>
+
+namespace ddc {
+namespace stats {
+
+void
+CounterSet::add(const std::string &name, std::uint64_t delta)
+{
+    counters[name] += delta;
+}
+
+std::uint64_t
+CounterSet::get(const std::string &name) const
+{
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+}
+
+bool
+CounterSet::has(const std::string &name) const
+{
+    return counters.find(name) != counters.end();
+}
+
+double
+CounterSet::ratio(const std::string &numerator,
+                  const std::string &denominator) const
+{
+    std::uint64_t den = get(denominator);
+    if (den == 0)
+        return 0.0;
+    return static_cast<double>(get(numerator)) / static_cast<double>(den);
+}
+
+std::uint64_t
+CounterSet::sumPrefix(const std::string &prefix) const
+{
+    std::uint64_t total = 0;
+    for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        total += it->second;
+    }
+    return total;
+}
+
+void
+CounterSet::clear()
+{
+    for (auto &entry : counters)
+        entry.second = 0;
+}
+
+void
+CounterSet::merge(const CounterSet &other)
+{
+    for (const auto &entry : other.counters)
+        counters[entry.first] += entry.second;
+}
+
+std::vector<std::string>
+CounterSet::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(counters.size());
+    for (const auto &entry : counters) {
+        if (entry.second != 0)
+            result.push_back(entry.first);
+    }
+    return result;
+}
+
+std::string
+CounterSet::report() const
+{
+    std::ostringstream os;
+    for (const auto &entry : counters) {
+        if (entry.second != 0)
+            os << entry.first << " = " << entry.second << "\n";
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace ddc

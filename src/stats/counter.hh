@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Named statistics counters.
+ *
+ * A CounterSet is a flat registry of named 64-bit event counters plus
+ * derived ratio queries.  Every simulator component owns (or shares) a
+ * CounterSet; benches and tests read the counters back by name.
+ */
+
+#ifndef DDC_STATS_COUNTER_HH
+#define DDC_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ddc {
+namespace stats {
+
+/**
+ * A registry of named monotonically increasing event counters.
+ *
+ * Counters are created on first use and iterate in lexicographic name
+ * order so reports are stable across runs.
+ */
+class CounterSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Value of @p name, or zero when the counter never fired. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** True when @p name has been created. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Ratio get(numerator) / get(denominator).
+     * @return 0.0 when the denominator is zero.
+     */
+    double ratio(const std::string &numerator,
+                 const std::string &denominator) const;
+
+    /** Sum of all counters whose name starts with @p prefix. */
+    std::uint64_t sumPrefix(const std::string &prefix) const;
+
+    /** Reset every counter to zero (names are kept). */
+    void clear();
+
+    /** Merge another set into this one, adding matching counters. */
+    void merge(const CounterSet &other);
+
+    /** Names with non-zero values, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Multi-line "name = value" report of all non-zero counters. */
+    std::string report() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters;
+};
+
+} // namespace stats
+} // namespace ddc
+
+#endif // DDC_STATS_COUNTER_HH

@@ -1,0 +1,108 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+namespace ddc {
+namespace stats {
+
+Table::Table(std::string title) : title(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> new_header)
+{
+    header = std::move(new_header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    rows.push_back(Row{std::move(row), false});
+}
+
+void
+Table::addSeparator()
+{
+    rows.push_back(Row{{}, true});
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::num(std::uint64_t value)
+{
+    return std::to_string(value);
+}
+
+std::size_t
+Table::numRows() const
+{
+    std::size_t count = 0;
+    for (const auto &row : rows) {
+        if (!row.separator)
+            count++;
+    }
+    return count;
+}
+
+std::string
+Table::render() const
+{
+    // Compute column widths over header + all rows.
+    std::size_t num_cols = header.size();
+    for (const auto &row : rows)
+        num_cols = std::max(num_cols, row.cells.size());
+
+    std::vector<std::size_t> widths(num_cols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); i++)
+            widths[i] = std::max(widths[i], cells[i].size());
+    };
+    widen(header);
+    for (const auto &row : rows) {
+        if (!row.separator)
+            widen(row.cells);
+    }
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 3;
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < num_cols; i++) {
+            std::string cell = i < cells.size() ? cells[i] : "";
+            os << " " << std::setw(static_cast<int>(widths[i]))
+               << std::left << cell << "  ";
+        }
+        os << "\n";
+    };
+
+    if (!title.empty())
+        os << title << "\n";
+    if (!header.empty()) {
+        emitRow(header);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows) {
+        if (row.separator) {
+            os << std::string(total, '-') << "\n";
+        } else {
+            emitRow(row.cells);
+        }
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace ddc

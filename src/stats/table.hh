@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table renderer used by the reproduction benches.
+ *
+ * Every bench binary prints the paper's table or figure as a text table
+ * before running timing sweeps; this class gives them a common look.
+ */
+
+#ifndef DDC_STATS_TABLE_HH
+#define DDC_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ddc {
+namespace stats {
+
+/**
+ * A simple column-aligned text table with an optional title and a
+ * header row.  Cells are strings; numeric helpers format doubles with a
+ * fixed precision.
+ */
+class Table
+{
+  public:
+    /** @param title Optional caption printed above the table. */
+    explicit Table(std::string title = "");
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (may be ragged; short rows are padded). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Format a double with @p precision fraction digits. */
+    static std::string num(double value, int precision = 1);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t value);
+
+    /** Number of data rows added so far (separators excluded). */
+    std::size_t numRows() const;
+
+    /** Render the full table. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::string title;
+    std::vector<std::string> header;
+    std::vector<Row> rows;
+};
+
+} // namespace stats
+} // namespace ddc
+
+#endif // DDC_STATS_TABLE_HH

@@ -1,0 +1,79 @@
+#include "sync/analysis.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace sync {
+
+double
+LockAnalysis::fairnessIndex() const
+{
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::uint64_t count : per_pe) {
+        auto x = static_cast<double>(count);
+        sum += x;
+        sum_sq += x * x;
+    }
+    if (sum_sq == 0.0)
+        return 1.0;
+    return sum * sum / (static_cast<double>(per_pe.size()) * sum_sq);
+}
+
+LockAnalysis
+analyzeLock(const ExecutionLog &log, Addr lock_addr, int num_pes)
+{
+    ddc_assert(num_pes >= 1, "need at least one PE");
+
+    LockAnalysis analysis;
+    analysis.per_pe.assign(static_cast<std::size_t>(num_pes), 0);
+
+    bool held = false;
+    PeId holder = kNoPe;
+    Cycle acquired_at = 0;
+    bool have_release = false;
+    Cycle released_at = 0;
+
+    for (const LogEntry &entry : log.all()) {
+        if (entry.addr != lock_addr)
+            continue;
+
+        switch (entry.op) {
+          case CpuOp::TestAndSet:
+            if (entry.ts_success) {
+                analysis.acquisitions++;
+                if (entry.pe >= 0 && entry.pe < num_pes)
+                    analysis.per_pe[static_cast<std::size_t>(
+                        entry.pe)]++;
+                if (have_release) {
+                    analysis.handoff_cycles.sample(entry.cycle -
+                                                   released_at);
+                    have_release = false;
+                }
+                held = true;
+                holder = entry.pe;
+                acquired_at = entry.cycle;
+            } else {
+                analysis.failed_attempts++;
+            }
+            break;
+
+          case CpuOp::Write:
+          case CpuOp::WriteUnlock:
+            if (held && entry.pe == holder && entry.value == 0) {
+                analysis.hold_cycles.sample(entry.cycle - acquired_at);
+                held = false;
+                have_release = true;
+                released_at = entry.cycle;
+            }
+            break;
+
+          default:
+            break;
+        }
+    }
+    return analysis;
+}
+
+} // namespace sync
+} // namespace ddc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Post-run analysis of lock behaviour from the serial execution log:
+ * who acquired how often (fairness), how long critical sections held
+ * the lock, and how quickly a released lock was re-acquired
+ * (handoff).  Complements the bus-traffic metrics of Section 6 with
+ * latency/fairness distributions.
+ */
+
+#ifndef DDC_SYNC_ANALYSIS_HH
+#define DDC_SYNC_ANALYSIS_HH
+
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/exec_log.hh"
+#include "stats/histogram.hh"
+
+namespace ddc {
+namespace sync {
+
+/** Lock behaviour extracted from an execution log. */
+struct LockAnalysis
+{
+    /** Successful acquisitions in log order. */
+    std::uint64_t acquisitions = 0;
+    /** Failed test-and-set attempts. */
+    std::uint64_t failed_attempts = 0;
+    /** Acquisitions per PE. */
+    std::vector<std::uint64_t> per_pe;
+    /** Cycles from acquisition to the matching release. */
+    stats::Histogram hold_cycles{32, 16};
+    /** Cycles from a release to the next acquisition. */
+    stats::Histogram handoff_cycles{32, 4};
+
+    /**
+     * Jain's fairness index over per-PE acquisition counts:
+     * 1.0 = perfectly fair, 1/n = one PE got everything.
+     */
+    double fairnessIndex() const;
+};
+
+/**
+ * Extract lock behaviour for @p lock_addr from @p log.
+ *
+ * An acquisition is a successful TestAndSet of the lock word; the
+ * matching release is the next write of zero to it by the same PE.
+ *
+ * @param log Serial execution log (record_log must have been on).
+ * @param lock_addr The lock word.
+ * @param num_pes Number of PEs (sizes per_pe).
+ */
+LockAnalysis analyzeLock(const ExecutionLog &log, Addr lock_addr,
+                         int num_pes);
+
+} // namespace sync
+} // namespace ddc
+
+#endif // DDC_SYNC_ANALYSIS_HH

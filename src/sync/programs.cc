@@ -1,0 +1,162 @@
+#include "sync/programs.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace sync {
+
+namespace {
+
+// Register conventions used by the generated programs.
+constexpr int rLockAddr = 1;
+constexpr int rOne = 2;
+constexpr int rTmp = 3;
+constexpr int rSense = 4;
+constexpr int rIters = 5;
+constexpr int rCountAddr = 6;
+constexpr int rAux = 7;
+constexpr int rDiff = 8;
+constexpr int rN = 9;
+constexpr int rCsIters = 10;
+constexpr int rZero = 11;
+constexpr int rWorkAddr = 12;
+constexpr int rWorkIters = 13;
+
+/** Emit a lock acquisition loop ending with the lock held. */
+void
+emitAcquire(ProgramBuilder &builder, LockKind kind,
+            const std::string &label_prefix)
+{
+    std::string retry = label_prefix + ".retry";
+    builder.label(retry);
+    if (kind == LockKind::TestAndTestAndSet) {
+        // The test: an ordinary cached read; spins stay in the cache
+        // while the lock is held elsewhere.
+        builder.load(rTmp, rLockAddr)
+            .branchIfNotZero(rTmp, retry);
+    }
+    // The test-and-set: an atomic bus RMW.
+    builder.testAndSet(rTmp, rLockAddr, rOne)
+        .branchIfNotZero(rTmp, retry);
+}
+
+} // namespace
+
+std::string_view
+toString(LockKind kind)
+{
+    switch (kind) {
+      case LockKind::TestAndSet:        return "TS";
+      case LockKind::TestAndTestAndSet: return "TTS";
+    }
+    return "?";
+}
+
+Program
+makeLockProgram(const LockProgramParams &params)
+{
+    ddc_assert(params.acquisitions >= 1, "need at least one acquisition");
+    ddc_assert(params.lock_addr != params.counter_addr,
+               "lock and counter must be distinct words");
+
+    ProgramBuilder builder;
+    builder.loadImm(rLockAddr, static_cast<std::int64_t>(params.lock_addr))
+        .loadImm(rOne, 1)
+        .loadImm(rZero, 0)
+        .loadImm(rCountAddr,
+                 static_cast<std::int64_t>(params.counter_addr))
+        .loadImm(rIters, params.acquisitions);
+
+    builder.label("outer");
+    emitAcquire(builder, params.kind, "acq");
+
+    // Critical section: increment the shared counter cs_increments
+    // times; non-atomic load/add/store made safe only by the lock.
+    if (params.cs_increments > 0) {
+        builder.loadImm(rCsIters, params.cs_increments);
+        builder.label("cs");
+        builder.load(rTmp, rCountAddr)
+            .addImm(rTmp, rTmp, 1)
+            .store(rCountAddr, rTmp)
+            .addImm(rCsIters, rCsIters, -1)
+            .branchIfNotZero(rCsIters, "cs");
+    }
+
+    // Release: an ordinary write of zero.
+    builder.store(rLockAddr, rZero);
+
+    // Local work between acquisitions (private-region writes).
+    if (params.local_work > 0) {
+        builder
+            .loadImm(rWorkAddr,
+                     static_cast<std::int64_t>(params.local_base))
+            .loadImm(rWorkIters, params.local_work);
+        builder.label("work");
+        builder.store(rWorkAddr, rWorkIters, 0, DataClass::Local)
+            .addImm(rWorkAddr, rWorkAddr, 1)
+            .addImm(rWorkIters, rWorkIters, -1)
+            .branchIfNotZero(rWorkIters, "work");
+    }
+
+    builder.addImm(rIters, rIters, -1)
+        .branchIfNotZero(rIters, "outer")
+        .halt();
+    return builder.build();
+}
+
+Program
+makeBarrierProgram(Addr lock_addr, Addr count_addr, Addr sense_addr,
+                   int num_pes, int iterations)
+{
+    ddc_assert(num_pes >= 1, "barrier needs at least one PE");
+    ddc_assert(iterations >= 1, "need at least one barrier episode");
+
+    ProgramBuilder builder;
+    builder.loadImm(rLockAddr, static_cast<std::int64_t>(lock_addr))
+        .loadImm(rOne, 1)
+        .loadImm(rZero, 0)
+        .loadImm(rCountAddr, static_cast<std::int64_t>(count_addr))
+        .loadImm(rAux, static_cast<std::int64_t>(sense_addr))
+        .loadImm(rN, num_pes)
+        .loadImm(rSense, 0)
+        .loadImm(rIters, iterations);
+
+    builder.label("episode");
+    emitAcquire(builder, LockKind::TestAndTestAndSet, "bar");
+
+    // count++ under the lock.
+    builder.load(rTmp, rCountAddr)
+        .addImm(rTmp, rTmp, 1)
+        .store(rCountAddr, rTmp)
+        .sub(rDiff, rTmp, rN)
+        .branchIfZero(rDiff, "last");
+
+    // Not the last arriver: release, then spin until the sense flips.
+    builder.store(rLockAddr, rZero);
+    builder.label("spin");
+    builder.load(rTmp, rAux)
+        .sub(rDiff, rTmp, rSense)
+        .branchIfZero(rDiff, "spin")
+        .jump("joined");
+
+    // Last arriver: reset the counter, flip the sense, release.
+    builder.label("last");
+    builder.store(rCountAddr, rZero)
+        .loadImm(rDiff, 1)
+        .sub(rDiff, rDiff, rSense)
+        .store(rAux, rDiff)
+        .store(rLockAddr, rZero);
+
+    builder.label("joined");
+    // my_sense = 1 - my_sense.
+    builder.loadImm(rDiff, 1)
+        .sub(rDiff, rDiff, rSense)
+        .move(rSense, rDiff)
+        .addImm(rIters, rIters, -1)
+        .branchIfNotZero(rIters, "episode")
+        .halt();
+    return builder.build();
+}
+
+} // namespace sync
+} // namespace ddc

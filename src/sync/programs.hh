@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Synchronization programs: Test-and-Set and Test-and-Test-and-Set
+ * spin locks, critical sections, and a sense-reversing barrier.
+ *
+ * These are the software implementations Section 6 advocates: TTS is
+ * "a simple test instruction" preceding each test-and-set, so the
+ * spin runs inside the private cache and the bus only sees traffic
+ * when the lock is observed free.  All programs are expressed in the
+ * PE mini-ISA and run on the simulated machine.
+ */
+
+#ifndef DDC_SYNC_PROGRAMS_HH
+#define DDC_SYNC_PROGRAMS_HH
+
+#include "base/types.hh"
+#include "sim/isa.hh"
+
+namespace ddc {
+namespace sync {
+
+/** Which acquisition discipline a lock program uses. */
+enum class LockKind
+{
+    TestAndSet,        //!< spin directly on the atomic TS (hot spot)
+    TestAndTestAndSet, //!< test in-cache first, TS only when free
+};
+
+/** Printable name of a LockKind. */
+std::string_view toString(LockKind kind);
+
+/**
+ * Parameters of a lock/critical-section program.
+ *
+ * Each acquisition enters the critical section, increments the shared
+ * counter at @p counter_addr cs_increments times (a correctness
+ * witness: with working mutual exclusion the final counter equals
+ * num_pes * acquisitions * cs_increments), optionally executes
+ * @p local_work private-region references to model useful work, then
+ * releases.
+ */
+struct LockProgramParams
+{
+    LockKind kind = LockKind::TestAndTestAndSet;
+    Addr lock_addr = 0;
+    Addr counter_addr = 1;
+    int acquisitions = 1;
+    int cs_increments = 1;
+    /** Private-region (per-PE) references between acquisitions. */
+    int local_work = 0;
+    /** Base address of this PE's private work region. */
+    Addr local_base = 0;
+};
+
+/** Build the lock/critical-section program for one PE. */
+Program makeLockProgram(const LockProgramParams &params);
+
+/**
+ * Build one PE's sense-reversing central-counter barrier program.
+ *
+ * @param lock_addr Lock protecting the arrival counter.
+ * @param count_addr Arrival counter word.
+ * @param sense_addr Global sense word.
+ * @param num_pes Number of participants.
+ * @param iterations Barrier episodes to run.
+ */
+Program makeBarrierProgram(Addr lock_addr, Addr count_addr, Addr sense_addr,
+                           int num_pes, int iterations);
+
+} // namespace sync
+} // namespace ddc
+
+#endif // DDC_SYNC_PROGRAMS_HH

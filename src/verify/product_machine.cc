@@ -1,0 +1,420 @@
+#include "verify/product_machine.hh"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+namespace {
+
+/**
+ * Abstract product-machine state for one address: per-cache line
+ * state plus one freshness bit per copy ("holds the latest version")
+ * and one for memory.
+ */
+struct MState
+{
+    std::vector<LineState> line;
+    std::vector<bool> fresh;
+    bool mem_fresh = true;
+
+    bool operator==(const MState &other) const = default;
+
+    /** Canonical byte encoding for hashing. */
+    std::string
+    key() const
+    {
+        std::string bytes;
+        bytes.reserve(line.size() * 3 + 1);
+        for (std::size_t i = 0; i < line.size(); i++) {
+            bytes.push_back(static_cast<char>(line[i].tag));
+            bytes.push_back(static_cast<char>(line[i].streak));
+            bytes.push_back(fresh[i] ? 1 : 0);
+        }
+        bytes.push_back(mem_fresh ? 1 : 0);
+        return bytes;
+    }
+
+    std::string
+    describe() const
+    {
+        std::ostringstream os;
+        os << "[";
+        for (std::size_t i = 0; i < line.size(); i++) {
+            if (i)
+                os << " ";
+            os << toString(line[i]) << (fresh[i] ? "*" : "");
+        }
+        os << "] mem" << (mem_fresh ? "*" : "");
+        return os.str();
+    }
+};
+
+/** Explorer holding the protocol, options, and BFS bookkeeping. */
+class Explorer
+{
+  public:
+    Explorer(const Protocol &protocol, int num_caches,
+             const ProductCheckOptions &options)
+        : protocol(protocol), n(num_caches), options(options)
+    {
+    }
+
+    ProductCheckResult
+    run()
+    {
+        MState initial;
+        initial.line.assign(static_cast<std::size_t>(n), LineState{});
+        initial.fresh.assign(static_cast<std::size_t>(n), false);
+        initial.mem_fresh = true;
+
+        enqueue(initial, "initial", initial);
+        while (!queue.empty() && result.ok) {
+            MState state = queue.front();
+            queue.pop_front();
+            expand(state);
+            if (visited.size() > options.max_states) {
+                fail(state, "state-space explosion",
+                     "exceeded max_states");
+                break;
+            }
+        }
+        result.states_explored = visited.size();
+        result.configurations.assign(configurations.begin(),
+                                     configurations.end());
+        return result;
+    }
+
+  private:
+    /** Normalize (dead copies carry no freshness), check, enqueue. */
+    void
+    enqueue(MState state, const std::string &event, const MState &from)
+    {
+        result.transitions_taken++;
+        for (std::size_t i = 0; i < state.line.size(); i++) {
+            if (!state.line[i].present()) {
+                state.fresh[i] = false;
+                if (state.line[i].tag == LineTag::NotPresent)
+                    state.line[i] = LineState{};
+            }
+        }
+        checkInvariants(state, event, from);
+        if (!result.ok)
+            return;
+        recordConfiguration(state);
+        auto [it, inserted] = visited.insert(state.key());
+        (void)it;
+        if (inserted)
+            queue.push_back(std::move(state));
+    }
+
+    void
+    fail(const MState &state, const std::string &event,
+         const std::string &why)
+    {
+        if (!result.ok)
+            return;
+        result.ok = false;
+        result.error = why + " (event: " + event +
+                       ", state: " + state.describe() + ")";
+    }
+
+    /** The Section 4 lemma + latest-value invariant. */
+    void
+    checkInvariants(const MState &state, const std::string &event,
+                    const MState &from)
+    {
+        int owner = -1;
+        for (int i = 0; i < n; i++) {
+            if (protocol.needsWriteback(state.line[size(i)])) {
+                if (owner >= 0) {
+                    fail(from, event, "two dirty owners");
+                    return;
+                }
+                owner = i;
+            }
+        }
+        if (owner >= 0) {
+            if (!state.fresh[size(owner)]) {
+                fail(from, event, "dirty owner holds a stale value");
+                return;
+            }
+            for (int i = 0; i < n; i++) {
+                if (i != owner && state.line[size(i)].present()) {
+                    fail(from, event,
+                         "live copy coexists with a dirty owner");
+                    return;
+                }
+            }
+        } else {
+            if (!state.mem_fresh) {
+                fail(from, event, "memory stale with no dirty owner");
+                return;
+            }
+            for (int i = 0; i < n; i++) {
+                if (state.line[size(i)].present() &&
+                    !state.fresh[size(i)]) {
+                    fail(from, event,
+                         "live copy stale with no dirty owner");
+                    return;
+                }
+            }
+        }
+    }
+
+    static std::size_t size(int i) { return static_cast<std::size_t>(i); }
+
+    /** Record the canonical tag-multiset of @p state. */
+    void
+    recordConfiguration(const MState &state)
+    {
+        std::vector<std::string> tags;
+        tags.reserve(state.line.size());
+        for (const LineState &line : state.line)
+            tags.push_back(toString(line));
+        std::sort(tags.begin(), tags.end());
+        std::string key;
+        for (std::size_t i = 0; i < tags.size(); i++) {
+            if (i)
+                key += " ";
+            key += tags[i];
+        }
+        configurations.insert(key);
+    }
+
+    /** Find the unique cache that would supply a snooped read. */
+    int
+    findSupplier(const MState &state, int exclude)
+    {
+        int supplier = -1;
+        for (int j = 0; j < n; j++) {
+            if (j == exclude || !state.line[size(j)].present())
+                continue;
+            if (protocol.onSnoop(state.line[size(j)], BusOp::Read).supply) {
+                if (supplier >= 0) {
+                    fail(state, "supplier search",
+                         "two caches claim to own the latest value");
+                    return -1;
+                }
+                supplier = j;
+            }
+        }
+        return supplier;
+    }
+
+    /** Deliver an effective bus op to every cache except the issuer. */
+    void
+    snoopAll(MState &state, int issuer, BusOp op, bool data_is_fresh)
+    {
+        for (int k = 0; k < n; k++) {
+            // Invalid lines still hold the address tag and snoop (the
+            // RB read broadcast revives them); only NotPresent lines
+            // ignore the bus.
+            if (k == issuer ||
+                state.line[size(k)].tag == LineTag::NotPresent)
+                continue;
+            SnoopReaction reaction = protocol.onSnoop(state.line[size(k)],
+                                                      op);
+            if (reaction.supply)
+                continue; // Resolved before broadcast in the real bus.
+            state.line[size(k)] = reaction.next;
+            if (reaction.snarf)
+                state.fresh[size(k)] = data_is_fresh;
+        }
+    }
+
+    /** Kill-and-supply by owner @p j (leaves any pending read pending). */
+    void
+    applySupply(const MState &state, int j, const std::string &event)
+    {
+        if (!state.fresh[size(j)]) {
+            fail(state, event, "supplier would broadcast a stale value");
+            return;
+        }
+        MState next = state;
+        next.mem_fresh = true;
+        next.line[size(j)] = protocol.afterSupply(next.line[size(j)]);
+        snoopAll(next, j, BusOp::Write, true);
+        enqueue(next, event, state);
+    }
+
+    void
+    expand(const MState &state)
+    {
+        // An Invalid line snoops but does not satisfy CPU accesses, so
+        // snooping below only applies to present-or-invalid tags; the
+        // helpers handle that.
+        for (int i = 0; i < n && result.ok; i++)
+            expandCache(state, i);
+    }
+
+    void
+    expandCache(const MState &state, int i)
+    {
+        const LineState mine = state.line[size(i)];
+        const std::string who = "cache " + std::to_string(i);
+
+        // --- CPU read -------------------------------------------------
+        CpuReaction read = protocol.onCpuAccess(mine, CpuOp::Read,
+                                                options_cls);
+        if (!read.needs_bus) {
+            // Hit: the theorem check — the value returned is the line's.
+            if (!state.fresh[size(i)]) {
+                fail(state, who + " read hit", "read returned stale value");
+                return;
+            }
+            MState next = state;
+            next.line[size(i)] = read.next;
+            enqueue(next, who + " read hit", state);
+        } else {
+            int supplier = findSupplier(state, i);
+            if (!result.ok)
+                return;
+            if (supplier >= 0) {
+                applySupply(state, supplier, who + " read killed by " +
+                                                 std::to_string(supplier));
+            } else {
+                if (!state.mem_fresh) {
+                    fail(state, who + " bus read",
+                         "bus read would return stale memory");
+                    return;
+                }
+                MState next = state;
+                if (read.allocate) {
+                    next.line[size(i)] = protocol.afterBusOp(mine,
+                                                             BusOp::Read,
+                                                             false);
+                    next.fresh[size(i)] = true;
+                }
+                snoopAll(next, i, BusOp::Read, true);
+                enqueue(next, who + " bus read", state);
+            }
+        }
+
+        // --- CPU write ------------------------------------------------
+        CpuReaction write = protocol.onCpuAccess(mine, CpuOp::Write,
+                                                 options_cls);
+        if (!write.needs_bus) {
+            // Local write: mints a new version visible only here.
+            MState next = state;
+            clearFresh(next);
+            next.line[size(i)] = write.next;
+            next.fresh[size(i)] = true;
+            enqueue(next, who + " write hit", state);
+        } else {
+            MState next = state;
+            clearFresh(next);
+            next.mem_fresh = true; // BW and BI both update memory.
+            if (write.allocate) {
+                next.line[size(i)] = protocol.afterBusOp(mine, write.bus_op,
+                                                         false);
+                next.fresh[size(i)] = true;
+            }
+            BusOp effective = write.bus_op == BusOp::Invalidate
+                                  ? BusOp::Invalidate : BusOp::Write;
+            snoopAll(next, i, effective, true);
+            enqueue(next,
+                    who + (effective == BusOp::Invalidate ? " bus BI"
+                                                          : " bus write"),
+                    state);
+        }
+
+        // --- Flush (precedes RMW-class ops on a dirty copy) ------------
+        if (mine.present() && protocol.memoryMayBeStale(mine)) {
+            applySupply(state, i, who + " flush");
+        }
+
+        // --- Test-and-set ----------------------------------------------
+        if (options.with_test_and_set &&
+            !(mine.present() && protocol.memoryMayBeStale(mine))) {
+            CpuReaction ts = protocol.onCpuAccess(mine, CpuOp::TestAndSet,
+                                                  options_cls);
+            ddc_assert(ts.needs_bus, "TS must be a bus transaction");
+            int supplier = findSupplier(state, i);
+            if (!result.ok)
+                return;
+            if (supplier >= 0) {
+                applySupply(state, supplier, who + " TS killed by " +
+                                                 std::to_string(supplier));
+            } else if (state.mem_fresh) {
+                // Resolve the conditional both ways.
+                for (bool success : {true, false}) {
+                    MState next = state;
+                    if (success) {
+                        clearFresh(next);
+                        next.mem_fresh = true;
+                    }
+                    if (ts.allocate) {
+                        next.line[size(i)] = protocol.afterBusOp(
+                            mine, BusOp::Rmw, success);
+                        next.fresh[size(i)] = true;
+                    }
+                    snoopAll(next, i, success ? BusOp::Write : BusOp::Read,
+                             true);
+                    enqueue(next,
+                            who + (success ? " TS success" : " TS fail"),
+                            state);
+                }
+            } else {
+                fail(state, who + " TS", "TS would observe stale memory");
+                return;
+            }
+        }
+
+        // --- Eviction ---------------------------------------------------
+        if (options.with_evictions && mine.tag != LineTag::NotPresent) {
+            MState next = state;
+            std::string event = who + " evict";
+            if (protocol.needsWriteback(mine)) {
+                if (!state.fresh[size(i)]) {
+                    fail(state, event, "write-back of a stale value");
+                    return;
+                }
+                next.mem_fresh = true;
+                next.line[size(i)] = LineState{};
+                snoopAll(next, i, BusOp::Write, true);
+                event += " (write-back)";
+            } else {
+                next.line[size(i)] = LineState{};
+            }
+            enqueue(next, event, state);
+        }
+    }
+
+    void
+    clearFresh(MState &state)
+    {
+        for (std::size_t i = 0; i < state.fresh.size(); i++)
+            state.fresh[i] = false;
+        state.mem_fresh = false;
+    }
+
+    const Protocol &protocol;
+    int n;
+    ProductCheckOptions options;
+    DataClass options_cls = DataClass::Shared;
+    ProductCheckResult result;
+    std::unordered_set<std::string> visited;
+    std::set<std::string> configurations;
+    std::deque<MState> queue;
+};
+
+} // namespace
+
+ProductCheckResult
+checkProductMachine(const Protocol &protocol, int num_caches,
+                    const ProductCheckOptions &options)
+{
+    ddc_assert(num_caches >= 1, "need at least one cache");
+    Explorer explorer(protocol, num_caches, options);
+    return explorer.run();
+}
+
+} // namespace ddc

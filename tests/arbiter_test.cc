@@ -1,0 +1,96 @@
+/** @file Unit tests for the bus arbitration policies. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/arbiter.hh"
+
+namespace ddc {
+namespace {
+
+TEST(RoundRobin, RotatesThroughRequesters)
+{
+    auto arbiter = makeArbiter(ArbiterKind::RoundRobin);
+    std::vector<int> all{0, 1, 2};
+    EXPECT_EQ(arbiter->pick(all), 0);
+    EXPECT_EQ(arbiter->pick(all), 1);
+    EXPECT_EQ(arbiter->pick(all), 2);
+    EXPECT_EQ(arbiter->pick(all), 0);
+}
+
+TEST(RoundRobin, SkipsNonRequesters)
+{
+    auto arbiter = makeArbiter(ArbiterKind::RoundRobin);
+    EXPECT_EQ(arbiter->pick({0, 1, 2, 3}), 0);
+    EXPECT_EQ(arbiter->pick({2, 3}), 2);
+    EXPECT_EQ(arbiter->pick({0, 1}), 0); // wraps past 2
+}
+
+TEST(RoundRobin, SingleRequesterAlwaysWins)
+{
+    auto arbiter = makeArbiter(ArbiterKind::RoundRobin);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(arbiter->pick({3}), 3);
+}
+
+TEST(RoundRobin, NoStarvationUnderFullLoad)
+{
+    auto arbiter = makeArbiter(ArbiterKind::RoundRobin);
+    std::vector<int> all{0, 1, 2, 3, 4};
+    std::map<int, int> grants;
+    for (int i = 0; i < 100; i++)
+        grants[arbiter->pick(all)]++;
+    for (int client = 0; client < 5; client++)
+        EXPECT_EQ(grants[client], 20);
+}
+
+TEST(FixedPriority, AlwaysPicksLowestIndex)
+{
+    auto arbiter = makeArbiter(ArbiterKind::FixedPriority);
+    EXPECT_EQ(arbiter->pick({2, 5, 7}), 2);
+    EXPECT_EQ(arbiter->pick({2, 5, 7}), 2);
+    EXPECT_EQ(arbiter->pick({5, 7}), 5);
+}
+
+TEST(Random, PicksOnlyRequesters)
+{
+    auto arbiter = makeArbiter(ArbiterKind::Random, 42);
+    std::vector<int> some{1, 4, 6};
+    for (int i = 0; i < 200; i++) {
+        int grant = arbiter->pick(some);
+        EXPECT_TRUE(grant == 1 || grant == 4 || grant == 6);
+    }
+}
+
+TEST(Random, DeterministicBySeed)
+{
+    auto a = makeArbiter(ArbiterKind::Random, 7);
+    auto b = makeArbiter(ArbiterKind::Random, 7);
+    std::vector<int> all{0, 1, 2, 3};
+    for (int i = 0; i < 50; i++)
+        EXPECT_EQ(a->pick(all), b->pick(all));
+}
+
+TEST(Random, RoughlyUniform)
+{
+    auto arbiter = makeArbiter(ArbiterKind::Random, 11);
+    std::vector<int> all{0, 1};
+    int zero = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; i++) {
+        if (arbiter->pick(all) == 0)
+            zero++;
+    }
+    EXPECT_NEAR(static_cast<double>(zero) / trials, 0.5, 0.03);
+}
+
+TEST(ArbiterNames, AllPrintable)
+{
+    EXPECT_EQ(toString(ArbiterKind::RoundRobin), "RoundRobin");
+    EXPECT_EQ(toString(ArbiterKind::FixedPriority), "FixedPriority");
+    EXPECT_EQ(toString(ArbiterKind::Random), "Random");
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the shared bus: arbitration, execution of every
+ * transaction kind, snoop broadcast, the kill/supply path, Rmw
+ * resolution, and NACKs on locked words.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+
+#include "sim/bus.hh"
+#include "sim/memory.hh"
+
+namespace ddc {
+namespace {
+
+/** Scriptable bus client recording everything the bus does to it. */
+class FakeClient : public BusClient
+{
+  public:
+    explicit FakeClient(PeId pe) : pe(pe) {}
+
+    bool hasRequest() override { return !requests.empty(); }
+
+    BusRequest currentRequest() override { return requests.front(); }
+
+    void
+    requestComplete(const BusResult &result) override
+    {
+        completions.push_back(result);
+        requests.pop_front();
+    }
+
+    bool
+    wouldSupply(Addr addr, Word &value) override
+    {
+        if (supply_addr && *supply_addr == addr) {
+            value = supply_value;
+            return true;
+        }
+        return false;
+    }
+
+    void observe(const BusTransaction &txn) override
+    {
+        observed.push_back(txn);
+    }
+
+    void supplied(Addr addr) override { supplied_addrs.push_back(addr); }
+
+    PeId peId() const override { return pe; }
+
+    void push(BusRequest request) { requests.push_back(request); }
+
+    PeId pe;
+    std::deque<BusRequest> requests;
+    std::vector<BusResult> completions;
+    std::vector<BusTransaction> observed;
+    std::vector<Addr> supplied_addrs;
+    std::optional<Addr> supply_addr;
+    Word supply_value = 0;
+};
+
+class BusTest : public ::testing::Test
+{
+  protected:
+    BusTest() : memory(stats), bus(memory, ArbiterKind::RoundRobin, clock,
+                                   stats)
+    {
+        for (auto &client : clients)
+            bus.attach(&client);
+    }
+
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory;
+    Bus bus;
+    FakeClient clients[3] = {FakeClient(0), FakeClient(1), FakeClient(2)};
+};
+
+TEST_F(BusTest, IdleCycleWhenNoRequests)
+{
+    EXPECT_TRUE(bus.idle());
+    bus.tick();
+    EXPECT_EQ(stats.get("bus.idle_cycles"), 1u);
+    EXPECT_EQ(stats.get("bus.busy_cycles"), 0u);
+}
+
+TEST_F(BusTest, ReadReturnsMemoryValueAndBroadcasts)
+{
+    memory.write(10, 77);
+    clients[0].push({BusOp::Read, 10, 0});
+    bus.tick();
+
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_EQ(clients[0].completions[0].data, 77u);
+    // Both other clients observed the read with its data.
+    for (int i : {1, 2}) {
+        ASSERT_EQ(clients[i].observed.size(), 1u);
+        EXPECT_EQ(clients[i].observed[0].op, BusOp::Read);
+        EXPECT_EQ(clients[i].observed[0].data, 77u);
+        EXPECT_EQ(clients[i].observed[0].issuer, 0);
+    }
+    EXPECT_TRUE(clients[0].observed.empty()); // never your own txn
+    EXPECT_EQ(stats.get("bus.read"), 1u);
+}
+
+TEST_F(BusTest, WriteUpdatesMemoryAndBroadcasts)
+{
+    clients[1].push({BusOp::Write, 5, 99});
+    bus.tick();
+    EXPECT_EQ(memory.peek(5), 99u);
+    ASSERT_EQ(clients[0].observed.size(), 1u);
+    EXPECT_EQ(clients[0].observed[0].op, BusOp::Write);
+    EXPECT_EQ(clients[0].observed[0].data, 99u);
+    ASSERT_EQ(clients[1].completions.size(), 1u);
+    EXPECT_EQ(clients[1].completions[0].data, 99u);
+}
+
+TEST_F(BusTest, InvalidateCarriesDataAndIsSnoopedAsInvalidate)
+{
+    clients[0].push({BusOp::Invalidate, 3, 11});
+    bus.tick();
+    EXPECT_EQ(memory.peek(3), 11u);
+    ASSERT_EQ(clients[2].observed.size(), 1u);
+    EXPECT_EQ(clients[2].observed[0].op, BusOp::Invalidate);
+    EXPECT_EQ(stats.get("bus.invalidate"), 1u);
+}
+
+TEST_F(BusTest, OneTransactionPerCycle)
+{
+    clients[0].push({BusOp::Write, 1, 1});
+    clients[1].push({BusOp::Write, 2, 2});
+    bus.tick();
+    EXPECT_EQ(clients[0].completions.size() + clients[1].completions.size(),
+              1u);
+    bus.tick();
+    EXPECT_EQ(clients[0].completions.size() + clients[1].completions.size(),
+              2u);
+}
+
+TEST_F(BusTest, KillAndSupplyReplacesRead)
+{
+    // Client 2 owns addr 8 with value 123; client 0 tries to read it.
+    clients[2].supply_addr = 8;
+    clients[2].supply_value = 123;
+    clients[0].push({BusOp::Read, 8, 0});
+    bus.tick();
+
+    // The read did not complete; the supply write did.
+    EXPECT_TRUE(clients[0].completions.empty());
+    EXPECT_TRUE(clients[0].hasRequest());
+    EXPECT_EQ(memory.peek(8), 123u);
+    ASSERT_EQ(clients[2].supplied_addrs.size(), 1u);
+    EXPECT_EQ(clients[2].supplied_addrs[0], 8u);
+    // Everyone except the supplier observed the write (incl. client 0).
+    ASSERT_EQ(clients[0].observed.size(), 1u);
+    EXPECT_EQ(clients[0].observed[0].op, BusOp::Write);
+    EXPECT_TRUE(clients[2].observed.empty());
+    EXPECT_EQ(stats.get("bus.kill"), 1u);
+
+    // Retry: the owner no longer supplies; memory now serves the read.
+    clients[2].supply_addr.reset();
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_EQ(clients[0].completions[0].data, 123u);
+}
+
+TEST_F(BusTest, TwoSuppliersIsFatal)
+{
+    clients[1].supply_addr = 8;
+    clients[2].supply_addr = 8;
+    clients[0].push({BusOp::Read, 8, 0});
+    EXPECT_DEATH(bus.tick(), "ownership");
+}
+
+TEST_F(BusTest, RmwSuccessOnZeroWord)
+{
+    clients[0].push({BusOp::Rmw, 4, 1});
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_TRUE(clients[0].completions[0].rmw_success);
+    EXPECT_EQ(clients[0].completions[0].data, 0u);
+    EXPECT_EQ(memory.peek(4), 1u);
+    // Success is snooped as a write.
+    ASSERT_EQ(clients[1].observed.size(), 1u);
+    EXPECT_EQ(clients[1].observed[0].op, BusOp::Write);
+    EXPECT_EQ(stats.get("bus.rmw_success"), 1u);
+}
+
+TEST_F(BusTest, RmwFailureOnNonZeroWord)
+{
+    memory.write(4, 55);
+    clients[0].push({BusOp::Rmw, 4, 1});
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_FALSE(clients[0].completions[0].rmw_success);
+    EXPECT_EQ(clients[0].completions[0].data, 55u);
+    EXPECT_EQ(memory.peek(4), 55u);
+    // Failure is snooped as a read.
+    ASSERT_EQ(clients[1].observed.size(), 1u);
+    EXPECT_EQ(clients[1].observed[0].op, BusOp::Read);
+    EXPECT_EQ(clients[1].observed[0].data, 55u);
+    EXPECT_EQ(stats.get("bus.rmw_fail"), 1u);
+}
+
+TEST_F(BusTest, RmwKilledBySupplier)
+{
+    clients[1].supply_addr = 4;
+    clients[1].supply_value = 9;
+    clients[0].push({BusOp::Rmw, 4, 1});
+    bus.tick();
+    EXPECT_TRUE(clients[0].completions.empty());
+    EXPECT_EQ(memory.peek(4), 9u);
+    // Retry now fails against the supplied non-zero value.
+    clients[1].supply_addr.reset();
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_FALSE(clients[0].completions[0].rmw_success);
+}
+
+TEST_F(BusTest, ReadLockLocksAndWriteUnlockReleases)
+{
+    memory.write(6, 30);
+    clients[0].push({BusOp::ReadLock, 6, 0});
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_EQ(clients[0].completions[0].data, 30u);
+    EXPECT_TRUE(memory.locked(6));
+
+    // A write by another PE NACKs while the lock is held.
+    clients[1].push({BusOp::Write, 6, 99});
+    bus.tick();
+    EXPECT_TRUE(clients[1].completions.empty());
+    EXPECT_TRUE(clients[1].hasRequest());
+    EXPECT_EQ(memory.peek(6), 30u);
+    EXPECT_GE(stats.get("bus.nack"), 1u);
+
+    // The owner unlocks; the blocked write then proceeds.
+    clients[0].push({BusOp::WriteUnlock, 6, 31});
+    bus.tick(); // round-robin wraps to client 0: the unlock executes
+    EXPECT_FALSE(memory.locked(6));
+    bus.tick(); // client 1's blocked write now succeeds
+    ASSERT_EQ(clients[1].completions.size(), 1u);
+    EXPECT_EQ(memory.peek(6), 99u);
+}
+
+TEST_F(BusTest, RmwNacksOnLockedWord)
+{
+    clients[0].push({BusOp::ReadLock, 6, 0});
+    bus.tick();
+    clients[1].push({BusOp::Rmw, 6, 1});
+    bus.tick();
+    EXPECT_TRUE(clients[1].completions.empty());
+    EXPECT_GE(stats.get("bus.nack"), 1u);
+}
+
+TEST_F(BusTest, PlainReadAllowedOnLockedWord)
+{
+    memory.write(6, 12);
+    clients[0].push({BusOp::ReadLock, 6, 0});
+    bus.tick();
+    clients[1].push({BusOp::Read, 6, 0});
+    bus.tick();
+    ASSERT_EQ(clients[1].completions.size(), 1u);
+    EXPECT_EQ(clients[1].completions[0].data, 12u);
+}
+
+/** A rig with 4-word blocks and 2 extra cycles of memory latency. */
+class BlockBusTest : public ::testing::Test
+{
+  protected:
+    BlockBusTest()
+        : memory(stats), bus(memory, ArbiterKind::RoundRobin, clock,
+                             stats, 0, /*block_words=*/4,
+                             /*memory_latency=*/0)
+    {
+        for (auto &client : clients)
+            bus.attach(&client);
+    }
+
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory;
+    Bus bus;
+    FakeClient clients[2] = {FakeClient(0), FakeClient(1)};
+};
+
+TEST_F(BlockBusTest, BlockReadTransfersWholeBlockAndOccupiesBus)
+{
+    memory.write(4, 40);
+    memory.write(6, 60);
+    BusRequest request{BusOp::Read, 5, 0, true, {}};
+    clients[0].push(request);
+    bus.tick();
+
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    const auto &result = clients[0].completions[0];
+    ASSERT_EQ(result.block.size(), 4u);
+    EXPECT_EQ(result.block[0], 40u);
+    EXPECT_EQ(result.block[2], 60u);
+    EXPECT_EQ(result.data, 0u); // word 5 itself
+    // The snoopers saw the block payload.
+    ASSERT_EQ(clients[1].observed.size(), 1u);
+    EXPECT_EQ(clients[1].observed[0].block.size(), 4u);
+
+    // 3 more cycles of transfer occupancy follow.
+    EXPECT_FALSE(bus.idle());
+    bus.tick();
+    bus.tick();
+    bus.tick();
+    EXPECT_EQ(stats.get("bus.transfer_cycles"), 3u);
+    EXPECT_TRUE(bus.idle());
+}
+
+TEST_F(BlockBusTest, BlockWriteBackStoresAllWords)
+{
+    BusRequest request{BusOp::Write, 8, 1, true, {1, 2, 3, 4}};
+    clients[0].push(request);
+    bus.tick();
+    EXPECT_EQ(memory.peek(8), 1u);
+    EXPECT_EQ(memory.peek(9), 2u);
+    EXPECT_EQ(memory.peek(10), 3u);
+    EXPECT_EQ(memory.peek(11), 4u);
+    ASSERT_EQ(clients[1].observed.size(), 1u);
+    EXPECT_EQ(clients[1].observed[0].block.size(), 4u);
+}
+
+TEST_F(BlockBusTest, BlockBaseMath)
+{
+    EXPECT_EQ(bus.blockBase(0), 0u);
+    EXPECT_EQ(bus.blockBase(3), 0u);
+    EXPECT_EQ(bus.blockBase(4), 4u);
+    EXPECT_EQ(bus.blockBase(7), 4u);
+}
+
+TEST(MemoryLatencyBus, TransactionsHoldTheBus)
+{
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory(stats);
+    Bus bus(memory, ArbiterKind::RoundRobin, clock, stats, 0, 1,
+            /*memory_latency=*/2);
+    FakeClient client(0);
+    bus.attach(&client);
+
+    client.push({BusOp::Write, 1, 5, false, {}});
+    bus.tick(); // executes, then occupies 2 more cycles
+    ASSERT_EQ(client.completions.size(), 1u);
+    EXPECT_FALSE(bus.idle());
+    bus.tick();
+    bus.tick();
+    EXPECT_TRUE(bus.idle());
+    EXPECT_EQ(stats.get("bus.transfer_cycles"), 2u);
+}
+
+TEST_F(BusTest, RoundRobinFairnessAcrossTicks)
+{
+    for (int i = 0; i < 3; i++) {
+        clients[0].push({BusOp::Write, 100, 1});
+        clients[1].push({BusOp::Write, 200, 2});
+        clients[2].push({BusOp::Write, 300, 3});
+    }
+    for (int i = 0; i < 9; i++)
+        bus.tick();
+    EXPECT_EQ(clients[0].completions.size(), 3u);
+    EXPECT_EQ(clients[1].completions.size(), 3u);
+    EXPECT_EQ(clients[2].completions.size(), 3u);
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the Cache: hit/miss flows, snarfing, the Local-state
+ * intervention, eviction write-back, the flush-before-RMW phase, and
+ * the lazy broadcast-fill completion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rb.hh"
+#include "core/rwb.hh"
+#include "sim/bus.hh"
+#include "sim/cache.hh"
+#include "sim/memory.hh"
+
+namespace ddc {
+namespace {
+
+/** A two-cache single-bus rig with manual clock control. */
+template <typename ProtocolType>
+class Rig
+{
+  public:
+    explicit Rig(std::size_t lines = 8)
+        : memory(stats), bus(memory, ArbiterKind::RoundRobin, clock, stats),
+          cache0(0, lines, protocol, clock, stats, &log),
+          cache1(1, lines, protocol, clock, stats, &log)
+    {
+        cache0.connectBus(bus);
+        cache1.connectBus(bus);
+    }
+
+    /** Run bus cycles until @p cache completes its pending op. */
+    Cache::AccessResult
+    drain(Cache &cache, int max_cycles = 64)
+    {
+        for (int i = 0; i < max_cycles; i++) {
+            if (cache.hasCompletion())
+                return cache.takeCompletion();
+            bus.tick();
+            clock.now++;
+        }
+        ADD_FAILURE() << "cache op did not complete";
+        return {};
+    }
+
+    /** Issue @p ref and run it to completion. */
+    Cache::AccessResult
+    access(Cache &cache, const MemRef &ref)
+    {
+        auto result = cache.cpuAccess(ref);
+        if (result.complete)
+            return result;
+        return drain(cache);
+    }
+
+    stats::CounterSet stats;
+    Clock clock;
+    ExecutionLog log;
+    ProtocolType protocol;
+    Memory memory;
+    Bus bus;
+    Cache cache0;
+    Cache cache1;
+};
+
+MemRef
+read(Addr addr)
+{
+    return {CpuOp::Read, addr, 0, DataClass::Shared};
+}
+
+MemRef
+write(Addr addr, Word data)
+{
+    return {CpuOp::Write, addr, data, DataClass::Shared};
+}
+
+MemRef
+tas(Addr addr, Word data = 1)
+{
+    return {CpuOp::TestAndSet, addr, data, DataClass::Shared};
+}
+
+TEST(CacheRb, ReadMissFetchesFromMemory)
+{
+    Rig<RbProtocol> rig;
+    rig.memory.write(3, 42);
+    auto result = rig.access(rig.cache0, read(3));
+    EXPECT_EQ(result.value, 42u);
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Readable);
+    EXPECT_EQ(rig.cache0.lineValue(3), 42u);
+}
+
+TEST(CacheRb, ReadHitGeneratesNoBusTraffic)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, read(3));
+    auto before = rig.stats.get("bus.busy_cycles");
+    auto result = rig.cache0.cpuAccess(read(3));
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(rig.stats.get("bus.busy_cycles"), before);
+}
+
+TEST(CacheRb, WriteThroughInvalidatesOtherCopy)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, read(3));
+    rig.access(rig.cache1, read(3));
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Readable);
+
+    rig.access(rig.cache0, write(3, 7));
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Local);
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Invalid);
+    EXPECT_EQ(rig.memory.peek(3), 7u);
+}
+
+TEST(CacheRb, LocalWritesStayInCache)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, write(3, 1));
+    auto busy = rig.stats.get("bus.busy_cycles");
+    auto result = rig.cache0.cpuAccess(write(3, 2));
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(rig.stats.get("bus.busy_cycles"), busy);
+    EXPECT_EQ(rig.cache0.lineValue(3), 2u);
+    EXPECT_EQ(rig.memory.peek(3), 1u); // memory is stale until supplied
+}
+
+TEST(CacheRb, LocalOwnerSuppliesReader)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, write(3, 1));
+    rig.access(rig.cache0, write(3, 2)); // dirty local copy
+
+    auto result = rig.access(rig.cache1, read(3));
+    EXPECT_EQ(result.value, 2u);
+    EXPECT_EQ(rig.memory.peek(3), 2u); // supply updated memory
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Readable);
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Readable);
+    EXPECT_GE(rig.stats.get("bus.kill"), 1u);
+    EXPECT_GE(rig.stats.get("cache.supply"), 1u);
+}
+
+TEST(CacheRb, RbDoesNotFillReaderFromSupplyWrite)
+{
+    // In RB the killed read must retry: the supply write invalidates
+    // rather than fills, so the retry is a real second transaction.
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, write(3, 1));
+    rig.access(rig.cache0, write(3, 2));
+    rig.access(rig.cache1, read(3));
+    EXPECT_EQ(rig.stats.get("cache.broadcast_fill"), 0u);
+}
+
+TEST(CacheRb, EvictionWritesBackDirtyVictim)
+{
+    Rig<RbProtocol> rig(4); // addrs 1 and 5 collide (mod 4)
+    rig.access(rig.cache0, write(1, 10));
+    rig.access(rig.cache0, write(1, 11)); // 1 is dirty Local
+    auto result = rig.access(rig.cache0, read(5));
+    EXPECT_EQ(result.value, 0u);
+    EXPECT_EQ(rig.memory.peek(1), 11u); // victim written back
+    EXPECT_EQ(rig.stats.get("cache.writeback"), 1u);
+    EXPECT_EQ(rig.cache0.lineState(1).tag, LineTag::NotPresent);
+    EXPECT_EQ(rig.cache0.lineState(5).tag, LineTag::Readable);
+}
+
+TEST(CacheRb, CleanVictimDroppedWithoutWriteback)
+{
+    Rig<RbProtocol> rig(4);
+    rig.access(rig.cache0, read(1));     // Readable, clean
+    rig.access(rig.cache0, read(5));     // evicts 1 silently
+    EXPECT_EQ(rig.stats.get("cache.writeback"), 0u);
+    EXPECT_EQ(rig.cache0.lineState(1).tag, LineTag::NotPresent);
+}
+
+TEST(CacheRb, FlushPrecedesTestAndSetOnDirtyCopy)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, write(3, 5));
+    rig.access(rig.cache0, write(3, 6)); // Local, memory stale (5)
+
+    // TS must observe 6 (non-zero) and fail, not the stale 5.
+    auto result = rig.access(rig.cache0, tas(3));
+    EXPECT_FALSE(result.ts_success);
+    EXPECT_EQ(result.value, 6u);
+    EXPECT_EQ(rig.stats.get("cache.flush"), 1u);
+    EXPECT_EQ(rig.memory.peek(3), 6u);
+}
+
+TEST(CacheRb, TestAndSetSuccessTakesOwnership)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache1, read(3));
+    auto result = rig.access(rig.cache0, tas(3, 9));
+    EXPECT_TRUE(result.ts_success);
+    EXPECT_EQ(result.value, 0u);
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Local);
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Invalid);
+    EXPECT_EQ(rig.memory.peek(3), 9u);
+}
+
+TEST(CacheRb, ReadBroadcastRefillsInvalidCopies)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, read(3));
+    rig.access(rig.cache1, write(3, 4)); // cache0 -> Invalid
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Invalid);
+
+    // cache0's own read is a bus read; cache1 (Local) supplies, then
+    // the retried read refills both caches.
+    auto result = rig.access(rig.cache0, read(3));
+    EXPECT_EQ(result.value, 4u);
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Readable);
+}
+
+TEST(CacheRwb, WriteBroadcastUpdatesOtherCopies)
+{
+    Rig<RwbProtocol> rig;
+    rig.access(rig.cache0, read(3));
+    rig.access(rig.cache1, read(3));
+
+    rig.access(rig.cache0, write(3, 8));
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::FirstWrite);
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Readable);
+    EXPECT_EQ(rig.cache1.lineValue(3), 8u); // updated, not invalidated
+    EXPECT_EQ(rig.stats.get("cache.snarf"), 1u);
+}
+
+TEST(CacheRwb, SecondWriteSendsBusInvalidate)
+{
+    Rig<RwbProtocol> rig;
+    rig.access(rig.cache1, read(3));
+    rig.access(rig.cache0, write(3, 8));
+    rig.access(rig.cache0, write(3, 9));
+    EXPECT_EQ(rig.cache0.lineState(3).tag, LineTag::Local);
+    EXPECT_EQ(rig.cache1.lineState(3).tag, LineTag::Invalid);
+    EXPECT_EQ(rig.stats.get("bus.invalidate"), 1u);
+    EXPECT_EQ(rig.memory.peek(3), 9u); // BI carries the data
+}
+
+TEST(CacheRwb, ThirdWriteIsSilent)
+{
+    Rig<RwbProtocol> rig;
+    rig.access(rig.cache0, write(3, 1));
+    rig.access(rig.cache0, write(3, 2)); // -> Local via BI
+    auto busy = rig.stats.get("bus.busy_cycles");
+    auto result = rig.cache0.cpuAccess(write(3, 3));
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(rig.stats.get("bus.busy_cycles"), busy);
+}
+
+TEST(CacheRwb, FirstWriteEvictionNeedsNoWriteback)
+{
+    Rig<RwbProtocol> rig(4);
+    rig.access(rig.cache0, write(1, 10)); // F, memory already has 10
+    rig.access(rig.cache0, read(5));      // evict 1
+    EXPECT_EQ(rig.stats.get("cache.writeback"), 0u);
+    EXPECT_EQ(rig.memory.peek(1), 10u);
+}
+
+TEST(Cache, RejectsSecondOutstandingAccess)
+{
+    Rig<RbProtocol> rig;
+    auto result = rig.cache0.cpuAccess(read(3));
+    EXPECT_FALSE(result.complete);
+    EXPECT_TRUE(rig.cache0.busy());
+    EXPECT_DEATH(rig.cache0.cpuAccess(read(4)), "outstanding");
+}
+
+TEST(Cache, LineStateForUnknownAddressIsNotPresent)
+{
+    Rig<RbProtocol> rig;
+    EXPECT_EQ(rig.cache0.lineState(77).tag, LineTag::NotPresent);
+    EXPECT_EQ(rig.cache0.lineValue(77), 0u);
+}
+
+TEST(Cache, CommitsAreLogged)
+{
+    Rig<RbProtocol> rig;
+    rig.access(rig.cache0, write(3, 5));
+    rig.access(rig.cache1, read(3));
+    ASSERT_EQ(rig.log.size(), 2u);
+    EXPECT_EQ(rig.log.all()[0].op, CpuOp::Write);
+    EXPECT_EQ(rig.log.all()[0].value, 5u);
+    EXPECT_EQ(rig.log.all()[1].op, CpuOp::Read);
+    EXPECT_EQ(rig.log.all()[1].value, 5u);
+    EXPECT_EQ(rig.log.all()[1].pe, 1);
+}
+
+} // namespace
+} // namespace ddc

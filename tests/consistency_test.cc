@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests of the serial-consistency checker and the configuration
+ * lemma checker, including negative cases with hand-forged logs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+#include "verify/consistency.hh"
+
+namespace ddc {
+namespace {
+
+LogEntry
+entry(PeId pe, CpuOp op, Addr addr, Word value)
+{
+    LogEntry result;
+    result.pe = pe;
+    result.op = op;
+    result.addr = addr;
+    result.value = value;
+    return result;
+}
+
+TEST(SerialConsistency, EmptyLogIsConsistent)
+{
+    ExecutionLog log;
+    auto report = checkSerialConsistency(log);
+    EXPECT_TRUE(report.consistent);
+    EXPECT_EQ(report.violations, 0u);
+}
+
+TEST(SerialConsistency, WriteThenMatchingRead)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Write, 1, 5));
+    log.append(entry(1, CpuOp::Read, 1, 5));
+    EXPECT_TRUE(checkSerialConsistency(log).consistent);
+}
+
+TEST(SerialConsistency, UninitializedReadsZero)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Read, 9, 0));
+    EXPECT_TRUE(checkSerialConsistency(log).consistent);
+    ExecutionLog bad;
+    bad.append(entry(0, CpuOp::Read, 9, 1));
+    EXPECT_FALSE(checkSerialConsistency(bad).consistent);
+}
+
+TEST(SerialConsistency, StaleReadFlagged)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Write, 1, 5));
+    log.append(entry(0, CpuOp::Write, 1, 6));
+    log.append(entry(1, CpuOp::Read, 1, 5)); // stale
+    auto report = checkSerialConsistency(log);
+    EXPECT_FALSE(report.consistent);
+    EXPECT_EQ(report.violations, 1u);
+    EXPECT_NE(report.first_error.find("stale read"), std::string::npos);
+}
+
+TEST(SerialConsistency, TsOutcomeMustMatchValue)
+{
+    ExecutionLog log;
+    auto ts = entry(0, CpuOp::TestAndSet, 1, 0);
+    ts.stored = 1;
+    ts.ts_success = true;
+    log.append(ts);
+    log.append(entry(1, CpuOp::Read, 1, 1));
+    EXPECT_TRUE(checkSerialConsistency(log).consistent);
+
+    // A TS that claims success on a non-zero observed value.
+    ExecutionLog bad;
+    bad.append(entry(0, CpuOp::Write, 1, 7));
+    auto lying = entry(0, CpuOp::TestAndSet, 1, 7);
+    lying.stored = 1;
+    lying.ts_success = true;
+    bad.append(lying);
+    auto report = checkSerialConsistency(bad);
+    EXPECT_FALSE(report.consistent);
+    EXPECT_NE(report.first_error.find("outcome"), std::string::npos);
+}
+
+TEST(SerialConsistency, TsObservedValueChecked)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Write, 1, 3));
+    auto ts = entry(1, CpuOp::TestAndSet, 1, 0); // should observe 3
+    ts.ts_success = true;
+    ts.stored = 9;
+    log.append(ts);
+    auto report = checkSerialConsistency(log);
+    EXPECT_FALSE(report.consistent);
+    EXPECT_GE(report.violations, 1u);
+}
+
+TEST(SerialConsistency, FailedTsDoesNotStore)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Write, 1, 2));
+    auto ts = entry(1, CpuOp::TestAndSet, 1, 2);
+    ts.ts_success = false;
+    ts.stored = 9;
+    log.append(ts);
+    log.append(entry(0, CpuOp::Read, 1, 2)); // still 2
+    EXPECT_TRUE(checkSerialConsistency(log).consistent);
+}
+
+TEST(SerialConsistency, ReadLockAndWriteUnlockTreatedAsReadWrite)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::ReadLock, 1, 0));
+    log.append(entry(0, CpuOp::WriteUnlock, 1, 4));
+    log.append(entry(1, CpuOp::Read, 1, 4));
+    EXPECT_TRUE(checkSerialConsistency(log).consistent);
+}
+
+TEST(SerialConsistency, ViolationsCounted)
+{
+    ExecutionLog log;
+    log.append(entry(0, CpuOp::Read, 1, 7));
+    log.append(entry(0, CpuOp::Read, 2, 7));
+    log.append(entry(0, CpuOp::Read, 3, 7));
+    auto report = checkSerialConsistency(log);
+    EXPECT_EQ(report.violations, 3u);
+}
+
+TEST(ConfigurationLemma, HoldsAfterRandomRun)
+{
+    for (auto kind : allProtocolKinds()) {
+        SystemConfig config;
+        config.num_pes = 4;
+        config.protocol = kind;
+        auto trace = makeUniformRandomTrace(4, 800, 24, 0.4, 0.1, 13);
+        System system(config);
+        system.loadTrace(trace);
+        system.run();
+        ASSERT_TRUE(system.allDone()) << toString(kind);
+
+        std::vector<Addr> addrs;
+        for (Addr a = 0; a < 24; a++)
+            addrs.push_back(sharedBase() + a);
+        auto report = checkConfigurationLemma(system, addrs);
+        EXPECT_TRUE(report.consistent)
+            << toString(kind) << ": " << report.first_error;
+    }
+}
+
+TEST(ConfigurationLemma, EmptySystemTriviallyConsistent)
+{
+    SystemConfig config;
+    config.num_pes = 2;
+    System system(config);
+    auto report = checkConfigurationLemma(system, {1, 2, 3});
+    EXPECT_TRUE(report.consistent);
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Exact reproductions of the paper's Figures 6-1, 6-2 and 6-3: the
+ * per-cache state/value tables for a lock S as three PEs synchronize
+ * with TS and TTS under the RB and RWB schemes.  Each test asserts the
+ * figure's rows verbatim (state tag, cached value, memory value) and
+ * the figure's bus-traffic claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hh"
+
+namespace ddc {
+namespace {
+
+constexpr Addr S = 100;
+
+void
+expectRow(const Scenario &scenario, std::initializer_list<LineTag> tags,
+          std::initializer_list<long> values, Word memory_value,
+          const char *what)
+{
+    int pe = 0;
+    auto value = values.begin();
+    for (LineTag tag : tags) {
+        LineState state = scenario.state(pe, S);
+        EXPECT_EQ(state.tag, tag)
+            << what << ": PE " << pe << " row: " << scenario.row(S);
+        if (*value >= 0) {
+            EXPECT_EQ(scenario.value(pe, S), static_cast<Word>(*value))
+                << what << ": PE " << pe << " row: " << scenario.row(S);
+        }
+        pe++;
+        ++value;
+    }
+    EXPECT_EQ(scenario.memoryValue(S), memory_value)
+        << what << ": row: " << scenario.row(S);
+}
+
+constexpr LineTag R = LineTag::Readable;
+constexpr LineTag I = LineTag::Invalid;
+constexpr LineTag L = LineTag::Local;
+constexpr LineTag F = LineTag::FirstWrite;
+
+/** Figure 6-1: synchronization with Test-and-Set under the RB scheme. */
+TEST(Figure61, TestAndSetUnderRb)
+{
+    Scenario scenario(ProtocolKind::Rb, 3);
+
+    // Initial state: every PE has read S = 0.
+    for (PeId pe = 0; pe < 3; pe++)
+        scenario.read(pe, S);
+    expectRow(scenario, {R, R, R}, {0, 0, 0}, 0, "initial");
+
+    // P2 locks S.
+    auto lock = scenario.testAndSet(1, S);
+    EXPECT_TRUE(lock.ts_success);
+    expectRow(scenario, {I, L, I}, {-1, 1, -1}, 1, "P2 locks S");
+
+    // Others try to get S: every attempt is bus traffic.
+    auto before = scenario.busTransactions();
+    EXPECT_FALSE(scenario.testAndSet(0, S).ts_success);
+    EXPECT_FALSE(scenario.testAndSet(2, S).ts_success);
+    EXPECT_GT(scenario.busTransactions(), before);
+    expectRow(scenario, {R, R, R}, {1, 1, 1}, 1, "others try");
+
+    // Spinning on TS keeps generating bus traffic (the hot spot).
+    before = scenario.busTransactions();
+    for (int spin = 0; spin < 8; spin++)
+        EXPECT_FALSE(scenario.testAndSet(0, S).ts_success);
+    EXPECT_GE(scenario.busTransactions(), before + 8);
+
+    // P2 releases S.
+    scenario.write(1, S, 0);
+    expectRow(scenario, {I, L, I}, {-1, 0, -1}, 0, "P2 releases S");
+
+    // P1 gets S.
+    EXPECT_TRUE(scenario.testAndSet(0, S).ts_success);
+    expectRow(scenario, {L, I, I}, {1, -1, -1}, 1, "P1 gets S");
+
+    // Others try again.
+    EXPECT_FALSE(scenario.testAndSet(1, S).ts_success);
+    EXPECT_FALSE(scenario.testAndSet(2, S).ts_success);
+    expectRow(scenario, {R, R, R}, {1, 1, 1}, 1, "others try again");
+}
+
+/** Figure 6-2: Test-and-Test-and-Set under the RB scheme. */
+TEST(Figure62, TestAndTestAndSetUnderRb)
+{
+    Scenario scenario(ProtocolKind::Rb, 3);
+
+    for (PeId pe = 0; pe < 3; pe++)
+        scenario.read(pe, S);
+    expectRow(scenario, {R, R, R}, {0, 0, 0}, 0, "initial");
+
+    // P2 locks S (its test read hits, sees 0, then TS succeeds).
+    EXPECT_EQ(scenario.read(1, S), 0u);
+    EXPECT_TRUE(scenario.testAndSet(1, S).ts_success);
+    expectRow(scenario, {I, L, I}, {-1, 1, -1}, 1, "P2 locks S");
+
+    // Others' first test misses and refills every cache (one bus read
+    // killed + supplied + retried)...
+    EXPECT_EQ(scenario.read(0, S), 1u);
+    EXPECT_EQ(scenario.read(2, S), 1u);
+    expectRow(scenario, {R, R, R}, {1, 1, 1}, 1, "others load S");
+
+    // ...after which the spins run in the caches: NO bus traffic.
+    auto before = scenario.busTransactions();
+    for (int spin = 0; spin < 16; spin++) {
+        EXPECT_EQ(scenario.read(0, S), 1u);
+        EXPECT_EQ(scenario.read(2, S), 1u);
+    }
+    EXPECT_EQ(scenario.busTransactions(), before);
+
+    // P2 releases S.
+    scenario.write(1, S, 0);
+    expectRow(scenario, {I, L, I}, {-1, 0, -1}, 0, "P2 releases S");
+
+    // A bus read to S (the first spinner re-tests).
+    EXPECT_EQ(scenario.read(0, S), 0u);
+    expectRow(scenario, {R, R, R}, {0, 0, 0}, 0, "a bus read to S");
+
+    // P1 gets S.
+    EXPECT_TRUE(scenario.testAndSet(0, S).ts_success);
+    expectRow(scenario, {L, I, I}, {1, -1, -1}, 1, "P1 gets S");
+
+    // Others try: one refill, then silent spinning.
+    EXPECT_EQ(scenario.read(1, S), 1u);
+    EXPECT_EQ(scenario.read(2, S), 1u);
+    expectRow(scenario, {R, R, R}, {1, 1, 1}, 1, "others try");
+    before = scenario.busTransactions();
+    EXPECT_EQ(scenario.read(1, S), 1u);
+    EXPECT_EQ(scenario.busTransactions(), before);
+}
+
+/** Figure 6-3: Test-and-Test-and-Set under the RWB scheme. */
+TEST(Figure63, TestAndTestAndSetUnderRwb)
+{
+    Scenario scenario(ProtocolKind::Rwb, 3);
+
+    for (PeId pe = 0; pe < 3; pe++)
+        scenario.read(pe, S);
+    expectRow(scenario, {R, R, R}, {0, 0, 0}, 0, "initial");
+
+    // P2 locks S: the successful TS broadcasts the data, so the other
+    // caches are *updated* (R(1)) rather than invalidated.
+    EXPECT_EQ(scenario.read(1, S), 0u);
+    EXPECT_TRUE(scenario.testAndSet(1, S).ts_success);
+    expectRow(scenario, {R, F, R}, {1, 1, 1}, 1, "P2 locks S");
+
+    // Others spin entirely in their caches: no invalidation happened,
+    // not even a first refill is needed.
+    auto before = scenario.busTransactions();
+    for (int spin = 0; spin < 16; spin++) {
+        EXPECT_EQ(scenario.read(0, S), 1u);
+        EXPECT_EQ(scenario.read(2, S), 1u);
+    }
+    EXPECT_EQ(scenario.busTransactions(), before);
+
+    // P2 releases S: second write by the same PE -> BI -> Local.
+    scenario.write(1, S, 0);
+    expectRow(scenario, {I, L, I}, {-1, 0, -1}, 0, "P2 releases S");
+
+    // A bus read to S: the supply write refills every cache in RWB.
+    EXPECT_EQ(scenario.read(0, S), 0u);
+    expectRow(scenario, {R, R, R}, {0, 0, 0}, 0, "a bus read to S");
+
+    // P1 gets S.
+    EXPECT_TRUE(scenario.testAndSet(0, S).ts_success);
+    expectRow(scenario, {F, R, R}, {1, 1, 1}, 1, "P1 gets S");
+
+    // Others spin silently again.
+    before = scenario.busTransactions();
+    for (int spin = 0; spin < 16; spin++) {
+        EXPECT_EQ(scenario.read(1, S), 1u);
+        EXPECT_EQ(scenario.read(2, S), 1u);
+    }
+    EXPECT_EQ(scenario.busTransactions(), before);
+}
+
+/**
+ * The headline claim of Section 6: while a lock is held, TTS spins
+ * generate no bus traffic whereas TS spins generate one transaction
+ * (or more) per attempt.
+ */
+TEST(Section6, TtsEliminatesSpinTraffic)
+{
+    for (auto kind : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+        Scenario ts(kind, 3);
+        Scenario tts(kind, 3);
+        for (PeId pe = 0; pe < 3; pe++) {
+            ts.read(pe, S);
+            tts.read(pe, S);
+        }
+        EXPECT_TRUE(ts.testAndSet(1, S).ts_success);
+        EXPECT_TRUE(tts.testAndSet(1, S).ts_success);
+
+        // Warm the TTS spinners.
+        tts.read(0, S);
+        tts.read(2, S);
+
+        auto ts_before = ts.busTransactions();
+        auto tts_before = tts.busTransactions();
+        const int spins = 32;
+        for (int spin = 0; spin < spins; spin++) {
+            ts.testAndSet(0, S);
+            ts.testAndSet(2, S);
+            tts.read(0, S);
+            tts.read(2, S);
+        }
+        EXPECT_GE(ts.busTransactions() - ts_before,
+                  static_cast<std::uint64_t>(2 * spins));
+        EXPECT_EQ(tts.busTransactions(), tts_before)
+            << "TTS spins must stay in the caches under "
+            << toString(kind);
+    }
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,90 @@
+/** @file Unit tests for the ISA program builder. */
+
+#include <gtest/gtest.h>
+
+#include "sim/isa.hh"
+
+namespace ddc {
+namespace {
+
+TEST(ProgramBuilder, EmitsInstructionsInOrder)
+{
+    ProgramBuilder builder;
+    auto program = builder.loadImm(1, 5).nop().halt().build();
+    ASSERT_EQ(program.size(), 3u);
+    EXPECT_EQ(program[0].op, Opcode::LoadImm);
+    EXPECT_EQ(program[0].dst, 1);
+    EXPECT_EQ(program[0].imm, 5);
+    EXPECT_EQ(program[1].op, Opcode::Nop);
+    EXPECT_EQ(program[2].op, Opcode::Halt);
+}
+
+TEST(ProgramBuilder, ResolvesForwardLabels)
+{
+    ProgramBuilder builder;
+    auto program = builder.jump("end")     // 0
+                       .nop()              // 1
+                       .label("end")
+                       .halt()             // 2
+                       .build();
+    EXPECT_EQ(program[0].imm, 2);
+}
+
+TEST(ProgramBuilder, ResolvesBackwardLabels)
+{
+    ProgramBuilder builder;
+    auto program = builder.label("top")
+                       .nop()                     // 0
+                       .branchIfZero(1, "top")    // 1
+                       .halt()
+                       .build();
+    EXPECT_EQ(program[1].imm, 0);
+}
+
+TEST(ProgramBuilder, UndefinedLabelIsFatal)
+{
+    ProgramBuilder builder;
+    builder.jump("nowhere");
+    EXPECT_DEATH(builder.build(), "undefined label");
+}
+
+TEST(ProgramBuilder, DuplicateLabelDies)
+{
+    ProgramBuilder builder;
+    builder.label("x").nop();
+    EXPECT_DEATH(builder.label("x"), "duplicate label");
+}
+
+TEST(ProgramBuilder, RegisterRangeChecked)
+{
+    ProgramBuilder builder;
+    EXPECT_DEATH(builder.loadImm(kNumRegs, 0), "register");
+    EXPECT_DEATH(builder.move(-1, 0), "register");
+}
+
+TEST(ProgramBuilder, MemoryOpsCarryDataClass)
+{
+    ProgramBuilder builder;
+    auto program = builder.load(1, 2, 0, DataClass::Code)
+                       .store(2, 3, 4, DataClass::Local)
+                       .halt()
+                       .build();
+    EXPECT_EQ(program[0].cls, DataClass::Code);
+    EXPECT_EQ(program[1].cls, DataClass::Local);
+    EXPECT_EQ(program[1].imm, 4);
+}
+
+TEST(Opcode, AllNamesPrintable)
+{
+    for (auto op : {Opcode::Nop, Opcode::Halt, Opcode::LoadImm,
+                    Opcode::Move, Opcode::Load, Opcode::Store,
+                    Opcode::TestAndSet, Opcode::LoadLocked,
+                    Opcode::StoreUnlock, Opcode::Add, Opcode::Sub,
+                    Opcode::AddImm, Opcode::BranchIfZero,
+                    Opcode::BranchIfNotZero, Opcode::Jump}) {
+        EXPECT_NE(toString(op), "?");
+    }
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,95 @@
+/** @file Unit tests for the main-memory bank and its word locks. */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hh"
+
+namespace ddc {
+namespace {
+
+class MemoryTest : public ::testing::Test
+{
+  protected:
+    stats::CounterSet stats;
+    Memory memory{stats};
+};
+
+TEST_F(MemoryTest, UninitializedReadsZero)
+{
+    EXPECT_EQ(memory.read(12345), 0u);
+    EXPECT_EQ(memory.peek(999), 0u);
+}
+
+TEST_F(MemoryTest, WriteThenRead)
+{
+    memory.write(7, 42);
+    EXPECT_EQ(memory.read(7), 42u);
+    EXPECT_EQ(memory.peek(7), 42u);
+}
+
+TEST_F(MemoryTest, DistinctAddressesIndependent)
+{
+    memory.write(1, 10);
+    memory.write(2, 20);
+    EXPECT_EQ(memory.read(1), 10u);
+    EXPECT_EQ(memory.read(2), 20u);
+}
+
+TEST_F(MemoryTest, CountsReadsAndWrites)
+{
+    memory.read(1);
+    memory.read(1);
+    memory.write(1, 5);
+    EXPECT_EQ(stats.get("memory.read"), 2u);
+    EXPECT_EQ(stats.get("memory.write"), 1u);
+}
+
+TEST_F(MemoryTest, PeekDoesNotCount)
+{
+    memory.peek(1);
+    EXPECT_EQ(stats.get("memory.read"), 0u);
+}
+
+TEST_F(MemoryTest, RejectsReservedValue)
+{
+    EXPECT_DEATH(memory.write(1, kReservedInvalidateValue), "reserved");
+}
+
+TEST_F(MemoryTest, LockBlocksOthersOnly)
+{
+    memory.lock(5, 0);
+    EXPECT_TRUE(memory.locked(5));
+    EXPECT_TRUE(memory.lockedByOther(5, 1));
+    EXPECT_FALSE(memory.lockedByOther(5, 0));
+    EXPECT_FALSE(memory.lockedByOther(6, 1));
+}
+
+TEST_F(MemoryTest, UnlockReleases)
+{
+    memory.lock(5, 2);
+    memory.unlock(5, 2);
+    EXPECT_FALSE(memory.locked(5));
+    EXPECT_FALSE(memory.lockedByOther(5, 0));
+}
+
+TEST_F(MemoryTest, UnlockByNonOwnerDies)
+{
+    memory.lock(5, 2);
+    EXPECT_DEATH(memory.unlock(5, 3), "unlock");
+}
+
+TEST_F(MemoryTest, RelockBySameOwnerAllowed)
+{
+    memory.lock(5, 1);
+    memory.lock(5, 1);
+    EXPECT_TRUE(memory.locked(5));
+}
+
+TEST_F(MemoryTest, LockByOtherDies)
+{
+    memory.lock(5, 1);
+    EXPECT_DEATH(memory.lock(5, 2), "lock");
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit tests for the baseline protocols: Goodman write-once,
+ * write-through-invalidate, the Cm* code+local-only policy, and the
+ * protocol factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cmstar.hh"
+#include "core/factory.hh"
+#include "core/goodman.hh"
+#include "core/rwb.hh"
+#include "core/write_through.hh"
+
+namespace ddc {
+namespace {
+
+const LineState kNP{LineTag::NotPresent, 0};
+const LineState kI{LineTag::Invalid, 0};
+const LineState kV{LineTag::Valid, 0};
+const LineState kRes{LineTag::Reserved, 0};
+const LineState kD{LineTag::Dirty, 0};
+
+// --- Goodman write-once ----------------------------------------------
+
+class GoodmanTest : public ::testing::Test
+{
+  protected:
+    GoodmanProtocol write_once;
+};
+
+TEST_F(GoodmanTest, ReadHitsInAnyValidState)
+{
+    for (auto state : {kV, kRes, kD}) {
+        auto reaction = write_once.onCpuAccess(state, CpuOp::Read,
+                                               DataClass::Shared);
+        EXPECT_FALSE(reaction.needs_bus) << toString(state);
+    }
+}
+
+TEST_F(GoodmanTest, ReadMissFetchesToValid)
+{
+    auto reaction = write_once.onCpuAccess(kNP, CpuOp::Read,
+                                           DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(write_once.afterBusOp(kNP, BusOp::Read, false), kV);
+}
+
+TEST_F(GoodmanTest, FirstWriteWritesThroughOnceToReserved)
+{
+    auto reaction = write_once.onCpuAccess(kV, CpuOp::Write,
+                                           DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    EXPECT_EQ(write_once.afterBusOp(kV, BusOp::Write, false), kRes);
+}
+
+TEST_F(GoodmanTest, SecondWriteStaysLocalAsDirty)
+{
+    auto reaction = write_once.onCpuAccess(kRes, CpuOp::Write,
+                                           DataClass::Shared);
+    EXPECT_FALSE(reaction.needs_bus);
+    EXPECT_EQ(reaction.next, kD);
+    EXPECT_TRUE(reaction.update_value);
+
+    auto dirty = write_once.onCpuAccess(kD, CpuOp::Write,
+                                        DataClass::Shared);
+    EXPECT_FALSE(dirty.needs_bus);
+    EXPECT_EQ(dirty.next, kD);
+}
+
+TEST_F(GoodmanTest, SnoopedReadDemotesReservedAndSuppliesFromDirty)
+{
+    EXPECT_EQ(write_once.onSnoop(kRes, BusOp::Read).next, kV);
+    EXPECT_TRUE(write_once.onSnoop(kD, BusOp::Read).supply);
+    EXPECT_EQ(write_once.afterSupply(kD), kV);
+}
+
+TEST_F(GoodmanTest, NoReadBroadcast)
+{
+    // The defining difference from RB: invalid copies do NOT snarf.
+    auto reaction = write_once.onSnoop(kI, BusOp::Read);
+    EXPECT_EQ(reaction.next, kI);
+    EXPECT_FALSE(reaction.snarf);
+}
+
+TEST_F(GoodmanTest, SnoopedWriteInvalidatesEverything)
+{
+    for (auto state : {kV, kRes, kD})
+        EXPECT_EQ(write_once.onSnoop(state, BusOp::Write).next, kI);
+}
+
+TEST_F(GoodmanTest, OnlyDirtyNeedsWriteback)
+{
+    EXPECT_TRUE(write_once.needsWriteback(kD));
+    EXPECT_FALSE(write_once.needsWriteback(kRes));
+    EXPECT_FALSE(write_once.needsWriteback(kV));
+}
+
+TEST_F(GoodmanTest, RmwOutcomes)
+{
+    EXPECT_EQ(write_once.afterBusOp(kV, BusOp::Rmw, true), kRes);
+    EXPECT_EQ(write_once.afterBusOp(kV, BusOp::Rmw, false), kV);
+}
+
+// --- Write-through-invalidate ------------------------------------------
+
+class WriteThroughTest : public ::testing::Test
+{
+  protected:
+    WriteThroughProtocol write_through;
+};
+
+TEST_F(WriteThroughTest, EveryWriteUsesTheBus)
+{
+    for (auto state : {kV, kI, kNP}) {
+        auto reaction = write_through.onCpuAccess(state, CpuOp::Write,
+                                                  DataClass::Shared);
+        EXPECT_TRUE(reaction.needs_bus) << toString(state);
+        EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    }
+    EXPECT_EQ(write_through.afterBusOp(kV, BusOp::Write, false), kV);
+}
+
+TEST_F(WriteThroughTest, ReadsHitOnlyInValid)
+{
+    EXPECT_FALSE(write_through
+                     .onCpuAccess(kV, CpuOp::Read, DataClass::Shared)
+                     .needs_bus);
+    EXPECT_TRUE(write_through
+                    .onCpuAccess(kI, CpuOp::Read, DataClass::Shared)
+                    .needs_bus);
+}
+
+TEST_F(WriteThroughTest, SnoopedWriteInvalidates)
+{
+    EXPECT_EQ(write_through.onSnoop(kV, BusOp::Write).next, kI);
+}
+
+TEST_F(WriteThroughTest, SnoopedReadHasNoEffectAndNoSnarf)
+{
+    auto reaction = write_through.onSnoop(kI, BusOp::Read);
+    EXPECT_EQ(reaction.next, kI);
+    EXPECT_FALSE(reaction.snarf);
+}
+
+TEST_F(WriteThroughTest, NeverDirty)
+{
+    EXPECT_FALSE(write_through.needsWriteback(kV));
+    EXPECT_FALSE(write_through.memoryMayBeStale(kV));
+}
+
+// --- Cm* policy -----------------------------------------------------------
+
+class CmStarTest : public ::testing::Test
+{
+  protected:
+    CmStarProtocol cmstar;
+};
+
+TEST_F(CmStarTest, SharedReferencesNeverCache)
+{
+    auto read = cmstar.onCpuAccess(kNP, CpuOp::Read, DataClass::Shared);
+    EXPECT_TRUE(read.needs_bus);
+    EXPECT_FALSE(read.allocate);
+
+    auto write = cmstar.onCpuAccess(kV, CpuOp::Write, DataClass::Shared);
+    EXPECT_TRUE(write.needs_bus);
+    EXPECT_FALSE(write.allocate);
+}
+
+TEST_F(CmStarTest, CodeAndLocalReadsCacheNormally)
+{
+    for (auto cls : {DataClass::Code, DataClass::Local}) {
+        auto miss = cmstar.onCpuAccess(kNP, CpuOp::Read, cls);
+        EXPECT_TRUE(miss.needs_bus);
+        EXPECT_TRUE(miss.allocate);
+        auto hit = cmstar.onCpuAccess(kV, CpuOp::Read, cls);
+        EXPECT_FALSE(hit.needs_bus);
+    }
+    EXPECT_EQ(cmstar.afterBusOp(kNP, BusOp::Read, false), kV);
+}
+
+TEST_F(CmStarTest, LocalWritesAlwaysWriteThrough)
+{
+    // "writes to local data were counted as cache misses" — even with
+    // a valid cached copy the write uses the bus.
+    auto reaction = cmstar.onCpuAccess(kV, CpuOp::Write, DataClass::Local);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    EXPECT_TRUE(reaction.allocate);
+    EXPECT_EQ(cmstar.afterBusOp(kV, BusOp::Write, false), kV);
+}
+
+TEST_F(CmStarTest, TestAndSetBypassesCache)
+{
+    auto reaction = cmstar.onCpuAccess(kNP, CpuOp::TestAndSet,
+                                       DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Rmw);
+    EXPECT_FALSE(reaction.allocate);
+}
+
+TEST_F(CmStarTest, NothingIsEverDirty)
+{
+    EXPECT_FALSE(cmstar.needsWriteback(kV));
+}
+
+// --- Factory ----------------------------------------------------------
+
+TEST(Factory, BuildsEveryKind)
+{
+    for (auto kind : allProtocolKinds()) {
+        auto protocol = makeProtocol(kind);
+        ASSERT_NE(protocol, nullptr);
+        EXPECT_EQ(protocol->name(), toString(kind));
+    }
+}
+
+TEST(Factory, ParseRoundTrips)
+{
+    for (auto kind : allProtocolKinds())
+        EXPECT_EQ(parseProtocolKind(std::string(toString(kind))), kind);
+}
+
+TEST(Factory, RwbKIsForwarded)
+{
+    auto protocol = makeProtocol(ProtocolKind::Rwb, 4);
+    auto *rwb = dynamic_cast<RwbProtocol *>(protocol.get());
+    ASSERT_NE(rwb, nullptr);
+    EXPECT_EQ(rwb->writesToLocal(), 4);
+}
+
+TEST(Factory, AllKindsListedOnce)
+{
+    auto kinds = allProtocolKinds();
+    EXPECT_EQ(kinds.size(), 5u);
+}
+
+} // namespace
+} // namespace ddc

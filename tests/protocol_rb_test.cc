@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the RB scheme: every edge of the Figure 3-1 state
+ * transition diagram, checked directly against the policy object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rb.hh"
+
+namespace ddc {
+namespace {
+
+const LineState kNP{LineTag::NotPresent, 0};
+const LineState kI{LineTag::Invalid, 0};
+const LineState kR{LineTag::Readable, 0};
+const LineState kL{LineTag::Local, 0};
+
+class RbTest : public ::testing::Test
+{
+  protected:
+    RbProtocol rb;
+};
+
+TEST_F(RbTest, Identity)
+{
+    EXPECT_EQ(rb.name(), "RB");
+    EXPECT_FALSE(rb.broadcastsWrites());
+}
+
+// --- CPU read ---------------------------------------------------------
+
+TEST_F(RbTest, ReadHitsInReadable)
+{
+    auto reaction = rb.onCpuAccess(kR, CpuOp::Read, DataClass::Shared);
+    EXPECT_FALSE(reaction.needs_bus);
+    EXPECT_EQ(reaction.next, kR);
+    EXPECT_FALSE(reaction.update_value);
+}
+
+TEST_F(RbTest, ReadHitsInLocal)
+{
+    auto reaction = rb.onCpuAccess(kL, CpuOp::Read, DataClass::Shared);
+    EXPECT_FALSE(reaction.needs_bus);
+    EXPECT_EQ(reaction.next, kL);
+}
+
+TEST_F(RbTest, ReadMissesInInvalid)
+{
+    auto reaction = rb.onCpuAccess(kI, CpuOp::Read, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Read);
+    EXPECT_TRUE(reaction.allocate);
+}
+
+TEST_F(RbTest, ReadMissesInNotPresent)
+{
+    auto reaction = rb.onCpuAccess(kNP, CpuOp::Read, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Read);
+}
+
+TEST_F(RbTest, BusReadCompletionLandsInReadable)
+{
+    EXPECT_EQ(rb.afterBusOp(kI, BusOp::Read, false), kR);
+    EXPECT_EQ(rb.afterBusOp(kNP, BusOp::Read, false), kR);
+}
+
+// --- CPU write --------------------------------------------------------
+
+TEST_F(RbTest, WriteHitsOnlyInLocal)
+{
+    auto reaction = rb.onCpuAccess(kL, CpuOp::Write, DataClass::Shared);
+    EXPECT_FALSE(reaction.needs_bus);
+    EXPECT_EQ(reaction.next, kL);
+    EXPECT_TRUE(reaction.update_value);
+}
+
+TEST_F(RbTest, WriteFromReadableWritesThrough)
+{
+    auto reaction = rb.onCpuAccess(kR, CpuOp::Write, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Write);
+}
+
+TEST_F(RbTest, WriteFromInvalidOrAbsentWritesThrough)
+{
+    for (auto state : {kI, kNP}) {
+        auto reaction = rb.onCpuAccess(state, CpuOp::Write,
+                                       DataClass::Shared);
+        EXPECT_TRUE(reaction.needs_bus);
+        EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    }
+}
+
+TEST_F(RbTest, BusWriteCompletionLandsInLocal)
+{
+    EXPECT_EQ(rb.afterBusOp(kR, BusOp::Write, false), kL);
+    EXPECT_EQ(rb.afterBusOp(kI, BusOp::Write, false), kL);
+    EXPECT_EQ(rb.afterBusOp(kNP, BusOp::Write, false), kL);
+}
+
+// --- Snooping: bus reads ------------------------------------------------
+
+TEST_F(RbTest, SnoopedReadLeavesReadableUnchanged)
+{
+    auto reaction = rb.onSnoop(kR, BusOp::Read);
+    EXPECT_EQ(reaction.next, kR);
+    EXPECT_FALSE(reaction.snarf);
+    EXPECT_FALSE(reaction.supply);
+}
+
+TEST_F(RbTest, SnoopedReadBroadcastsIntoInvalid)
+{
+    // The read broadcast: invalid copies snarf the flowing value.
+    auto reaction = rb.onSnoop(kI, BusOp::Read);
+    EXPECT_EQ(reaction.next, kR);
+    EXPECT_TRUE(reaction.snarf);
+    EXPECT_FALSE(reaction.supply);
+}
+
+TEST_F(RbTest, SnoopedReadInterruptedByLocalOwner)
+{
+    auto reaction = rb.onSnoop(kL, BusOp::Read);
+    EXPECT_TRUE(reaction.supply);
+}
+
+TEST_F(RbTest, SnoopedReadIgnoredWhenNotPresent)
+{
+    auto reaction = rb.onSnoop(kNP, BusOp::Read);
+    EXPECT_EQ(reaction.next, kNP);
+    EXPECT_FALSE(reaction.snarf);
+    EXPECT_FALSE(reaction.supply);
+}
+
+// --- Snooping: bus writes -----------------------------------------------
+
+TEST_F(RbTest, SnoopedWriteInvalidatesReadable)
+{
+    auto reaction = rb.onSnoop(kR, BusOp::Write);
+    EXPECT_EQ(reaction.next, kI);
+    EXPECT_FALSE(reaction.snarf); // Event broadcast of writes, no data.
+}
+
+TEST_F(RbTest, SnoopedWriteInvalidatesLocal)
+{
+    auto reaction = rb.onSnoop(kL, BusOp::Write);
+    EXPECT_EQ(reaction.next, kI);
+}
+
+TEST_F(RbTest, SnoopedWriteLeavesInvalidAlone)
+{
+    auto reaction = rb.onSnoop(kI, BusOp::Write);
+    EXPECT_EQ(reaction.next, kI);
+    EXPECT_FALSE(reaction.snarf);
+}
+
+// --- Supply / write-back -------------------------------------------------
+
+TEST_F(RbTest, SupplierBecomesReadable)
+{
+    EXPECT_EQ(rb.afterSupply(kL), kR);
+}
+
+TEST_F(RbTest, OnlyLocalNeedsWriteback)
+{
+    EXPECT_TRUE(rb.needsWriteback(kL));
+    EXPECT_FALSE(rb.needsWriteback(kR));
+    EXPECT_FALSE(rb.needsWriteback(kI));
+    EXPECT_FALSE(rb.needsWriteback(kNP));
+}
+
+TEST_F(RbTest, MemoryStaleExactlyWhenLocal)
+{
+    EXPECT_TRUE(rb.memoryMayBeStale(kL));
+    EXPECT_FALSE(rb.memoryMayBeStale(kR));
+}
+
+// --- Synchronization ops ---------------------------------------------
+
+TEST_F(RbTest, TestAndSetAlwaysUsesBus)
+{
+    for (auto state : {kR, kL, kI, kNP}) {
+        auto reaction = rb.onCpuAccess(state, CpuOp::TestAndSet,
+                                       DataClass::Shared);
+        EXPECT_TRUE(reaction.needs_bus);
+        EXPECT_EQ(reaction.bus_op, BusOp::Rmw);
+    }
+}
+
+TEST_F(RbTest, RmwSuccessActsAsWrite)
+{
+    EXPECT_EQ(rb.afterBusOp(kR, BusOp::Rmw, true), kL);
+}
+
+TEST_F(RbTest, RmwFailureActsAsRead)
+{
+    EXPECT_EQ(rb.afterBusOp(kR, BusOp::Rmw, false), kR);
+}
+
+TEST_F(RbTest, ReadLockBypassesCacheAndLandsReadable)
+{
+    // "The initial read-with-lock does not reference the value in the
+    // cache" — even a Readable copy goes to the bus.
+    auto reaction = rb.onCpuAccess(kR, CpuOp::ReadLock, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::ReadLock);
+    EXPECT_EQ(rb.afterBusOp(kR, BusOp::ReadLock, false), kR);
+}
+
+TEST_F(RbTest, WriteUnlockLandsLocal)
+{
+    auto reaction = rb.onCpuAccess(kR, CpuOp::WriteUnlock,
+                                   DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::WriteUnlock);
+    EXPECT_EQ(rb.afterBusOp(kR, BusOp::WriteUnlock, false), kL);
+}
+
+// --- Transparency -------------------------------------------------------
+
+TEST_F(RbTest, DataClassIsIgnored)
+{
+    for (auto cls :
+         {DataClass::Code, DataClass::Local, DataClass::Shared}) {
+        auto reaction = rb.onCpuAccess(kR, CpuOp::Read, cls);
+        EXPECT_FALSE(reaction.needs_bus);
+    }
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for the RWB scheme: every edge of the Figure 5-1 state
+ * transition diagram, the First-write streak logic, and the BI signal,
+ * including the generalized k-writes-to-local rule of footnote 6.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rwb.hh"
+
+namespace ddc {
+namespace {
+
+const LineState kNP{LineTag::NotPresent, 0};
+const LineState kI{LineTag::Invalid, 0};
+const LineState kR{LineTag::Readable, 0};
+const LineState kL{LineTag::Local, 0};
+const LineState kF1{LineTag::FirstWrite, 1};
+const LineState kF2{LineTag::FirstWrite, 2};
+
+class RwbTest : public ::testing::Test
+{
+  protected:
+    RwbProtocol rwb; // paper default: k = 2
+};
+
+TEST_F(RwbTest, Identity)
+{
+    EXPECT_EQ(rwb.name(), "RWB");
+    EXPECT_TRUE(rwb.broadcastsWrites());
+    EXPECT_EQ(rwb.writesToLocal(), 2);
+}
+
+// --- Reads ---------------------------------------------------------------
+
+TEST_F(RwbTest, ReadsHitInReadableFirstWriteAndLocal)
+{
+    for (auto state : {kR, kF1, kL}) {
+        auto reaction = rwb.onCpuAccess(state, CpuOp::Read,
+                                        DataClass::Shared);
+        EXPECT_FALSE(reaction.needs_bus);
+        EXPECT_EQ(reaction.next, state); // own reads keep the streak
+    }
+}
+
+TEST_F(RwbTest, ReadMissGeneratesBusRead)
+{
+    for (auto state : {kI, kNP}) {
+        auto reaction = rwb.onCpuAccess(state, CpuOp::Read,
+                                        DataClass::Shared);
+        EXPECT_TRUE(reaction.needs_bus);
+        EXPECT_EQ(reaction.bus_op, BusOp::Read);
+    }
+    EXPECT_EQ(rwb.afterBusOp(kI, BusOp::Read, false), kR);
+}
+
+// --- The write streak ------------------------------------------------
+
+TEST_F(RwbTest, FirstWriteBroadcastsData)
+{
+    auto reaction = rwb.onCpuAccess(kR, CpuOp::Write, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    EXPECT_EQ(rwb.afterBusOp(kR, BusOp::Write, false), kF1);
+}
+
+TEST_F(RwbTest, SecondWriteConfirmsLocalWithBusInvalidate)
+{
+    auto reaction = rwb.onCpuAccess(kF1, CpuOp::Write, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Invalidate);
+    EXPECT_EQ(rwb.afterBusOp(kF1, BusOp::Invalidate, false), kL);
+}
+
+TEST_F(RwbTest, WritesInLocalStayLocal)
+{
+    auto reaction = rwb.onCpuAccess(kL, CpuOp::Write, DataClass::Shared);
+    EXPECT_FALSE(reaction.needs_bus);
+    EXPECT_EQ(reaction.next, kL);
+    EXPECT_TRUE(reaction.update_value);
+}
+
+TEST_F(RwbTest, WriteMissEntersFirstWrite)
+{
+    auto reaction = rwb.onCpuAccess(kNP, CpuOp::Write, DataClass::Shared);
+    EXPECT_TRUE(reaction.needs_bus);
+    EXPECT_EQ(reaction.bus_op, BusOp::Write);
+    EXPECT_EQ(rwb.afterBusOp(kNP, BusOp::Write, false), kF1);
+}
+
+TEST_F(RwbTest, GeneralizedKRequiresKWrites)
+{
+    RwbProtocol rwb3(3);
+    // First write: BW -> F1; second: BW -> F2; third: BI -> L.
+    EXPECT_EQ(rwb3.onCpuAccess(kR, CpuOp::Write, DataClass::Shared).bus_op,
+              BusOp::Write);
+    EXPECT_EQ(rwb3.afterBusOp(kR, BusOp::Write, false), kF1);
+    EXPECT_EQ(rwb3.onCpuAccess(kF1, CpuOp::Write, DataClass::Shared).bus_op,
+              BusOp::Write);
+    EXPECT_EQ(rwb3.afterBusOp(kF1, BusOp::Write, false), kF2);
+    EXPECT_EQ(rwb3.onCpuAccess(kF2, CpuOp::Write, DataClass::Shared).bus_op,
+              BusOp::Invalidate);
+    EXPECT_EQ(rwb3.afterBusOp(kF2, BusOp::Invalidate, false), kL);
+}
+
+TEST_F(RwbTest, KOfOneGoesStraightToLocal)
+{
+    RwbProtocol rwb1(1);
+    EXPECT_EQ(rwb1.onCpuAccess(kR, CpuOp::Write, DataClass::Shared).bus_op,
+              BusOp::Invalidate);
+    EXPECT_EQ(rwb1.afterBusOp(kR, BusOp::Invalidate, false), kL);
+}
+
+// --- Snooping: reads -------------------------------------------------
+
+TEST_F(RwbTest, SnoopedReadFillsInvalid)
+{
+    auto reaction = rwb.onSnoop(kI, BusOp::Read);
+    EXPECT_EQ(reaction.next, kR);
+    EXPECT_TRUE(reaction.snarf);
+}
+
+TEST_F(RwbTest, SnoopedReadLeavesFirstWriteUnchanged)
+{
+    // "All other configurations will be unchanged" for bus reads.
+    auto reaction = rwb.onSnoop(kF1, BusOp::Read);
+    EXPECT_EQ(reaction.next, kF1);
+    EXPECT_FALSE(reaction.snarf);
+    EXPECT_FALSE(reaction.supply);
+}
+
+TEST_F(RwbTest, SnoopedReadSuppliedByLocalOwner)
+{
+    EXPECT_TRUE(rwb.onSnoop(kL, BusOp::Read).supply);
+}
+
+// --- Snooping: writes (the data broadcast) ------------------------------
+
+TEST_F(RwbTest, SnoopedWriteUpdatesInsteadOfInvalidating)
+{
+    for (auto state : {kR, kI, kF1, kF2, kL}) {
+        auto reaction = rwb.onSnoop(state, BusOp::Write);
+        EXPECT_EQ(reaction.next, kR) << toString(state);
+        EXPECT_TRUE(reaction.snarf) << toString(state);
+    }
+}
+
+TEST_F(RwbTest, SnoopedWriteResetsStreak)
+{
+    auto reaction = rwb.onSnoop(kF1, BusOp::Write);
+    EXPECT_EQ(reaction.next.streak, 0);
+}
+
+// --- Snooping: the BI signal ---------------------------------------------
+
+TEST_F(RwbTest, SnoopedInvalidateKillsEveryCopy)
+{
+    for (auto state : {kR, kI, kF1}) {
+        auto reaction = rwb.onSnoop(state, BusOp::Invalidate);
+        EXPECT_EQ(reaction.next, kI) << toString(state);
+        EXPECT_FALSE(reaction.snarf);
+    }
+}
+
+// --- Supply / write-back -------------------------------------------------
+
+TEST_F(RwbTest, SupplierBecomesReadable)
+{
+    EXPECT_EQ(rwb.afterSupply(kL), kR);
+}
+
+TEST_F(RwbTest, FirstWriteNeedsNoWriteback)
+{
+    // F wrote through: memory is current (the array-init argument of
+    // Section 5 — one bus write per element instead of RB's two).
+    EXPECT_FALSE(rwb.needsWriteback(kF1));
+    EXPECT_FALSE(rwb.needsWriteback(kF2));
+    EXPECT_TRUE(rwb.needsWriteback(kL));
+    EXPECT_FALSE(rwb.needsWriteback(kR));
+}
+
+// --- Synchronization ops ---------------------------------------------
+
+TEST_F(RwbTest, RmwSuccessLeavesSharedConfiguration)
+{
+    // "the RWB scheme will leave the caches in a shared configuration
+    // so that subsequent reads cause no bus activity."
+    EXPECT_EQ(rwb.afterBusOp(kR, BusOp::Rmw, true), kF1);
+}
+
+TEST_F(RwbTest, RmwFailureActsAsRead)
+{
+    EXPECT_EQ(rwb.afterBusOp(kR, BusOp::Rmw, false), kR);
+}
+
+TEST_F(RwbTest, WriteUnlockLandsFirstWrite)
+{
+    EXPECT_EQ(rwb.afterBusOp(kR, BusOp::WriteUnlock, false), kF1);
+}
+
+TEST_F(RwbTest, ConstructorRejectsBadK)
+{
+    EXPECT_DEATH(RwbProtocol(0), "writes_to_local");
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests of the replication/reliability extension (Section 8 future
+ * work): replica censuses, memory-fault recovery from cache copies,
+ * and the RWB > RB replication claim of Section 5.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reliability/replication.hh"
+#include "sim/scenario.hh"
+#include "trace/synthetic.hh"
+
+namespace ddc {
+namespace reliability {
+namespace {
+
+/** Build a system, run a trace, return it for inspection. */
+std::unique_ptr<System>
+runSystem(ProtocolKind protocol, const Trace &trace, int num_pes = 4)
+{
+    SystemConfig config;
+    config.num_pes = num_pes;
+    config.cache_lines = 128;
+    config.protocol = protocol;
+    auto system = std::make_unique<System>(config);
+    system->loadTrace(trace);
+    system->run();
+    EXPECT_TRUE(system->allDone());
+    return system;
+}
+
+TEST(Replication, SharedConfigurationCountsMemoryAndCaches)
+{
+    // Three readers of one word: memory + 3 cache copies = 4.
+    Trace trace(3);
+    trace.append(0, {CpuOp::Write, sharedBase(), 9, DataClass::Shared});
+    for (PeId pe = 0; pe < 3; pe++) {
+        for (int i = 0; i < 20; i++)
+            trace.append(pe, {CpuOp::Read, sharedBase(), 0,
+                              DataClass::Shared});
+    }
+    auto system = runSystem(ProtocolKind::Rb, trace, 3);
+    auto report = measureReplication(*system, {sharedBase()});
+    EXPECT_EQ(report.addresses, 1u);
+    EXPECT_EQ(report.total_copies, 4u);
+    EXPECT_EQ(report.redundant, 1u);
+    EXPECT_EQ(report.memory_fault_recoverable, 1u);
+}
+
+TEST(Replication, LocalConfigurationHasOneCopy)
+{
+    // Two writes by one PE leave the word Local there (memory stale).
+    Trace trace(2);
+    trace.append(0, {CpuOp::Write, sharedBase(), 1, DataClass::Shared});
+    trace.append(0, {CpuOp::Write, sharedBase(), 2, DataClass::Shared});
+    auto system = runSystem(ProtocolKind::Rb, trace, 2);
+    ASSERT_EQ(system->lineState(0, sharedBase()).tag, LineTag::Local);
+
+    auto report = measureReplication(*system, {sharedBase()});
+    EXPECT_EQ(report.total_copies, 1u);
+    EXPECT_EQ(report.redundant, 0u);
+    // A memory fault is moot: the owner's copy is the datum.
+    EXPECT_EQ(report.memory_fault_recoverable, 1u);
+}
+
+TEST(Replication, UntouchedWordHasOnlyMemory)
+{
+    Trace trace(1);
+    auto system = runSystem(ProtocolKind::Rb, trace, 1);
+    auto report = measureReplication(*system, {sharedBase() + 7});
+    EXPECT_EQ(report.total_copies, 1u);
+    EXPECT_EQ(report.memory_fault_recoverable, 0u);
+}
+
+TEST(Recovery, RepairsMemoryFromCacheCopy)
+{
+    Trace trace(2);
+    trace.append(0, {CpuOp::Write, sharedBase(), 5, DataClass::Shared});
+    for (int i = 0; i < 10; i++)
+        trace.append(1, {CpuOp::Read, sharedBase(), 0, DataClass::Shared});
+    auto system = runSystem(ProtocolKind::Rb, trace, 2);
+    ASSERT_EQ(system->memoryValue(sharedBase()), 5u);
+
+    system->pokeMemory(sharedBase(), 999);
+    ASSERT_EQ(system->memoryValue(sharedBase()), 999u);
+    EXPECT_TRUE(recoverMemoryWord(*system, sharedBase()));
+    EXPECT_EQ(system->memoryValue(sharedBase()), 5u);
+}
+
+TEST(Recovery, FailsWithNoReplica)
+{
+    Trace trace(1);
+    auto system = runSystem(ProtocolKind::Rb, trace, 1);
+    Addr lonely = sharedBase() + 3;
+    system->pokeMemory(lonely, 42);
+    EXPECT_FALSE(recoverMemoryWord(*system, lonely));
+}
+
+TEST(Recovery, DirtyOwnerMakesMemoryFaultMoot)
+{
+    Trace trace(2);
+    trace.append(0, {CpuOp::Write, sharedBase(), 1, DataClass::Shared});
+    trace.append(0, {CpuOp::Write, sharedBase(), 2, DataClass::Shared});
+    auto system = runSystem(ProtocolKind::Rb, trace, 2);
+
+    system->pokeMemory(sharedBase(), 777);
+    EXPECT_TRUE(recoverMemoryWord(*system, sharedBase()));
+    // The datum is still intact in the owner's cache.
+    EXPECT_EQ(system->coherentValue(sharedBase()), 2u);
+}
+
+TEST(Campaign, DeterministicAndBounded)
+{
+    auto trace = makeProducerConsumerTrace(4, 16, 8, 2);
+    auto system_a = runSystem(ProtocolKind::Rwb, trace);
+    auto system_b = runSystem(ProtocolKind::Rwb, trace);
+
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 16; a++)
+        addrs.push_back(sharedBase() + a);
+
+    Rng rng_a(7);
+    Rng rng_b(7);
+    auto result_a = runMemoryFaultCampaign(*system_a, addrs, 200, rng_a);
+    auto result_b = runMemoryFaultCampaign(*system_b, addrs, 200, rng_b);
+    EXPECT_EQ(result_a.faults_injected, 200u);
+    EXPECT_EQ(result_a.recovered, result_b.recovered);
+    EXPECT_LE(result_a.recovered, result_a.faults_injected);
+}
+
+TEST(Campaign, RecoveryRestoresExactValue)
+{
+    auto trace = makeProducerConsumerTrace(3, 8, 4, 2);
+    auto system = runSystem(ProtocolKind::Rwb, trace, 3);
+
+    std::vector<Addr> addrs;
+    std::vector<Word> truth;
+    for (Addr a = 0; a < 8; a++) {
+        addrs.push_back(sharedBase() + a);
+        truth.push_back(system->coherentValue(sharedBase() + a));
+    }
+    Rng rng(3);
+    runMemoryFaultCampaign(*system, addrs, 100, rng);
+    for (std::size_t i = 0; i < addrs.size(); i++)
+        EXPECT_EQ(system->coherentValue(addrs[i]), truth[i]);
+}
+
+TEST(Replication, RwbKeepsMoreCopiesThanRb)
+{
+    // Section 5: RWB's write broadcast leaves updated copies alive
+    // where RB leaves invalidated ones.
+    auto trace = makeProducerConsumerTrace(4, 16, 8, 2);
+    auto rb = runSystem(ProtocolKind::Rb, trace);
+    auto rwb = runSystem(ProtocolKind::Rwb, trace);
+
+    std::vector<Addr> addrs;
+    for (Addr a = 0; a < 16; a++)
+        addrs.push_back(sharedBase() + a);
+
+    auto rb_report = measureReplication(*rb, addrs);
+    auto rwb_report = measureReplication(*rwb, addrs);
+    EXPECT_GE(rwb_report.meanCopies(), rb_report.meanCopies());
+    EXPECT_GE(rwb_report.redundantFraction(),
+              rb_report.redundantFraction());
+}
+
+TEST(Replication, ScenarioLevelRwbVsRbAfterOneWrite)
+{
+    // Precise version: after writer updates a word three readers hold,
+    // RWB has 4 correct cache copies + memory; RB has 1 + memory.
+    for (auto kind : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+        Scenario scenario(kind, 4);
+        for (PeId pe = 1; pe < 4; pe++)
+            scenario.read(pe, 0);
+        scenario.write(0, 0, 7);
+        int present = 0;
+        for (PeId pe = 0; pe < 4; pe++)
+            present += scenario.state(pe, 0).present();
+        if (kind == ProtocolKind::Rb) {
+            EXPECT_EQ(present, 1);
+        } else {
+            EXPECT_EQ(present, 4);
+        }
+    }
+}
+
+} // namespace
+} // namespace reliability
+} // namespace ddc

@@ -1,0 +1,73 @@
+/** @file Tests of the scripted Scenario rig itself. */
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hh"
+#include "verify/consistency.hh"
+
+namespace ddc {
+namespace {
+
+TEST(Scenario, ReadReturnsWrittenValue)
+{
+    Scenario scenario(ProtocolKind::Rb, 2);
+    scenario.write(0, 10, 42);
+    EXPECT_EQ(scenario.read(1, 10), 42u);
+}
+
+TEST(Scenario, TestAndSetSemantics)
+{
+    Scenario scenario(ProtocolKind::Rb, 2);
+    auto first = scenario.testAndSet(0, 5, 7);
+    EXPECT_TRUE(first.ts_success);
+    EXPECT_EQ(first.value, 0u);
+    auto second = scenario.testAndSet(1, 5, 9);
+    EXPECT_FALSE(second.ts_success);
+    EXPECT_EQ(second.value, 7u);
+}
+
+TEST(Scenario, RowFormatsLikeThePaper)
+{
+    Scenario scenario(ProtocolKind::Rb, 3);
+    scenario.write(1, 0, 1);
+    auto row = scenario.row(0);
+    EXPECT_NE(row.find("L(1)"), std::string::npos) << row;
+    EXPECT_NE(row.find("NP(-)"), std::string::npos) << row;
+    EXPECT_NE(row.find("| S=1"), std::string::npos) << row;
+}
+
+TEST(Scenario, LogIsSeriallyConsistent)
+{
+    Scenario scenario(ProtocolKind::Rwb, 3);
+    for (int i = 0; i < 20; i++) {
+        scenario.write(i % 3, static_cast<Addr>(i % 5),
+                       static_cast<Word>(i + 1));
+        scenario.read((i + 1) % 3, static_cast<Addr>(i % 5));
+    }
+    auto report = checkSerialConsistency(scenario.log());
+    EXPECT_TRUE(report.consistent) << report.first_error;
+}
+
+TEST(Scenario, BusTransactionCountMonotonic)
+{
+    Scenario scenario(ProtocolKind::Rb, 2);
+    auto t0 = scenario.busTransactions();
+    scenario.write(0, 1, 2);
+    auto t1 = scenario.busTransactions();
+    EXPECT_GT(t1, t0);
+    scenario.write(0, 1, 3); // Local: silent
+    EXPECT_EQ(scenario.busTransactions(), t1);
+}
+
+TEST(Scenario, HonorsRwbKParameter)
+{
+    Scenario scenario(ProtocolKind::Rwb, 2, 16, /*k=*/3);
+    scenario.write(0, 0, 1);
+    scenario.write(0, 0, 2);
+    EXPECT_EQ(scenario.state(0, 0).tag, LineTag::FirstWrite);
+    scenario.write(0, 0, 3);
+    EXPECT_EQ(scenario.state(0, 0).tag, LineTag::Local);
+}
+
+} // namespace
+} // namespace ddc

@@ -1,0 +1,185 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace ddc {
+namespace stats {
+namespace {
+
+TEST(CounterSet, StartsEmpty)
+{
+    CounterSet counters;
+    EXPECT_EQ(counters.get("anything"), 0u);
+    EXPECT_FALSE(counters.has("anything"));
+    EXPECT_TRUE(counters.names().empty());
+}
+
+TEST(CounterSet, AddAccumulates)
+{
+    CounterSet counters;
+    counters.add("bus.read");
+    counters.add("bus.read", 4);
+    EXPECT_EQ(counters.get("bus.read"), 5u);
+    EXPECT_TRUE(counters.has("bus.read"));
+}
+
+TEST(CounterSet, RatioHandlesZeroDenominator)
+{
+    CounterSet counters;
+    counters.add("hits", 3);
+    EXPECT_DOUBLE_EQ(counters.ratio("hits", "none"), 0.0);
+    counters.add("total", 6);
+    EXPECT_DOUBLE_EQ(counters.ratio("hits", "total"), 0.5);
+}
+
+TEST(CounterSet, SumPrefix)
+{
+    CounterSet counters;
+    counters.add("cache.read_miss.Code", 2);
+    counters.add("cache.read_miss.Local", 3);
+    counters.add("cache.read_hit.Code", 100);
+    counters.add("cache.read_missX", 50); // prefix match, counted
+    EXPECT_EQ(counters.sumPrefix("cache.read_miss."), 5u);
+    EXPECT_EQ(counters.sumPrefix("cache.read_miss"), 55u);
+    EXPECT_EQ(counters.sumPrefix("nothing."), 0u);
+}
+
+TEST(CounterSet, ClearKeepsNamesZeroesValues)
+{
+    CounterSet counters;
+    counters.add("a", 7);
+    counters.clear();
+    EXPECT_EQ(counters.get("a"), 0u);
+    EXPECT_TRUE(counters.has("a"));
+}
+
+TEST(CounterSet, MergeAddsMatchingCounters)
+{
+    CounterSet a;
+    CounterSet b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 3);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 3u);
+}
+
+TEST(CounterSet, NamesSortedAndNonZeroOnly)
+{
+    CounterSet counters;
+    counters.add("zeta", 1);
+    counters.add("alpha", 1);
+    counters.add("mid", 0);
+    auto names = counters.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(CounterSet, ReportContainsNonZeroEntries)
+{
+    CounterSet counters;
+    counters.add("bus.read", 12);
+    auto report = counters.report();
+    EXPECT_NE(report.find("bus.read = 12"), std::string::npos);
+}
+
+TEST(Histogram, TracksCountSumMinMaxMean)
+{
+    Histogram histogram(8, 10);
+    histogram.sample(5);
+    histogram.sample(15);
+    histogram.sample(100);
+    EXPECT_EQ(histogram.count(), 3u);
+    EXPECT_EQ(histogram.sum(), 120u);
+    EXPECT_EQ(histogram.min(), 5u);
+    EXPECT_EQ(histogram.max(), 100u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 40.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram histogram(4, 10); // buckets [0,10) .. [30,40) + overflow
+    histogram.sample(0);
+    histogram.sample(9);
+    histogram.sample(35);
+    histogram.sample(1000);
+    EXPECT_EQ(histogram.bucketCount(0), 2u);
+    EXPECT_EQ(histogram.bucketCount(3), 1u);
+    EXPECT_EQ(histogram.bucketCount(4), 1u); // overflow
+}
+
+TEST(Histogram, PercentileAtBucketGranularity)
+{
+    Histogram histogram(10, 1);
+    for (int i = 0; i < 100; i++)
+        histogram.sample(static_cast<std::uint64_t>(i % 5));
+    EXPECT_LE(histogram.percentile(0.5), 4u);
+    EXPECT_EQ(histogram.percentile(1.0), 4u);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram histogram;
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.min(), 0u);
+    EXPECT_EQ(histogram.max(), 0u);
+    EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+    EXPECT_EQ(histogram.percentile(0.5), 0u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram histogram(4, 1);
+    histogram.sample(2);
+    histogram.clear();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.bucketCount(2), 0u);
+}
+
+TEST(Table, RendersHeaderAndRows)
+{
+    Table table("Caption");
+    table.setHeader({"A", "B"});
+    table.addRow({"1", "22"});
+    table.addRow({"333", "4"});
+    auto text = table.render();
+    EXPECT_NE(text.find("Caption"), std::string::npos);
+    EXPECT_NE(text.find("A"), std::string::npos);
+    EXPECT_NE(text.find("333"), std::string::npos);
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+TEST(Table, NumericFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RaggedRowsArePadded)
+{
+    Table table;
+    table.setHeader({"A", "B", "C"});
+    table.addRow({"only"});
+    auto text = table.render();
+    EXPECT_NE(text.find("only"), std::string::npos);
+}
+
+TEST(Table, SeparatorDoesNotCountAsRow)
+{
+    Table table;
+    table.addRow({"x"});
+    table.addSeparator();
+    table.addRow({"y"});
+    EXPECT_EQ(table.numRows(), 2u);
+}
+
+} // namespace
+} // namespace stats
+} // namespace ddc

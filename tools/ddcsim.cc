@@ -1,0 +1,310 @@
+/**
+ * @file
+ * ddcsim — command-line front end to the ddcache simulator.
+ *
+ * Runs a memory-reference trace (from a file or a built-in synthetic
+ * workload) on a configured machine and reports the results:
+ *
+ *   ddcsim --workload producer_consumer --protocol RWB --pes 8 --check
+ *   ddcsim --trace refs.ddct --protocol RB --lines 1024 --stats
+ *   ddcsim --workload cmstar_a --save-trace refs.ddct
+ *
+ * Run with --help for the full option list.
+ */
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "base/types.hh"
+#include "core/simulator.hh"
+#include "hier/hier_system.hh"
+#include "verify/consistency.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace ddc;
+
+void
+usage(std::ostream &os)
+{
+    os <<
+        "usage: ddcsim [options] (--trace FILE | --workload NAME)\n"
+        "\n"
+        "machine options:\n"
+        "  --protocol P     RB | RWB | WriteOnce | WriteThrough | CmStar\n"
+        "                   (default RB)\n"
+        "  --pes N          number of processing elements (default 4)\n"
+        "  --lines N        cache lines per PE (default 1024)\n"
+        "  --block W        words per cache block (default 1)\n"
+        "  --ways N         set associativity (default 1)\n"
+        "  --buses K        interleaved shared buses (default 1)\n"
+        "  --clusters C     run the two-level hierarchical machine\n"
+        "                   (recursive RB) with C clusters of\n"
+        "                   --pes PEs each\n"
+        "  --rwb-k K        RWB writes-to-local threshold (default 2)\n"
+        "  --arbiter A      RoundRobin | FixedPriority | Random\n"
+        "\n"
+        "workload options:\n"
+        "  --trace FILE     replay a ddctrace file\n"
+        "  --workload NAME  random | array_init | producer_consumer |\n"
+        "                   migratory | hot_spot | false_sharing |\n"
+        "                   cmstar_a | cmstar_b\n"
+        "  --refs N         references per PE for synthetic workloads\n"
+        "                   (default 10000)\n"
+        "  --seed S         RNG seed (default 1)\n"
+        "  --save-trace F   write the generated trace to F and exit\n"
+        "\n"
+        "output options:\n"
+        "  --check          verify serial consistency (records the log)\n"
+        "  --stats          dump all counters\n"
+        "  --help           this text\n";
+}
+
+struct Options
+{
+    SystemConfig config;
+    int clusters = 0; // > 0 selects the hierarchical machine
+    std::string trace_file;
+    std::string workload;
+    std::string save_trace;
+    std::size_t refs = 10000;
+    std::uint64_t seed = 1;
+    bool check = false;
+    bool dump_stats = false;
+};
+
+bool
+parseArgs(int argc, char **argv, Options &options)
+{
+    auto need_value = [&](int &i) -> const char * {
+        if (i + 1 >= argc) {
+            std::cerr << "ddcsim: " << argv[i] << " needs a value\n";
+            return nullptr;
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        const char *value = nullptr;
+        if (arg == "--help") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--check") {
+            options.check = true;
+        } else if (arg == "--stats") {
+            options.dump_stats = true;
+        } else if (arg == "--protocol") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.protocol = parseProtocolKind(value);
+        } else if (arg == "--pes") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.num_pes = std::atoi(value);
+        } else if (arg == "--lines") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.cache_lines =
+                static_cast<std::size_t>(std::atoll(value));
+        } else if (arg == "--block") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.block_words =
+                static_cast<std::size_t>(std::atoll(value));
+        } else if (arg == "--ways") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.ways =
+                static_cast<std::size_t>(std::atoll(value));
+        } else if (arg == "--buses") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.num_buses = std::atoi(value);
+        } else if (arg == "--clusters") {
+            if (!(value = need_value(i)))
+                return false;
+            options.clusters = std::atoi(value);
+        } else if (arg == "--rwb-k") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.rwb_writes_to_local = std::atoi(value);
+        } else if (arg == "--arbiter") {
+            if (!(value = need_value(i)))
+                return false;
+            std::string name = value;
+            if (name == "RoundRobin") {
+                options.config.arbiter = ArbiterKind::RoundRobin;
+            } else if (name == "FixedPriority") {
+                options.config.arbiter = ArbiterKind::FixedPriority;
+            } else if (name == "Random") {
+                options.config.arbiter = ArbiterKind::Random;
+            } else {
+                std::cerr << "ddcsim: unknown arbiter " << name << "\n";
+                return false;
+            }
+        } else if (arg == "--trace") {
+            if (!(value = need_value(i)))
+                return false;
+            options.trace_file = value;
+        } else if (arg == "--workload") {
+            if (!(value = need_value(i)))
+                return false;
+            options.workload = value;
+        } else if (arg == "--refs") {
+            if (!(value = need_value(i)))
+                return false;
+            options.refs = static_cast<std::size_t>(std::atoll(value));
+        } else if (arg == "--seed") {
+            if (!(value = need_value(i)))
+                return false;
+            options.seed = static_cast<std::uint64_t>(std::atoll(value));
+        } else if (arg == "--save-trace") {
+            if (!(value = need_value(i)))
+                return false;
+            options.save_trace = value;
+        } else {
+            std::cerr << "ddcsim: unknown option " << arg << "\n";
+            return false;
+        }
+    }
+    if (options.trace_file.empty() == options.workload.empty()) {
+        std::cerr << "ddcsim: give exactly one of --trace / --workload\n";
+        return false;
+    }
+    return true;
+}
+
+bool
+buildWorkload(const Options &options, Trace &trace)
+{
+    int pes = options.clusters > 0
+                  ? options.clusters * options.config.num_pes
+                  : options.config.num_pes;
+    std::size_t refs = options.refs;
+    const std::string &name = options.workload;
+
+    if (name == "random") {
+        trace = makeUniformRandomTrace(pes, refs, 64, 0.3, 0.05,
+                                       options.seed);
+    } else if (name == "array_init") {
+        trace = makeArrayInitTrace(pes, refs);
+    } else if (name == "producer_consumer") {
+        trace = makeProducerConsumerTrace(pes, 16,
+                                          static_cast<int>(refs / 64) + 1,
+                                          2);
+    } else if (name == "migratory") {
+        trace = makeMigratoryTrace(pes, 8,
+                                   static_cast<int>(refs / 16) + 1);
+    } else if (name == "hot_spot") {
+        trace = makeHotSpotTrace(pes, static_cast<int>(refs / 9) + 1, 8);
+    } else if (name == "false_sharing") {
+        trace = makeFalseSharingTrace(pes, static_cast<int>(refs / 2) + 1);
+    } else if (name == "cmstar_a") {
+        trace = makeCmStarTrace(cmStarApplicationA(), pes, refs,
+                                options.seed);
+    } else if (name == "cmstar_b") {
+        trace = makeCmStarTrace(cmStarApplicationB(), pes, refs,
+                                options.seed);
+    } else {
+        std::cerr << "ddcsim: unknown workload " << name << "\n";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    if (!parseArgs(argc, argv, options)) {
+        usage(std::cerr);
+        return 1;
+    }
+
+    Trace trace;
+    if (!options.trace_file.empty()) {
+        std::ifstream input(options.trace_file);
+        if (!input || !trace.load(input)) {
+            std::cerr << "ddcsim: cannot read trace " << options.trace_file
+                      << "\n";
+            return 1;
+        }
+    } else if (!buildWorkload(options, trace)) {
+        return 1;
+    }
+
+    if (!options.save_trace.empty()) {
+        std::ofstream output(options.save_trace);
+        if (!output) {
+            std::cerr << "ddcsim: cannot write " << options.save_trace
+                      << "\n";
+            return 1;
+        }
+        trace.save(output);
+        std::cout << "wrote " << trace.totalRefs() << " refs ("
+                  << trace.numPes() << " PEs) to " << options.save_trace
+                  << "\n";
+        return 0;
+    }
+
+    if (options.clusters > 0) {
+        hier::HierConfig config;
+        config.num_clusters = options.clusters;
+        config.pes_per_cluster = options.config.num_pes;
+        config.cache_lines = options.config.cache_lines;
+        config.protocol = options.config.protocol;
+        config.rwb_writes_to_local = options.config.rwb_writes_to_local;
+        config.arbiter = options.config.arbiter;
+        config.record_log = options.check;
+
+        hier::HierSystem system(config);
+        system.loadTrace(trace);
+        system.run();
+        bool consistent = true;
+        if (options.check)
+            consistent = checkSerialConsistency(system.log()).consistent;
+
+        std::cout << "hierarchical " << toString(config.protocol)
+                  << ", " << options.clusters
+                  << " clusters x " << config.pes_per_cluster << " PEs, "
+                  << config.cache_lines << " L1 lines\n"
+                  << (system.allDone() ? "completed" : "TIMED OUT")
+                  << " in " << system.now() << " cycles; "
+                  << system.globalBusTransactions()
+                  << " global bus ops; " << system.clusterBusTransactions()
+                  << " cluster bus ops\n";
+        if (options.check) {
+            std::cout << "serial consistency: "
+                      << (consistent ? "OK" : "VIOLATED") << "\n";
+        }
+        if (options.dump_stats)
+            std::cout << system.counters().report();
+        return (!system.allDone() || !consistent) ? 1 : 0;
+    }
+
+    auto summary = runTrace(options.config, trace, options.check);
+
+    std::cout << "protocol " << toString(options.config.protocol) << ", "
+              << options.config.num_pes << " PEs, "
+              << options.config.cache_lines << " lines x "
+              << options.config.block_words << " words, "
+              << options.config.num_buses << " bus(es)\n"
+              << describe(summary) << "\n";
+    if (options.check) {
+        std::cout << "serial consistency: "
+                  << (summary.consistent ? "OK" : "VIOLATED") << "\n";
+    }
+    if (options.dump_stats)
+        std::cout << summary.counters.report();
+
+    bool failed = !summary.completed || (options.check &&
+                                         !summary.consistent);
+    return failed ? 1 : 0;
+}
