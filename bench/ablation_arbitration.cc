@@ -24,8 +24,57 @@ namespace {
 
 using namespace ddc;
 
+const ArbiterKind kArbiters[] = {ArbiterKind::RoundRobin,
+                                 ArbiterKind::FixedPriority,
+                                 ArbiterKind::Random};
+
+/** (a) One fairness point: TS contention run under @p kind. */
+exp::RunResult
+measureFairness(ArbiterKind kind)
+{
+    SystemConfig config;
+    config.num_pes = 8;
+    config.cache_lines = 256;
+    config.protocol = ProtocolKind::Rb;
+    config.arbiter = kind;
+    config.record_log = true;
+
+    System system(config);
+    for (PeId pe = 0; pe < 8; pe++) {
+        sync::LockProgramParams params;
+        params.kind = sync::LockKind::TestAndSet;
+        params.lock_addr = sync::lockAddr();
+        params.counter_addr = sync::counterAddr();
+        params.acquisitions = 8;
+        params.cs_increments = 8;
+        system.setProgram(pe, sync::makeLockProgram(params));
+    }
+    Cycle cycles = system.run();
+
+    auto analysis = sync::analyzeLock(system.log(), sync::lockAddr(), 8);
+
+    // Per-PE finish skew: cycle of each PE's last committed access.
+    std::vector<Cycle> last_cycle(8, 0);
+    for (const auto &entry : system.log().all()) {
+        if (entry.pe >= 0 && entry.pe < 8)
+            last_cycle[static_cast<std::size_t>(entry.pe)] = entry.cycle;
+    }
+
+    exp::RunResult result;
+    result.cycles = cycles;
+    result.bus_transactions = system.totalBusTransactions();
+    result.setMetric("fairness_index", analysis.fairnessIndex());
+    result.setMetric("first_pe_done",
+                     static_cast<double>(*std::min_element(
+                         last_cycle.begin(), last_cycle.end())));
+    result.setMetric("last_pe_done",
+                     static_cast<double>(*std::max_element(
+                         last_cycle.begin(), last_cycle.end())));
+    return result;
+}
+
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -35,69 +84,65 @@ printReproduction()
         "wanted per PE; Jain fairness index of the per-PE acquisition\n"
         "counts over the first completed run.\n\n";
 
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> names;
+        for (auto kind : kArbiters)
+            names.push_back(std::string(toString(kind)));
+        grid.axis("arbiter", names);
+    }
+
+    exp::Experiment fairness_spec("ablation_arbitration_fairness",
+                                  "A6a: TS lock fairness by bus "
+                                  "arbitration policy");
+    for (std::size_t flat = 0; flat < grid.size(); flat++) {
+        auto kind = kArbiters[flat];
+        fairness_spec.addCustom(grid.paramsAt(flat), [kind]() {
+            return measureFairness(kind);
+        });
+    }
+    const auto &fairness_results = session.run(fairness_spec);
+
     Table fairness;
     fairness.setHeader({"arbiter", "cycles", "fairness index",
                         "first PE done", "last PE done"});
-    for (auto kind : {ArbiterKind::RoundRobin, ArbiterKind::FixedPriority,
-                      ArbiterKind::Random}) {
-        SystemConfig config;
-        config.num_pes = 8;
-        config.cache_lines = 256;
-        config.protocol = ProtocolKind::Rb;
-        config.arbiter = kind;
-        config.record_log = true;
-
-        System system(config);
-        for (PeId pe = 0; pe < 8; pe++) {
-            sync::LockProgramParams params;
-            params.kind = sync::LockKind::TestAndSet;
-            params.lock_addr = sync::lockAddr();
-            params.counter_addr = sync::counterAddr();
-            params.acquisitions = 8;
-            params.cs_increments = 8;
-            system.setProgram(pe, sync::makeLockProgram(params));
-        }
-        Cycle cycles = system.run();
-
-        auto analysis = sync::analyzeLock(system.log(), sync::lockAddr(),
-                                          8);
-
-        // Per-PE finish skew: cycle of each PE's last committed access.
-        std::vector<Cycle> last_cycle(8, 0);
-        for (const auto &entry : system.log().all()) {
-            if (entry.pe >= 0 && entry.pe < 8)
-                last_cycle[static_cast<std::size_t>(entry.pe)] =
-                    entry.cycle;
-        }
-        Cycle first_done = *std::min_element(last_cycle.begin(),
-                                             last_cycle.end());
-        Cycle last_done = *std::max_element(last_cycle.begin(),
-                                            last_cycle.end());
-        fairness.addRow({std::string(toString(kind)),
-                         std::to_string(cycles),
-                         Table::num(analysis.fairnessIndex(), 3),
-                         std::to_string(first_done),
-                         std::to_string(last_done)});
+    for (std::size_t i = 0; i < fairness_results.size(); i++) {
+        const auto &result = fairness_results[i];
+        fairness.addRow({std::string(toString(kArbiters[i])),
+                         std::to_string(result.cycles),
+                         Table::num(result.metric("fairness_index"), 3),
+                         std::to_string(static_cast<Cycle>(
+                             result.metric("first_pe_done"))),
+                         std::to_string(static_cast<Cycle>(
+                             result.metric("last_pe_done")))});
     }
     std::cout << fairness.render() << "\n";
 
     std::cout << "(b) Throughput on the Cm*-mix workload (16 PEs, RB):\n\n";
+
+    exp::Experiment throughput_spec("ablation_arbitration_throughput",
+                                    "A6b: Cm*-mix throughput by bus "
+                                    "arbitration policy");
+    throughput_spec.addGrid(grid, [](std::size_t flat) {
+        exp::TraceRun run;
+        run.config.num_pes = 16;
+        run.config.cache_lines = 1024;
+        run.config.protocol = ProtocolKind::Rb;
+        run.config.arbiter = kArbiters[flat];
+        run.trace = makeCmStarTrace(cmStarApplicationA(), 16, 4000, 3);
+        return run;
+    });
+    const auto &throughput_results = session.run(throughput_spec);
+
     Table throughput;
     throughput.setHeader({"arbiter", "cycles", "bus utilization"});
-    auto trace = makeCmStarTrace(cmStarApplicationA(), 16, 4000, 3);
-    for (auto kind : {ArbiterKind::RoundRobin, ArbiterKind::FixedPriority,
-                      ArbiterKind::Random}) {
-        SystemConfig config;
-        config.num_pes = 16;
-        config.cache_lines = 1024;
-        config.protocol = ProtocolKind::Rb;
-        config.arbiter = kind;
-        auto summary = runTrace(config, trace);
+    for (std::size_t i = 0; i < throughput_results.size(); i++) {
+        const auto &result = throughput_results[i];
         throughput.addRow(
-            {std::string(toString(kind)),
-             std::to_string(summary.cycles),
-             Table::num(static_cast<double>(summary.bus_transactions) /
-                            static_cast<double>(summary.cycles), 3)});
+            {std::string(toString(kArbiters[i])),
+             std::to_string(result.cycles),
+             Table::num(static_cast<double>(result.bus_transactions) /
+                            static_cast<double>(result.cycles), 3)});
     }
     std::cout << throughput.render() << "\n";
     std::cout <<
@@ -112,10 +157,7 @@ printReproduction()
 void
 BM_ArbitrationLockRun(benchmark::State &state)
 {
-    const ArbiterKind kinds[] = {ArbiterKind::RoundRobin,
-                                 ArbiterKind::FixedPriority,
-                                 ArbiterKind::Random};
-    auto kind = kinds[static_cast<std::size_t>(state.range(0))];
+    auto kind = kArbiters[static_cast<std::size_t>(state.range(0))];
     for (auto _ : state) {
         sync::LockExperimentConfig config;
         config.num_pes = 8;

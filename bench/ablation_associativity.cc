@@ -20,6 +20,8 @@ namespace {
 
 using namespace ddc;
 
+const std::size_t kWays[] = {1, 2, 4, 8};
+
 /** Strided reads engineered to conflict in a direct-mapped cache. */
 Trace
 makeConflictTrace(int num_pes, std::size_t cache_words, int hot_addrs,
@@ -39,24 +41,18 @@ makeConflictTrace(int num_pes, std::size_t cache_words, int hot_addrs,
     return trace;
 }
 
+/** Read-miss percentage of one run. */
 double
-readMissRatio(const Trace &trace, std::size_t lines, std::size_t ways,
-              ProtocolKind kind)
+readMissPercent(const exp::RunResult &result)
 {
-    SystemConfig config;
-    config.num_pes = trace.numPes();
-    config.cache_lines = lines;
-    config.ways = ways;
-    config.protocol = kind;
-    auto summary = runTrace(config, trace);
     return 100.0 *
            static_cast<double>(
-               summary.counters.sumPrefix("cache.read_miss.")) /
-           static_cast<double>(summary.total_refs);
+               result.counters.sumPrefix("cache.read_miss.")) /
+           static_cast<double>(result.total_refs);
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -64,27 +60,53 @@ printReproduction()
         "Ablation A8: set associativity (assumption 7's set size),\n"
         "capacity fixed; LRU replacement within a set\n\n";
 
+    exp::ParamGrid grid;
+    grid.axis("ways", {"1", "2", "4", "8"});
+
+    exp::Experiment cmstar_spec("ablation_associativity_cmstar",
+                                "A8a: Cm*-mix read-miss ratio vs set "
+                                "associativity");
+    cmstar_spec.addGrid(grid, [](std::size_t flat) {
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 1024;
+        run.config.ways = kWays[flat];
+        run.config.protocol = ProtocolKind::CmStar;
+        run.trace = makeCmStarTrace(cmStarApplicationA(), 4, 30000, 1984);
+        return run;
+    });
+    const auto &cmstar_results = session.run(cmstar_spec);
+
     Table cmstar("(a) Cm*-mix read-miss % (1024-word caches, Cm* "
                  "policy)");
     cmstar.setHeader({"ways", "read miss %"});
-    auto mix = makeCmStarTrace(cmStarApplicationA(), 4, 30000, 1984);
-    for (std::size_t ways : {1u, 2u, 4u, 8u}) {
-        cmstar.addRow({std::to_string(ways),
-                       Table::num(readMissRatio(mix, 1024, ways,
-                                                ProtocolKind::CmStar),
-                                  1)});
+    for (std::size_t w = 0; w < 4; w++) {
+        cmstar.addRow({std::to_string(kWays[w]),
+                       Table::num(readMissPercent(cmstar_results[w]), 1)});
     }
     std::cout << cmstar.render() << "\n";
+
+    exp::Experiment conflict_spec("ablation_associativity_conflict",
+                                  "A8b: adversarial conflict workload "
+                                  "read-miss ratio vs associativity");
+    conflict_spec.addGrid(grid, [](std::size_t flat) {
+        exp::TraceRun run;
+        run.config.num_pes = 2;
+        run.config.cache_lines = 256;
+        run.config.ways = kWays[flat];
+        run.config.protocol = ProtocolKind::Rb;
+        run.trace = makeConflictTrace(2, 256, 4, 64);
+        return run;
+    });
+    const auto &conflict_results = session.run(conflict_spec);
 
     Table conflict("(b) adversarial conflict workload (256-word "
                    "caches, RB): 4 hot addresses per PE, all mapping "
                    "to one direct-mapped set");
     conflict.setHeader({"ways", "read miss %"});
-    auto adversarial = makeConflictTrace(2, 256, 4, 64);
-    for (std::size_t ways : {1u, 2u, 4u, 8u}) {
-        conflict.addRow({std::to_string(ways),
-                         Table::num(readMissRatio(adversarial, 256, ways,
-                                                  ProtocolKind::Rb),
+    for (std::size_t w = 0; w < 4; w++) {
+        conflict.addRow({std::to_string(kWays[w]),
+                         Table::num(readMissPercent(conflict_results[w]),
                                     1)});
     }
     std::cout << conflict.render() << "\n";

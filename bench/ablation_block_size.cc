@@ -30,29 +30,10 @@ namespace {
 
 using namespace ddc;
 
-struct Row
-{
-    double miss_ratio;
-    std::uint64_t bus_busy;
-    Cycle cycles;
-};
-
-Row
-measure(const Trace &trace, std::size_t block, std::size_t capacity_words,
-        ProtocolKind kind)
-{
-    SystemConfig config;
-    config.num_pes = trace.numPes();
-    config.cache_lines = capacity_words / block;
-    config.block_words = block;
-    config.protocol = kind;
-    auto summary = runTrace(config, trace);
-    return {summary.miss_ratio,
-            summary.counters.get("bus.busy_cycles"), summary.cycles};
-}
+const std::size_t kBlockWords[] = {1, 2, 4, 8};
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -61,31 +42,51 @@ printReproduction()
         "(RB scheme, capacity fixed at 1024 words per cache; block\n"
         "transfers occupy the bus for B cycles)\n\n";
 
-    struct Workload
-    {
-        const char *name;
-        Trace trace;
-    };
-    std::vector<Workload> workloads;
-    workloads.push_back({"sequential_private_walk",
-                         makeSequentialWalkTrace(4, 512, 4, 7)});
-    workloads.push_back({"false_sharing",
-                         makeFalseSharingTrace(4, 256)});
-    workloads.push_back({"cmstar_mix",
-                         makeCmStarTrace(cmStarApplicationA(), 4, 20000,
-                                         5)});
+    std::vector<std::pair<std::string, Trace>> workloads;
+    workloads.emplace_back("sequential_private_walk",
+                           makeSequentialWalkTrace(4, 512, 4, 7));
+    workloads.emplace_back("false_sharing", makeFalseSharingTrace(4, 256));
+    workloads.emplace_back("cmstar_mix",
+                           makeCmStarTrace(cmStarApplicationA(), 4, 20000,
+                                           5));
 
-    for (const auto &workload : workloads) {
-        Table table(std::string("Workload: ") + workload.name);
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> names;
+        for (const auto &[name, trace] : workloads)
+            names.push_back(name);
+        grid.axis("workload", names);
+        grid.axis("block_words", {"1", "2", "4", "8"});
+    }
+
+    exp::Experiment spec("ablation_block_size",
+                         "A5: block-size sweep at constant cache "
+                         "capacity over three reference patterns");
+    spec.addGrid(grid, [grid, workloads](std::size_t flat) {
+        auto indices = grid.indicesAt(flat);
+        std::size_t block = kBlockWords[indices[1]];
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 1024 / block;
+        run.config.block_words = block;
+        run.config.protocol = ProtocolKind::Rb;
+        run.trace = workloads[indices[0]].second;
+        return run;
+    });
+    const auto &results = session.run(spec);
+
+    std::size_t flat = 0;
+    for (const auto &[name, trace] : workloads) {
+        Table table(std::string("Workload: ") + name);
         table.setHeader({"block words", "miss ratio", "bus busy cycles",
                          "total cycles"});
-        for (std::size_t block : {1u, 2u, 4u, 8u}) {
-            auto row = measure(workload.trace, block, 1024,
-                               ProtocolKind::Rb);
-            table.addRow({std::to_string(block),
-                          Table::num(row.miss_ratio, 4),
-                          std::to_string(row.bus_busy),
-                          std::to_string(row.cycles)});
+        for (std::size_t b = 0; b < 4; b++, flat++) {
+            const auto &result = results[flat];
+            table.addRow({std::to_string(kBlockWords[b]),
+                          Table::num(result.metric("miss_ratio"), 4),
+                          std::to_string(
+                              result.counters.get("bus.busy_cycles")),
+                          std::to_string(result.cycles)});
         }
         std::cout << table.render() << "\n";
     }
@@ -105,8 +106,13 @@ BM_BlockSweep(benchmark::State &state)
     auto block = static_cast<std::size_t>(state.range(0));
     auto trace = makeCmStarTrace(cmStarApplicationA(), 4, 8000, 5);
     for (auto _ : state) {
-        auto row = measure(trace, block, 1024, ProtocolKind::Rb);
-        benchmark::DoNotOptimize(row.cycles);
+        SystemConfig config;
+        config.num_pes = 4;
+        config.cache_lines = 1024 / block;
+        config.block_words = block;
+        config.protocol = ProtocolKind::Rb;
+        auto summary = runTrace(config, trace);
+        benchmark::DoNotOptimize(summary.cycles);
     }
 }
 BENCHMARK(BM_BlockSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8)

@@ -24,8 +24,12 @@ namespace {
 
 using namespace ddc;
 
+const int kPeCounts[] = {1, 2, 4, 8, 16};
+const std::size_t kKneeLatencies[] = {0, 1, 3, 7};
+const std::size_t kSchemeLatencies[] = {0, 7};
+
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -35,50 +39,82 @@ printReproduction()
 
     // (a) Saturation knee vs latency: per-PE throughput on the
     // Cm*-mix workload.
+    exp::ParamGrid knee_grid;
+    {
+        std::vector<std::string> pes;
+        for (int m : kPeCounts)
+            pes.push_back(std::to_string(m));
+        knee_grid.axis("pes", pes);
+        knee_grid.axis("latency", {"0", "1", "3", "7"});
+    }
+    exp::Experiment knee_spec("ablation_memory_latency_knee",
+                              "A7a: saturation knee vs memory latency "
+                              "on the Cm*-mix workload (RB)");
+    knee_spec.addGrid(knee_grid, [knee_grid](std::size_t flat) {
+        auto indices = knee_grid.indicesAt(flat);
+        int m = kPeCounts[indices[0]];
+        exp::TraceRun run;
+        run.config.num_pes = m;
+        run.config.cache_lines = 1024;
+        run.config.protocol = ProtocolKind::Rb;
+        run.config.memory_latency = kKneeLatencies[indices[1]];
+        run.trace = makeCmStarTrace(cmStarApplicationA(), m, 3000, 7);
+        return run;
+    });
+    const auto &knee_results = session.run(knee_spec);
+
     Table knee("(a) refs/cycle/PE on the Cm*-mix workload (RB)");
     knee.setHeader({"PEs", "L=0", "L=1", "L=3", "L=7"});
-    for (int m : {1, 2, 4, 8, 16}) {
+    std::size_t flat = 0;
+    for (int m : kPeCounts) {
         std::vector<std::string> row{std::to_string(m)};
-        auto trace = makeCmStarTrace(cmStarApplicationA(), m, 3000, 7);
-        for (std::size_t latency : {0u, 1u, 3u, 7u}) {
-            SystemConfig config;
-            config.num_pes = m;
-            config.cache_lines = 1024;
-            config.protocol = ProtocolKind::Rb;
-            config.memory_latency = latency;
-            auto summary = runTrace(config, trace);
+        for (std::size_t l = 0; l < 4; l++, flat++) {
+            const auto &result = knee_results[flat];
             row.push_back(Table::num(
-                static_cast<double>(summary.total_refs) /
-                    static_cast<double>(summary.cycles) / m, 3));
+                static_cast<double>(result.total_refs) /
+                    static_cast<double>(result.cycles) / m, 3));
         }
         knee.addRow(row);
     }
     std::cout << knee.render() << "\n";
 
     // (b) Scheme comparison at high latency: producer/consumer.
+    auto kinds = allProtocolKinds();
+    exp::ParamGrid scheme_grid;
+    {
+        std::vector<std::string> protocols;
+        for (auto kind : kinds)
+            protocols.push_back(std::string(toString(kind)));
+        scheme_grid.axis("protocol", protocols);
+        scheme_grid.axis("latency", {"0", "7"});
+    }
+    exp::Experiment scheme_spec("ablation_memory_latency_schemes",
+                                "A7b: scheme slowdown at high memory "
+                                "latency on producer/consumer");
+    scheme_spec.addGrid(scheme_grid, [scheme_grid, kinds](std::size_t flat) {
+        auto indices = scheme_grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 256;
+        run.config.protocol = kinds[indices[0]];
+        run.config.memory_latency = kSchemeLatencies[indices[1]];
+        run.trace = makeProducerConsumerTrace(4, 16, 16, 2);
+        return run;
+    });
+    const auto &scheme_results = session.run(scheme_spec);
+
     Table schemes("(b) cycles on producer/consumer (4 PEs), by scheme");
     schemes.setHeader({"scheme", "L=0", "L=7", "slowdown"});
-    auto trace = makeProducerConsumerTrace(4, 16, 16, 2);
-    for (auto kind : allProtocolKinds()) {
-        Cycle base = 0;
-        std::vector<std::string> row{std::string(toString(kind))};
-        for (std::size_t latency : {0u, 7u}) {
-            SystemConfig config;
-            config.num_pes = 4;
-            config.cache_lines = 256;
-            config.protocol = kind;
-            config.memory_latency = latency;
-            auto summary = runTrace(config, trace);
-            if (latency == 0)
-                base = summary.cycles;
-            row.push_back(std::to_string(summary.cycles));
-            if (latency == 7) {
-                row.push_back(Table::num(
-                    static_cast<double>(summary.cycles) /
-                        static_cast<double>(base), 2) + "x");
-            }
-        }
-        schemes.addRow(row);
+    flat = 0;
+    for (auto kind : kinds) {
+        const auto &at_zero = scheme_results[flat++];
+        const auto &at_seven = scheme_results[flat++];
+        schemes.addRow({std::string(toString(kind)),
+                        std::to_string(at_zero.cycles),
+                        std::to_string(at_seven.cycles),
+                        Table::num(static_cast<double>(at_seven.cycles) /
+                                       static_cast<double>(at_zero.cycles),
+                                   2) + "x"});
     }
     std::cout << schemes.render() << "\n";
     std::cout <<

@@ -37,7 +37,7 @@ workloads()
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -46,28 +46,53 @@ printReproduction()
         "reference pattern (4 PEs, 256-word caches; lower is better)\n\n";
 
     auto patterns = workloads();
+    auto kinds = allProtocolKinds();
+
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> names;
+        for (const auto &[name, trace] : patterns)
+            names.push_back(name);
+        grid.axis("workload", names);
+        std::vector<std::string> protocols;
+        for (auto kind : kinds)
+            protocols.push_back(std::string(toString(kind)));
+        grid.axis("protocol", protocols);
+    }
+
+    exp::Experiment spec("ablation_protocols",
+                         "A1: bus transactions and cycles per reference "
+                         "by scheme and reference pattern");
+    spec.addGrid(grid, [grid, patterns, kinds](std::size_t flat) {
+        auto indices = grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 256;
+        run.config.protocol = kinds[indices[1]];
+        run.trace = patterns[indices[0]].second;
+        return run;
+    });
+    const auto &results = session.run(spec);
+
     Table table;
     std::vector<std::string> header{"workload"};
-    for (auto kind : allProtocolKinds())
+    for (auto kind : kinds)
         header.push_back(std::string(toString(kind)));
     table.setHeader(header);
 
     Table cycles_table;
     cycles_table.setHeader(header);
 
+    std::size_t flat = 0;
     for (const auto &[name, trace] : patterns) {
         std::vector<std::string> row{name};
         std::vector<std::string> cycle_row{name};
-        for (auto kind : allProtocolKinds()) {
-            SystemConfig config;
-            config.num_pes = 4;
-            config.cache_lines = 256;
-            config.protocol = kind;
-            auto summary = runTrace(config, trace);
-            row.push_back(Table::num(summary.bus_per_ref, 3));
+        for (std::size_t p = 0; p < kinds.size(); p++, flat++) {
+            const auto &result = results[flat];
+            row.push_back(Table::num(result.metric("bus_per_ref"), 3));
             cycle_row.push_back(Table::num(
-                static_cast<double>(summary.cycles) /
-                    static_cast<double>(summary.total_refs), 3));
+                static_cast<double>(result.cycles) /
+                    static_cast<double>(result.total_refs), 3));
         }
         table.addRow(row);
         cycles_table.addRow(cycle_row);

@@ -22,14 +22,8 @@ namespace {
 
 using namespace ddc;
 
-struct Row
-{
-    double mean_copies;
-    double redundant_fraction;
-    double recovery_rate;
-};
-
-Row
+/** Run one (scheme, workload) point and report the replication data. */
+exp::RunResult
 measure(ProtocolKind kind, const Trace &trace, std::uint64_t footprint)
 {
     SystemConfig config;
@@ -49,12 +43,18 @@ measure(ProtocolKind kind, const Trace &trace, std::uint64_t footprint)
     auto campaign =
         reliability::runMemoryFaultCampaign(system, addrs, 2000, rng);
 
-    return {census.meanCopies(), census.redundantFraction(),
-            campaign.recoveryRate()};
+    exp::RunResult result;
+    result.cycles = system.now();
+    result.total_refs = trace.totalRefs();
+    result.bus_transactions = system.totalBusTransactions();
+    result.setMetric("mean_copies", census.meanCopies());
+    result.setMetric("redundant_fraction", census.redundantFraction());
+    result.setMetric("recovery_rate", campaign.recoveryRate());
+    return result;
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -79,17 +79,47 @@ printReproduction()
                          makeUniformRandomTrace(4, 4000, 32, 0.3, 0.05,
                                                 21),
                          32});
+    auto kinds = allProtocolKinds();
 
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> names;
+        for (const auto &workload : workloads)
+            names.push_back(workload.name);
+        grid.axis("workload", names);
+        std::vector<std::string> protocols;
+        for (auto kind : kinds)
+            protocols.push_back(std::string(toString(kind)));
+        grid.axis("protocol", protocols);
+    }
+
+    exp::Experiment spec("ablation_reliability",
+                         "A4: replica census and fault-injection "
+                         "recovery rate by scheme and workload");
+    for (std::size_t flat = 0; flat < grid.size(); flat++) {
+        auto indices = grid.indicesAt(flat);
+        auto kind = kinds[indices[1]];
+        const auto &workload = workloads[indices[0]];
+        Trace trace = workload.trace;
+        auto footprint = workload.footprint;
+        spec.addCustom(grid.paramsAt(flat), [kind, trace, footprint]() {
+            return measure(kind, trace, footprint);
+        });
+    }
+    const auto &results = session.run(spec);
+
+    std::size_t flat = 0;
     for (const auto &workload : workloads) {
         Table table(std::string("Workload: ") + workload.name);
         table.setHeader({"scheme", "mean copies/word", ">=2 copies",
                          "fault recovery rate"});
-        for (auto kind : allProtocolKinds()) {
-            auto row = measure(kind, workload.trace, workload.footprint);
+        for (auto kind : kinds) {
+            const auto &result = results[flat++];
             table.addRow({std::string(toString(kind)),
-                          Table::num(row.mean_copies, 2),
-                          Table::num(row.redundant_fraction, 2),
-                          Table::num(row.recovery_rate, 2)});
+                          Table::num(result.metric("mean_copies"), 2),
+                          Table::num(result.metric("redundant_fraction"),
+                                     2),
+                          Table::num(result.metric("recovery_rate"), 2)});
         }
         std::cout << table.render() << "\n";
     }

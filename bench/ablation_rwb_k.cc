@@ -42,7 +42,7 @@ makePrivatePhaseTrace(int num_pes, int words, int rewrites)
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -60,19 +60,40 @@ printReproduction()
                           makeUniformRandomTrace(4, 4000, 32, 0.4, 0.05,
                                                  17));
 
+    const int kValues[] = {1, 2, 3, 4};
+
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> names;
+        for (const auto &[name, trace] : patterns)
+            names.push_back(name);
+        grid.axis("workload", names);
+        grid.axis("k", {"1", "2", "3", "4"});
+    }
+
+    exp::Experiment spec("ablation_rwb_k",
+                         "A3: RWB writes-to-local threshold k sweep "
+                         "over private/shared write mixtures");
+    spec.addGrid(grid, [grid, patterns, &kValues](std::size_t flat) {
+        auto indices = grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 256;
+        run.config.protocol = ProtocolKind::Rwb;
+        run.config.rwb_writes_to_local = kValues[indices[1]];
+        run.trace = patterns[indices[0]].second;
+        return run;
+    });
+    const auto &results = session.run(spec);
+
     Table table;
     table.setHeader({"workload", "k=1", "k=2 (paper)", "k=3", "k=4"});
+    std::size_t flat = 0;
     for (const auto &[name, trace] : patterns) {
         std::vector<std::string> row{name};
-        for (int k : {1, 2, 3, 4}) {
-            SystemConfig config;
-            config.num_pes = 4;
-            config.cache_lines = 256;
-            config.protocol = ProtocolKind::Rwb;
-            config.rwb_writes_to_local = k;
-            auto summary = runTrace(config, trace);
-            row.push_back(Table::num(summary.bus_per_ref, 3));
-        }
+        for (std::size_t k = 0; k < 4; k++, flat++)
+            row.push_back(Table::num(results[flat].metric("bus_per_ref"),
+                                     3));
         table.addRow(row);
     }
     std::cout << table.render() << "\n";

@@ -17,6 +17,11 @@ namespace {
 
 using namespace ddc;
 
+const ProtocolKind kProtocols[] = {ProtocolKind::Rb, ProtocolKind::Rwb};
+const int kPeCounts[] = {2, 4, 8, 16, 32};
+const sync::LockKind kLocks[] = {sync::LockKind::TestAndSet,
+                                 sync::LockKind::TestAndTestAndSet};
+
 sync::LockExperimentResult
 run(int num_pes, sync::LockKind lock, ProtocolKind protocol)
 {
@@ -30,7 +35,7 @@ run(int num_pes, sync::LockKind lock, ProtocolKind protocol)
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -38,21 +43,52 @@ printReproduction()
         "Ablation A2: TS vs TTS lock contention scaling\n"
         "(8 acquisitions/PE, 8-increment critical sections)\n\n";
 
-    for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+    exp::ParamGrid grid;
+    grid.axis("protocol", {"RB", "RWB"});
+    grid.axis("pes", {"2", "4", "8", "16", "32"});
+    grid.axis("lock", {"TS", "TTS"});
+
+    exp::Experiment spec("ablation_ts_vs_tts",
+                         "A2: TS vs TTS lock contention scaling on RB "
+                         "and RWB");
+    for (std::size_t flat = 0; flat < grid.size(); flat++) {
+        auto indices = grid.indicesAt(flat);
+        auto protocol = kProtocols[indices[0]];
+        int m = kPeCounts[indices[1]];
+        auto lock = kLocks[indices[2]];
+        spec.addCustom(grid.paramsAt(flat), [m, lock, protocol]() {
+            auto lock_result = run(m, lock, protocol);
+            exp::RunResult result;
+            result.cycles = lock_result.cycles;
+            result.bus_transactions = lock_result.bus_transactions;
+            result.setMetric("bus_per_acquisition",
+                             lock_result.bus_per_acquisition);
+            result.setMetric("rmw_failures",
+                             static_cast<double>(
+                                 lock_result.rmw_failures));
+            return result;
+        });
+    }
+    const auto &results = session.run(spec);
+
+    std::size_t flat = 0;
+    for (auto protocol : kProtocols) {
         Table table(std::string("Scheme: ") +
                     std::string(toString(protocol)));
         table.setHeader({"PEs", "lock", "cycles", "bus ops",
                          "bus/acquisition", "failed RMWs"});
-        for (int m : {2, 4, 8, 16, 32}) {
-            for (auto lock : {sync::LockKind::TestAndSet,
-                              sync::LockKind::TestAndTestAndSet}) {
-                auto result = run(m, lock, protocol);
+        for (int m : kPeCounts) {
+            for (auto lock : kLocks) {
+                const auto &result = results[flat++];
                 table.addRow({std::to_string(m),
                               std::string(sync::toString(lock)),
                               std::to_string(result.cycles),
                               std::to_string(result.bus_transactions),
-                              Table::num(result.bus_per_acquisition, 1),
-                              std::to_string(result.rmw_failures)});
+                              Table::num(
+                                  result.metric("bus_per_acquisition"),
+                                  1),
+                              std::to_string(static_cast<std::uint64_t>(
+                                  result.metric("rmw_failures")))});
             }
             table.addSeparator();
         }

@@ -2,9 +2,18 @@
  * @file
  * Shared scaffolding for the reproduction benches.
  *
- * Every bench binary (a) prints its paper table/figure reproduction
- * when run, then (b) runs its google-benchmark timing sweeps.  The
- * DDC_BENCH_MAIN macro wires that order up.
+ * Every bench binary (a) runs its sweep points through the parallel
+ * experiment engine (src/exp) and prints its paper table/figure
+ * reproduction, (b) emits the structured results as JSON when --json
+ * PATH is given, then (c) runs its google-benchmark timing sweeps.
+ * The DDC_BENCH_MAIN macro wires that order up.
+ *
+ * Engine flags (parsed and stripped before google-benchmark sees
+ * argv):
+ *   --jobs N     run sweep points on N worker threads (default 1);
+ *                output is byte-identical for every N
+ *   --json PATH  write the collected results (conventionally
+ *                results.json) after the reproduction
  */
 
 #ifndef DDC_BENCH_COMMON_HH
@@ -14,13 +23,26 @@
 
 #include <iostream>
 
-/** Print the reproduction, then run the registered benchmarks. */
+#include "exp/session.hh"
+
+/**
+ * Print the reproduction through the experiment engine, emit JSON,
+ * then run the registered benchmarks.  @p print_reproduction is a
+ * callable taking (ddc::exp::Session &).
+ */
 #define DDC_BENCH_MAIN(print_reproduction)                                  \
     int                                                                     \
     main(int argc, char **argv)                                             \
     {                                                                       \
-        print_reproduction();                                               \
+        auto options = ddc::exp::parseSessionArgs(argc, argv);              \
+        ddc::exp::Session session(options);                                 \
+        print_reproduction(session);                                        \
         std::cout.flush();                                                  \
+        if (!session.writeJson()) {                                         \
+            std::cerr << argv[0] << ": cannot write "                       \
+                      << options.json_path << "\n";                         \
+            return 1;                                                       \
+        }                                                                   \
         benchmark::Initialize(&argc, argv);                                 \
         if (benchmark::ReportUnrecognizedArguments(argc, argv))             \
             return 1;                                                       \

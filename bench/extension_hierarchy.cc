@@ -27,14 +27,9 @@ namespace {
 
 using namespace ddc;
 
-struct Point
-{
-    Cycle cycles;
-    std::uint64_t bottleneck_bus_ops;
-    std::uint64_t cluster_bus_ops; // hierarchy only
-};
+const double kLocalities[] = {0.0, 0.5, 0.9, 0.99};
 
-Point
+exp::RunResult
 runFlat(const Trace &trace)
 {
     SystemConfig config;
@@ -44,10 +39,18 @@ runFlat(const Trace &trace)
     System system(config);
     system.loadTrace(trace);
     system.run();
-    return {system.now(), system.totalBusTransactions(), 0};
+
+    exp::RunResult result;
+    result.status = system.runStatus();
+    result.cycles = system.now();
+    result.total_refs = trace.totalRefs();
+    result.bus_transactions = system.totalBusTransactions();
+    result.setMetric("bottleneck_bus_ops",
+                     static_cast<double>(system.totalBusTransactions()));
+    return result;
 }
 
-Point
+exp::RunResult
 runHier(const Trace &trace, int clusters, int pes_per_cluster,
         ProtocolKind protocol = ProtocolKind::Rb)
 {
@@ -59,12 +62,22 @@ runHier(const Trace &trace, int clusters, int pes_per_cluster,
     hier::HierSystem system(config);
     system.loadTrace(trace);
     system.run();
-    return {system.now(), system.globalBusTransactions(),
-            system.clusterBusTransactions()};
+
+    exp::RunResult result;
+    result.status = system.runStatus();
+    result.cycles = system.now();
+    result.total_refs = trace.totalRefs();
+    result.bus_transactions = system.globalBusTransactions();
+    result.setMetric("bottleneck_bus_ops",
+                     static_cast<double>(system.globalBusTransactions()));
+    result.setMetric("cluster_bus_ops",
+                     static_cast<double>(
+                         system.clusterBusTransactions()));
+    return result;
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -79,45 +92,78 @@ printReproduction()
         "Same workload on the flat single-bus machine vs the two-level\n"
         "hierarchy, sweeping the cluster-locality of shared data.\n\n";
 
+    exp::ParamGrid grid;
+    grid.axis("locality", {"0.00", "0.50", "0.90", "0.99"});
+    grid.axis("machine", {"flat", "hier"});
+
+    exp::Experiment sweep_spec("extension_hierarchy_locality",
+                               "E1: flat vs hierarchical machine over "
+                               "cluster-locality of shared data");
+    for (std::size_t flat = 0; flat < grid.size(); flat++) {
+        auto indices = grid.indicesAt(flat);
+        double locality = kLocalities[indices[0]];
+        bool hierarchical = indices[1] == 1;
+        sweep_spec.addCustom(grid.paramsAt(flat), [=]() {
+            auto trace = makeClusteredTrace(clusters, pes_per_cluster,
+                                            refs, locality, 0.3, 77);
+            return hierarchical ? runHier(trace, clusters,
+                                          pes_per_cluster)
+                                : runFlat(trace);
+        });
+    }
+    const auto &sweep = session.run(sweep_spec);
+
     Table table;
     table.setHeader({"cluster-local", "flat cycles", "flat bus ops",
                      "hier cycles", "global bus ops", "cluster bus ops",
                      "global reduction"});
-    for (double locality : {0.0, 0.5, 0.9, 0.99}) {
-        auto trace = makeClusteredTrace(clusters, pes_per_cluster, refs,
-                                        locality, 0.3, 77);
-        auto flat = runFlat(trace);
-        auto hierarchical = runHier(trace, clusters, pes_per_cluster);
+    for (std::size_t i = 0; i < 4; i++) {
+        const auto &flat_run = sweep[i * 2];
+        const auto &hier_run = sweep[i * 2 + 1];
+        auto flat_ops = flat_run.bus_transactions;
+        auto global_ops = hier_run.bus_transactions;
         table.addRow(
-            {Table::num(locality, 2), std::to_string(flat.cycles),
-             std::to_string(flat.bottleneck_bus_ops),
-             std::to_string(hierarchical.cycles),
-             std::to_string(hierarchical.bottleneck_bus_ops),
-             std::to_string(hierarchical.cluster_bus_ops),
-             Table::num(static_cast<double>(flat.bottleneck_bus_ops) /
-                            static_cast<double>(
-                                hierarchical.bottleneck_bus_ops),
+            {Table::num(kLocalities[i], 2),
+             std::to_string(flat_run.cycles), std::to_string(flat_ops),
+             std::to_string(hier_run.cycles),
+             std::to_string(global_ops),
+             std::to_string(static_cast<std::uint64_t>(
+                 hier_run.metric("cluster_bus_ops"))),
+             Table::num(static_cast<double>(flat_ops) /
+                            static_cast<double>(global_ops),
                         1) +
                  "x"});
     }
     std::cout << table.render();
 
     // The L1 scheme inside the clusters: RB vs RWB.
+    exp::ParamGrid l1_grid;
+    l1_grid.axis("l1_scheme", {"RB", "RWB"});
+    exp::Experiment l1_spec("extension_hierarchy_l1_scheme",
+                            "E1: L1 scheme within clusters on the "
+                            "0.9-local workload");
+    const ProtocolKind l1_kinds[] = {ProtocolKind::Rb, ProtocolKind::Rwb};
+    for (std::size_t flat = 0; flat < l1_grid.size(); flat++) {
+        auto protocol = l1_kinds[flat];
+        l1_spec.addCustom(l1_grid.paramsAt(flat), [=]() {
+            auto trace = makeClusteredTrace(clusters, pes_per_cluster,
+                                            refs, 0.9, 0.3, 77);
+            return runHier(trace, clusters, pes_per_cluster, protocol);
+        });
+    }
+    const auto &l1_results = session.run(l1_spec);
+
     Table schemes("\nL1 scheme within clusters (0.9 cluster-local "
                   "workload)");
     schemes.setHeader({"L1 scheme", "cycles", "global bus ops",
                        "cluster bus ops"});
-    {
-        auto trace = makeClusteredTrace(clusters, pes_per_cluster, refs,
-                                        0.9, 0.3, 77);
-        for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
-            auto point = runHier(trace, clusters, pes_per_cluster,
-                                 protocol);
-            schemes.addRow({std::string(toString(protocol)),
-                            std::to_string(point.cycles),
-                            std::to_string(point.bottleneck_bus_ops),
-                            std::to_string(point.cluster_bus_ops)});
-        }
+    for (std::size_t i = 0; i < l1_results.size(); i++) {
+        const auto &point = l1_results[i];
+        schemes.addRow({std::string(toString(l1_kinds[i])),
+                        std::to_string(point.cycles),
+                        std::to_string(point.bus_transactions),
+                        std::to_string(static_cast<std::uint64_t>(
+                            point.metric("cluster_bus_ops")))});
     }
     std::cout << schemes.render();
     std::cout <<
@@ -136,13 +182,8 @@ BM_HierVsFlat(benchmark::State &state)
     bool hierarchical = state.range(0) == 1;
     auto trace = makeClusteredTrace(8, 4, 1000, 0.9, 0.3, 77);
     for (auto _ : state) {
-        if (hierarchical) {
-            auto point = runHier(trace, 8, 4);
-            benchmark::DoNotOptimize(point.cycles);
-        } else {
-            auto point = runFlat(trace);
-            benchmark::DoNotOptimize(point.cycles);
-        }
+        auto point = hierarchical ? runHier(trace, 8, 4) : runFlat(trace);
+        benchmark::DoNotOptimize(point.cycles);
     }
     state.SetLabel(hierarchical ? "hierarchical" : "flat");
 }

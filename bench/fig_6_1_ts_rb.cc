@@ -9,6 +9,7 @@
 #include "bench_common.hh"
 
 #include <iostream>
+#include <sstream>
 
 #include "sim/scenario.hh"
 #include "stats/table.hh"
@@ -20,12 +21,14 @@ using namespace ddc;
 
 constexpr Addr S = 0;
 
-void
-printReproduction()
+/** Run the Figure 6-1 scenario and render its table. */
+exp::RunResult
+measure()
 {
     using stats::Table;
+    std::ostringstream os;
 
-    std::cout <<
+    os <<
         "Figure 6-1: synchronization with Test-and-Set, RB scheme\n"
         "(three PEs, lock word S; each row is the cache state/value of\n"
         "S per PE and the memory value, exactly as in the paper)\n\n";
@@ -74,11 +77,29 @@ printReproduction()
     scenario.testAndSet(2, S);
     emit("Others try to get S");
 
-    std::cout << table.render() << "\n";
-    std::cout << "Hot spot: the two failed TS attempts while P2 held the\n"
-              << "lock cost " << spin_traffic
-              << " bus transactions (every unsuccessful attempt pays;\n"
-              << "compare Figure 6-2, where TTS spins cost zero).\n\n";
+    os << table.render() << "\n";
+    os << "Hot spot: the two failed TS attempts while P2 held the\n"
+       << "lock cost " << spin_traffic
+       << " bus transactions (every unsuccessful attempt pays;\n"
+       << "compare Figure 6-2, where TTS spins cost zero).\n\n";
+
+    exp::RunResult result;
+    result.rendered = os.str();
+    result.bus_transactions = scenario.busTransactions();
+    result.setMetric("spin_traffic",
+                     static_cast<double>(spin_traffic));
+    return result;
+}
+
+void
+printReproduction(exp::Session &session)
+{
+    exp::Experiment spec("fig_6_1_ts_rb",
+                         "Figure 6-1: Test-and-Set on RB, per-cache "
+                         "state table and spin bus traffic");
+    spec.addCustom({{"lock", "TS"}, {"scheme", "RB"}}, measure);
+    const auto &results = session.run(spec);
+    std::cout << results[0].rendered;
 }
 
 /** Wall-clock cost of simulating the full TS contention workload. */

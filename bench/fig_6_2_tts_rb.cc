@@ -8,6 +8,7 @@
 #include "bench_common.hh"
 
 #include <iostream>
+#include <sstream>
 
 #include "sim/scenario.hh"
 #include "stats/table.hh"
@@ -19,12 +20,14 @@ using namespace ddc;
 
 constexpr Addr S = 0;
 
-void
-printReproduction()
+/** Run the Figure 6-2 scenario and render its table. */
+exp::RunResult
+measure()
 {
     using stats::Table;
+    std::ostringstream os;
 
-    std::cout <<
+    os <<
         "Figure 6-2: synchronization with Test-and-Test-and-Set,\n"
         "RB scheme (three PEs, lock word S)\n\n";
 
@@ -83,11 +86,29 @@ printReproduction()
     scenario.read(2, S);
     emit("Others try to get S");
 
-    std::cout << table.render() << "\n";
-    std::cout << "64 spin reads while the lock was held generated "
-              << spin_traffic << " bus transactions.\n"
-              << "The TTS spin runs entirely inside the private caches;\n"
-              << "only the release/re-acquire sequence touches the bus.\n\n";
+    os << table.render() << "\n";
+    os << "64 spin reads while the lock was held generated "
+       << spin_traffic << " bus transactions.\n"
+       << "The TTS spin runs entirely inside the private caches;\n"
+       << "only the release/re-acquire sequence touches the bus.\n\n";
+
+    exp::RunResult result;
+    result.rendered = os.str();
+    result.bus_transactions = scenario.busTransactions();
+    result.setMetric("spin_traffic",
+                     static_cast<double>(spin_traffic));
+    return result;
+}
+
+void
+printReproduction(exp::Session &session)
+{
+    exp::Experiment spec("fig_6_2_tts_rb",
+                         "Figure 6-2: Test-and-Test-and-Set on RB, "
+                         "per-cache state table and spin bus traffic");
+    spec.addCustom({{"lock", "TTS"}, {"scheme", "RB"}}, measure);
+    const auto &results = session.run(spec);
+    std::cout << results[0].rendered;
 }
 
 void

@@ -9,6 +9,7 @@
 #include "bench_common.hh"
 
 #include <iostream>
+#include <sstream>
 
 #include "sim/scenario.hh"
 #include "stats/table.hh"
@@ -20,12 +21,14 @@ using namespace ddc;
 
 constexpr Addr S = 0;
 
-void
-printReproduction()
+/** Run the Figure 6-3 scenario and render its table. */
+exp::RunResult
+measure()
 {
     using stats::Table;
+    std::ostringstream os;
 
-    std::cout <<
+    os <<
         "Figure 6-3: synchronization with Test-and-Test-and-Set,\n"
         "RWB scheme (three PEs, lock word S)\n\n";
 
@@ -83,12 +86,30 @@ printReproduction()
     scenario.read(2, S);
     emit("Others try to get S");
 
-    std::cout << table.render() << "\n";
-    std::cout << "64 spin reads while the lock was held generated "
-              << spin_traffic << " bus transactions.\n"
-              << "vs Figure 6-2 (RB): the acquire itself causes no\n"
-              << "invalidation (waiters go R(1), not I), so the waiters\n"
-              << "never even pay the one refill read RB pays.\n\n";
+    os << table.render() << "\n";
+    os << "64 spin reads while the lock was held generated "
+       << spin_traffic << " bus transactions.\n"
+       << "vs Figure 6-2 (RB): the acquire itself causes no\n"
+       << "invalidation (waiters go R(1), not I), so the waiters\n"
+       << "never even pay the one refill read RB pays.\n\n";
+
+    exp::RunResult result;
+    result.rendered = os.str();
+    result.bus_transactions = scenario.busTransactions();
+    result.setMetric("spin_traffic",
+                     static_cast<double>(spin_traffic));
+    return result;
+}
+
+void
+printReproduction(exp::Session &session)
+{
+    exp::Experiment spec("fig_6_3_tts_rwb",
+                         "Figure 6-3: Test-and-Test-and-Set on RWB, "
+                         "per-cache state table and spin bus traffic");
+    spec.addCustom({{"lock", "TTS"}, {"scheme", "RWB"}}, measure);
+    const auto &results = session.run(spec);
+    std::cout << results[0].rendered;
 }
 
 void

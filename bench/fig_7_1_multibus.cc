@@ -12,6 +12,7 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
 #include <iostream>
 
 #include "core/simulator.hh"
@@ -22,8 +23,25 @@ namespace {
 
 using namespace ddc;
 
+const int kBusCounts[] = {1, 2, 4};
+
+/** Busiest-bus busy cycles of one run (any bus count). */
+std::uint64_t
+busiestBusOps(const exp::RunResult &result, int buses)
+{
+    if (buses == 1)
+        return result.counters.get("bus.busy_cycles");
+    std::uint64_t busiest = 0;
+    for (int b = 0; b < buses; b++) {
+        busiest = std::max(busiest,
+                           result.counters.get("bus" + std::to_string(b) +
+                                               ".busy_cycles"));
+    }
+    return busiest;
+}
+
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -33,35 +51,39 @@ printReproduction()
         "16 PEs, RB scheme, Cm*-mix + hot shared data)\n\n";
 
     const int num_pes = 16;
-    auto trace = makeCmStarTrace(cmStarApplicationA(), num_pes, 4000, 3);
+
+    exp::ParamGrid grid;
+    grid.axis("buses", {"1", "2", "4"});
+
+    exp::Experiment spec("fig_7_1_multibus",
+                         "Figure 7-1: per-bus traffic and completion "
+                         "time on k address-interleaved buses");
+    spec.addGrid(grid, [](std::size_t flat) {
+        exp::TraceRun run;
+        run.config.num_pes = num_pes;
+        run.config.cache_lines = 1024;
+        run.config.protocol = ProtocolKind::Rb;
+        run.config.num_buses = kBusCounts[flat];
+        run.trace = makeCmStarTrace(cmStarApplicationA(), num_pes,
+                                    4000, 3);
+        return run;
+    });
+    const auto &results = session.run(spec);
 
     Table table;
     table.setHeader({"buses", "cycles", "total bus ops",
                      "busiest bus ops", "per-bus share", "speedup"});
     double base_cycles = 0.0;
-    for (int buses : {1, 2, 4}) {
-        SystemConfig config;
-        config.num_pes = num_pes;
-        config.cache_lines = 1024;
-        config.protocol = ProtocolKind::Rb;
-        config.num_buses = buses;
-
-        System system(config);
-        system.loadTrace(trace);
-        system.run();
-
-        std::uint64_t total = system.totalBusTransactions();
-        std::uint64_t busiest = 0;
-        for (int b = 0; b < buses; b++) {
-            busiest = std::max(busiest,
-                               system.busCounters(b).get(
-                                   "bus.busy_cycles"));
-        }
-        double cycles = static_cast<double>(system.now());
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const auto &result = results[i];
+        int buses = kBusCounts[i];
+        std::uint64_t total = result.bus_transactions;
+        std::uint64_t busiest = busiestBusOps(result, buses);
+        auto cycles = static_cast<double>(result.cycles);
         if (buses == 1)
             base_cycles = cycles;
         table.addRow({std::to_string(buses),
-                      std::to_string(system.now()),
+                      std::to_string(result.cycles),
                       std::to_string(total), std::to_string(busiest),
                       Table::num(static_cast<double>(busiest) /
                                      static_cast<double>(total), 3),

@@ -24,6 +24,8 @@ namespace {
 
 using namespace ddc;
 
+const int kPeCounts[] = {1, 2, 4, 8, 16, 32, 64};
+
 void
 printAnalyticModel()
 {
@@ -48,53 +50,53 @@ printAnalyticModel()
               << "SBB = " << 128 * 1.0 * 0.10 << " MACS\n\n";
 }
 
-struct SweepPoint
-{
-    int num_pes;
-    double bus_per_ref;
-    double utilization;
-    double refs_per_cycle_per_pe;
-};
-
-SweepPoint
-measure(int num_pes)
-{
-    const std::size_t refs_per_pe = 4000;
-    auto trace = makeCmStarTrace(cmStarApplicationA(), num_pes,
-                                 refs_per_pe, 7);
-    SystemConfig config;
-    config.num_pes = num_pes;
-    config.cache_lines = 1024;
-    config.protocol = ProtocolKind::Rb;
-    auto summary = runTrace(config, trace);
-
-    SweepPoint point;
-    point.num_pes = num_pes;
-    point.bus_per_ref = summary.bus_per_ref;
-    point.utilization =
-        static_cast<double>(summary.bus_transactions) /
-        static_cast<double>(summary.cycles);
-    point.refs_per_cycle_per_pe =
-        static_cast<double>(summary.total_refs) /
-        static_cast<double>(summary.cycles) / num_pes;
-    return point;
-}
-
 void
-printMeasuredSweep()
+printMeasuredSweep(exp::Session &session)
 {
     using stats::Table;
+
+    exp::ParamGrid grid;
+    {
+        std::vector<std::string> labels;
+        for (int m : kPeCounts)
+            labels.push_back(std::to_string(m));
+        grid.axis("pes", labels);
+    }
+
+    exp::Experiment spec("sec_7_bus_bandwidth",
+                         "Section 7: single-bus saturation sweep over "
+                         "the PE count (RB, Cm*-mix)");
+    spec.addGrid(grid, [](std::size_t flat) {
+        const std::size_t refs_per_pe = 4000;
+        int num_pes = kPeCounts[flat];
+        exp::TraceRun run;
+        run.config.num_pes = num_pes;
+        run.config.cache_lines = 1024;
+        run.config.protocol = ProtocolKind::Rb;
+        run.trace = makeCmStarTrace(cmStarApplicationA(), num_pes,
+                                    refs_per_pe, 7);
+        return run;
+    });
+    const auto &results = session.run(spec);
 
     Table table("Measured on the simulator (RB scheme, Cm*-mix "
                 "workload, 1024-word caches, single bus)");
     table.setHeader({"PEs", "bus ops/ref (=1/h)", "bus utilization",
                      "refs/cycle/PE", "model: m/h"});
-    for (int m : {1, 2, 4, 8, 16, 32, 64}) {
-        auto point = measure(m);
-        table.addRow({std::to_string(m), Table::num(point.bus_per_ref, 3),
-                      Table::num(point.utilization, 3),
-                      Table::num(point.refs_per_cycle_per_pe, 3),
-                      Table::num(m * point.bus_per_ref, 2)});
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const auto &result = results[i];
+        int m = kPeCounts[i];
+        double bus_per_ref = result.metric("bus_per_ref");
+        double utilization =
+            static_cast<double>(result.bus_transactions) /
+            static_cast<double>(result.cycles);
+        double refs_per_cycle_per_pe =
+            static_cast<double>(result.total_refs) /
+            static_cast<double>(result.cycles) / m;
+        table.addRow({std::to_string(m), Table::num(bus_per_ref, 3),
+                      Table::num(utilization, 3),
+                      Table::num(refs_per_cycle_per_pe, 3),
+                      Table::num(m * bus_per_ref, 2)});
     }
     std::cout << table.render();
     std::cout <<
@@ -106,10 +108,10 @@ printMeasuredSweep()
 }
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     printAnalyticModel();
-    printMeasuredSweep();
+    printMeasuredSweep(session);
 }
 
 void

@@ -33,42 +33,32 @@ struct MissBreakdown
     double total = 0.0;
 };
 
+/** Scrape the Table 1-1 percentage columns out of one run's counters. */
 MissBreakdown
-measure(const CmStarAppParams &params, std::size_t cache_lines,
-        std::size_t refs_per_pe)
+breakdown(const exp::RunResult &result)
 {
-    const int num_pes = 4;
-    auto trace = makeCmStarTrace(params, num_pes, refs_per_pe, 1984);
-
-    SystemConfig config;
-    config.num_pes = num_pes;
-    config.cache_lines = cache_lines;
-    config.protocol = ProtocolKind::CmStar;
-    auto summary = runTrace(config, trace);
-
-    auto refs = static_cast<double>(summary.total_refs);
-    MissBreakdown result;
-    result.read_miss =
+    const auto &counters = result.counters;
+    auto refs = static_cast<double>(result.total_refs);
+    MissBreakdown out;
+    out.read_miss =
         100.0 *
-        static_cast<double>(summary.counters.get("cache.read_miss.Code") +
-                            summary.counters.get("cache.read_miss.Local")) /
+        static_cast<double>(counters.get("cache.read_miss.Code") +
+                            counters.get("cache.read_miss.Local")) /
         refs;
-    result.local_writes =
+    out.local_writes =
         100.0 *
-        static_cast<double>(
-            summary.counters.get("cache.write_miss.Local") +
-            summary.counters.get("cache.write_hit.Local")) /
+        static_cast<double>(counters.get("cache.write_miss.Local") +
+                            counters.get("cache.write_hit.Local")) /
         refs;
-    result.shared = 100.0 *
-                    static_cast<double>(
-                        summary.counters.sumPrefix("cache.read_miss.Shared") +
-                        summary.counters.sumPrefix("cache.read_hit.Shared") +
-                        summary.counters.sumPrefix(
-                            "cache.write_miss.Shared") +
-                        summary.counters.sumPrefix("cache.ts.Shared")) /
-                    refs;
-    result.total = result.read_miss + result.local_writes + result.shared;
-    return result;
+    out.shared = 100.0 *
+                 static_cast<double>(
+                     counters.sumPrefix("cache.read_miss.Shared") +
+                     counters.sumPrefix("cache.read_hit.Shared") +
+                     counters.sumPrefix("cache.write_miss.Shared") +
+                     counters.sumPrefix("cache.ts.Shared")) /
+                 refs;
+    out.total = out.read_miss + out.local_writes + out.shared;
+    return out;
 }
 
 struct PaperRow
@@ -89,7 +79,7 @@ const PaperRow kPaperRows[] = {
 };
 
 void
-printReproduction()
+printReproduction(exp::Session &session)
 {
     using stats::Table;
 
@@ -99,6 +89,29 @@ printReproduction()
         "1 word; only code and local data cachable; write-through local;\n"
         "all shared references uncached)\n\n";
 
+    const std::size_t refs = 40000;
+    const int num_pes = 4;
+
+    exp::ParamGrid grid;
+    grid.axis("cache_size", {"256", "512", "1024", "2048"});
+    grid.axis("app", {"A", "B"});
+
+    exp::Experiment spec("table_1_1_cmstar",
+                         "Table 1-1: Cm* emulated cache miss ratios by "
+                         "cache size and application");
+    spec.addGrid(grid, [grid](std::size_t flat) {
+        auto indices = grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = num_pes;
+        run.config.cache_lines = kPaperRows[indices[0]].cache_size;
+        run.config.protocol = ProtocolKind::CmStar;
+        auto params = indices[1] == 0 ? cmStarApplicationA()
+                                      : cmStarApplicationB();
+        run.trace = makeCmStarTrace(params, num_pes, refs, 1984);
+        return run;
+    });
+    const auto &results = session.run(spec);
+
     Table table;
     table.setHeader({"Cache Size", "App", "Read Miss %", "",
                      "Local Writes %", "", "Shared R/W %", "",
@@ -107,10 +120,10 @@ printReproduction()
                   "paper", "measured", "paper", "measured"});
     table.addSeparator();
 
-    const std::size_t refs = 40000;
+    std::size_t flat = 0;
     for (const auto &row : kPaperRows) {
-        auto a = measure(cmStarApplicationA(), row.cache_size, refs);
-        auto b = measure(cmStarApplicationB(), row.cache_size, refs);
+        auto a = breakdown(results[flat++]);
+        auto b = breakdown(results[flat++]);
         table.addRow({std::to_string(row.cache_size), "A",
                       Table::num(row.read_miss_a), Table::num(a.read_miss),
                       Table::num(row.local_a), Table::num(a.local_writes),

@@ -3,12 +3,19 @@
 # paper table/figure + ablation, capturing the outputs the way
 # EXPERIMENTS.md documents them.
 #
+# Sweep points run through the parallel experiment engine (src/exp)
+# with --jobs $(nproc); the engine guarantees output is byte-identical
+# to a serial run.  Each bench also emits structured results as
+# <build>/bench/<name>.results.json, and the per-bench files are
+# merged into BENCH_RESULTS.json at the repo root.
+#
 #   scripts/reproduce_all.sh [build-dir]
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
+jobs="$(nproc 2>/dev/null || echo 1)"
 
 cmake -B "$build_dir" -G Ninja -S "$repo_root"
 cmake --build "$build_dir"
@@ -17,10 +24,32 @@ ctest --test-dir "$build_dir" --output-on-failure 2>&1 \
     | tee "$repo_root/test_output.txt"
 
 : > "$repo_root/bench_output.txt"
+json_files=()
 for bench in "$build_dir"/bench/*; do
     [ -x "$bench" ] || continue
-    echo "===== $(basename "$bench") =====" >> "$repo_root/bench_output.txt"
-    "$bench" >> "$repo_root/bench_output.txt" 2>&1
+    name="$(basename "$bench")"
+    json="$build_dir/bench/$name.results.json"
+    echo "===== $name =====" >> "$repo_root/bench_output.txt"
+    "$bench" --jobs "$jobs" --json "$json" \
+        >> "$repo_root/bench_output.txt" 2>&1
+    json_files+=("$json")
 done
 
-echo "Done: test_output.txt, bench_output.txt"
+# Merge the per-bench result files into one top-level document:
+# {"schema": 1, "benches": {"<name>": <per-bench document>, ...}}
+merged="$repo_root/BENCH_RESULTS.json"
+{
+    printf '{\n  "schema": 1,\n  "benches": {\n'
+    first=1
+    for json in "${json_files[@]}"; do
+        name="$(basename "$json" .results.json)"
+        [ "$first" -eq 1 ] || printf ',\n'
+        first=0
+        # Re-indent the per-bench document to nest under "benches".
+        doc="$(sed '1!s/^/    /' "$json")"
+        printf '    "%s": %s' "$name" "$doc"
+    done
+    printf '\n  }\n}\n'
+} > "$merged"
+
+echo "Done: test_output.txt, bench_output.txt, BENCH_RESULTS.json"

@@ -2,23 +2,53 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace ddc {
+
+namespace {
+
+/**
+ * One mutex for every log line so concurrent experiment workers never
+ * interleave output.  Function-local static: thread-safe to initialize
+ * and usable from any point of the program's lifetime.
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+emitLine(const char *severity, const char *file, int line,
+         const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << severity << ": " << message << " [" << file << ":"
+              << line << "]" << std::endl;
+}
+
+} // namespace
 
 void
 panicImpl(const char *file, int line, const std::string &message)
 {
-    std::cerr << "panic: " << message << " [" << file << ":" << line << "]"
-              << std::endl;
+    emitLine("panic", file, line, message);
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &message)
 {
-    std::cerr << "fatal: " << message << " [" << file << ":" << line << "]"
-              << std::endl;
+    emitLine("fatal", file, line, message);
     std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &message)
+{
+    emitLine("warn", file, line, message);
 }
 
 } // namespace ddc

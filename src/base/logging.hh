@@ -1,9 +1,12 @@
 /**
  * @file
- * Fatal/panic helpers in the gem5 tradition.
+ * Fatal/panic/warn helpers in the gem5 tradition.
  *
  * panic() flags an internal simulator bug (aborts); fatal() flags a user
- * configuration error (clean exit with an error code).
+ * configuration error (clean exit with an error code); warn() reports a
+ * suspicious-but-survivable condition (e.g. a run hitting its cycle
+ * limit).  All three serialize their output under one mutex so lines
+ * never interleave when experiment workers log concurrently.
  */
 
 #ifndef DDC_BASE_LOGGING_HH
@@ -21,6 +24,9 @@ namespace ddc {
 /** Exit(1) with a message; use for user configuration errors. */
 [[noreturn]] void fatalImpl(const char *file, int line,
                             const std::string &message);
+
+/** Print a warning line to stderr (thread-safe, never interleaved). */
+void warnImpl(const char *file, int line, const std::string &message);
 
 namespace detail {
 
@@ -45,6 +51,10 @@ formatMessage(Args &&...args)
 #define ddc_fatal(...) \
     ::ddc::fatalImpl(__FILE__, __LINE__, \
                      ::ddc::detail::formatMessage(__VA_ARGS__))
+
+#define ddc_warn(...) \
+    ::ddc::warnImpl(__FILE__, __LINE__, \
+                    ::ddc::detail::formatMessage(__VA_ARGS__))
 
 /** Assert an internal invariant; always checked (not tied to NDEBUG). */
 #define ddc_assert(cond, ...) \

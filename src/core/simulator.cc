@@ -7,7 +7,8 @@
 namespace ddc {
 
 RunSummary
-runTrace(SystemConfig config, const Trace &trace, bool check_consistency)
+runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
+         Cycle max_cycles)
 {
     if (check_consistency)
         config.record_log = true;
@@ -18,11 +19,16 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency)
     system.loadTrace(trace);
 
     RunSummary summary;
-    summary.cycles = system.run();
+    summary.cycles = system.run(max_cycles);
+    summary.status = system.runStatus();
     summary.completed = system.allDone();
     summary.total_refs = trace.totalRefs();
     summary.bus_transactions = system.totalBusTransactions();
     summary.counters = system.counters();
+    for (int b = 0; b < system.numBuses(); b++) {
+        summary.per_bus_busy_cycles.push_back(
+            system.busCounters(b).get("bus.busy_cycles"));
+    }
 
     if (summary.total_refs > 0) {
         summary.bus_per_ref =

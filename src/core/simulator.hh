@@ -22,6 +22,8 @@ namespace ddc {
 struct RunSummary
 {
     bool completed = false;
+    /** Finished vs. timed out (== completed, as an explicit status). */
+    RunStatus status = RunStatus::Finished;
     Cycle cycles = 0;
     std::uint64_t total_refs = 0;
     std::uint64_t bus_transactions = 0;
@@ -33,6 +35,8 @@ struct RunSummary
     bool consistent = true;
     /** Full merged counter set. */
     stats::CounterSet counters;
+    /** Per-bus bus.busy_cycles, indexed by bus (size = num_buses). */
+    std::vector<std::uint64_t> per_bus_busy_cycles;
 };
 
 /**
@@ -41,9 +45,12 @@ struct RunSummary
  * @param check_consistency Record the serial execution log and replay
  *        it through the consistency checker (slower; sets
  *        RunSummary::consistent).
+ * @param max_cycles Cycle budget; exceeding it sets
+ *        RunSummary::status to RunStatus::TimedOut.
  */
 RunSummary runTrace(SystemConfig config, const Trace &trace,
-                    bool check_consistency = false);
+                    bool check_consistency = false,
+                    Cycle max_cycles = System::kDefaultMaxCycles);
 
 /** One-line human summary of a RunSummary. */
 std::string describe(const RunSummary &summary);

@@ -1,0 +1,491 @@
+#include "exp/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace exp {
+
+Json::Json(std::uint64_t value) : kind_(Kind::Int)
+{
+    ddc_assert(value <= static_cast<std::uint64_t>(
+                            std::numeric_limits<std::int64_t>::max()),
+               "counter value too large for JSON integer");
+    int_ = static_cast<std::int64_t>(value);
+}
+
+bool
+Json::asBool() const
+{
+    ddc_assert(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+std::int64_t
+Json::asInt() const
+{
+    ddc_assert(kind_ == Kind::Int, "JSON value is not an integer");
+    return int_;
+}
+
+double
+Json::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    ddc_assert(kind_ == Kind::Double, "JSON value is not a number");
+    return double_;
+}
+
+const std::string &
+Json::asString() const
+{
+    ddc_assert(kind_ == Kind::String, "JSON value is not a string");
+    return string_;
+}
+
+void
+Json::push(Json value)
+{
+    ddc_assert(kind_ == Kind::Array, "JSON value is not an array");
+    array_.push_back(std::move(value));
+}
+
+std::size_t
+Json::size() const
+{
+    if (kind_ == Kind::Array)
+        return array_.size();
+    if (kind_ == Kind::Object)
+        return object_.size();
+    ddc_panic("JSON value has no size");
+}
+
+const Json &
+Json::at(std::size_t index) const
+{
+    ddc_assert(kind_ == Kind::Array, "JSON value is not an array");
+    ddc_assert(index < array_.size(), "JSON array index out of range");
+    return array_[index];
+}
+
+Json &
+Json::operator[](const std::string &key)
+{
+    ddc_assert(kind_ == Kind::Object, "JSON value is not an object");
+    for (auto &[name, value] : object_) {
+        if (name == key)
+            return value;
+    }
+    object_.emplace_back(key, Json());
+    return object_.back().second;
+}
+
+const Json *
+Json::find(const std::string &key) const
+{
+    ddc_assert(kind_ == Kind::Object, "JSON value is not an object");
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>> &
+Json::items() const
+{
+    ddc_assert(kind_ == Kind::Object, "JSON value is not an object");
+    return object_;
+}
+
+namespace {
+
+/** Escape and quote @p text as a JSON string literal. */
+void
+dumpString(std::ostream &os, const std::string &text)
+{
+    os << '"';
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+                os << buffer;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
+    }
+    os << '"';
+}
+
+/** Shortest decimal representation of @p value that round-trips. */
+std::string
+dumpDouble(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buffer[64];
+    for (int precision = 1; precision <= 17; precision++) {
+        std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+        if (std::strtod(buffer, nullptr) == value)
+            break;
+    }
+    // Keep the number a JSON double on re-parse (avoid "1" for 1.0).
+    std::string text = buffer;
+    if (text.find_first_of(".eEn") == std::string::npos)
+        text += ".0";
+    return text;
+}
+
+void
+indentTo(std::ostream &os, int depth)
+{
+    for (int i = 0; i < depth * 2; i++)
+        os << ' ';
+}
+
+} // namespace
+
+void
+Json::dumpTo(std::ostream &os, int depth) const
+{
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Int:
+        os << int_;
+        break;
+      case Kind::Double:
+        os << dumpDouble(double_);
+        break;
+      case Kind::String:
+        dumpString(os, string_);
+        break;
+      case Kind::Array:
+        if (array_.empty()) {
+            os << "[]";
+            break;
+        }
+        os << "[\n";
+        for (std::size_t i = 0; i < array_.size(); i++) {
+            indentTo(os, depth + 1);
+            array_[i].dumpTo(os, depth + 1);
+            os << (i + 1 < array_.size() ? ",\n" : "\n");
+        }
+        indentTo(os, depth);
+        os << ']';
+        break;
+      case Kind::Object:
+        if (object_.empty()) {
+            os << "{}";
+            break;
+        }
+        os << "{\n";
+        for (std::size_t i = 0; i < object_.size(); i++) {
+            indentTo(os, depth + 1);
+            dumpString(os, object_[i].first);
+            os << ": ";
+            object_[i].second.dumpTo(os, depth + 1);
+            os << (i + 1 < object_.size() ? ",\n" : "\n");
+        }
+        indentTo(os, depth);
+        os << '}';
+        break;
+    }
+}
+
+void
+Json::dump(std::ostream &os) const
+{
+    dumpTo(os, 0);
+}
+
+std::string
+Json::dump() const
+{
+    std::ostringstream os;
+    dump(os);
+    return os.str();
+}
+
+namespace {
+
+/** Recursive-descent JSON parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text(text) {}
+
+    bool
+    parseDocument(Json &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        return pos == text.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            pos++;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            pos++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeWord(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) == word) {
+            pos += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(Json &out)
+    {
+        if (pos >= text.size())
+            return false;
+        switch (text[pos]) {
+          case 'n':
+            out = Json();
+            return consumeWord("null");
+          case 't':
+            out = Json(true);
+            return consumeWord("true");
+          case 'f':
+            out = Json(false);
+            return consumeWord("false");
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; i++) {
+            if (pos >= text.size())
+                return false;
+            char c = text[pos++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    parseString(Json &out)
+    {
+        std::string result;
+        if (!parseRawString(result))
+            return false;
+        out = Json(std::move(result));
+        return true;
+    }
+
+    bool
+    parseRawString(std::string &result)
+    {
+        if (!consume('"'))
+            return false;
+        while (pos < text.size()) {
+            char c = text[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                result += c;
+                continue;
+            }
+            if (pos >= text.size())
+                return false;
+            char escape = text[pos++];
+            switch (escape) {
+              case '"': result += '"'; break;
+              case '\\': result += '\\'; break;
+              case '/': result += '/'; break;
+              case 'b': result += '\b'; break;
+              case 'f': result += '\f'; break;
+              case 'n': result += '\n'; break;
+              case 'r': result += '\r'; break;
+              case 't': result += '\t'; break;
+              case 'u': {
+                unsigned code = 0;
+                if (!parseHex4(code))
+                    return false;
+                // Encode the code point as UTF-8 (no surrogate pairs;
+                // our emitter only writes \u for control characters).
+                if (code < 0x80) {
+                    result += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    result += static_cast<char>(0xc0 | (code >> 6));
+                    result += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    result += static_cast<char>(0xe0 | (code >> 12));
+                    result +=
+                        static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                    result += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false;
+    }
+
+    bool
+    parseNumber(Json &out)
+    {
+        std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            pos++;
+        bool is_double = false;
+        while (pos < text.size()) {
+            char c = text[pos];
+            if (c >= '0' && c <= '9') {
+                pos++;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '+' ||
+                       c == '-') {
+                is_double = is_double || c == '.' || c == 'e' || c == 'E';
+                pos++;
+            } else {
+                break;
+            }
+        }
+        if (pos == start)
+            return false;
+        std::string token(text.substr(start, pos - start));
+        if (is_double) {
+            out = Json(std::strtod(token.c_str(), nullptr));
+        } else {
+            out = Json(static_cast<std::int64_t>(
+                std::strtoll(token.c_str(), nullptr, 10)));
+        }
+        return true;
+    }
+
+    bool
+    parseArray(Json &out)
+    {
+        if (!consume('['))
+            return false;
+        out = Json::array();
+        skipSpace();
+        if (consume(']'))
+            return true;
+        while (true) {
+            Json element;
+            skipSpace();
+            if (!parseValue(element))
+                return false;
+            out.push(std::move(element));
+            skipSpace();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    bool
+    parseObject(Json &out)
+    {
+        if (!consume('{'))
+            return false;
+        out = Json::object();
+        skipSpace();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (!parseRawString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return false;
+            skipSpace();
+            Json value;
+            if (!parseValue(value))
+                return false;
+            out[key] = std::move(value);
+            skipSpace();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return false;
+        }
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+bool
+Json::parse(std::string_view text, Json &out)
+{
+    out = Json();
+    Parser parser(text);
+    if (parser.parseDocument(out))
+        return true;
+    out = Json();
+    return false;
+}
+
+} // namespace exp
+} // namespace ddc

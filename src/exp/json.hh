@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Minimal JSON document model for experiment results.
+ *
+ * The experiment engine emits structured results (results.json) next
+ * to the ASCII tables, and the test suite round-trips them; this is a
+ * small ordered JSON value with deterministic serialization so a
+ * parallel run's output is byte-identical to a serial run's.  Object
+ * keys keep insertion order; doubles print with the shortest
+ * representation that round-trips, so dump(parse(dump(x))) == dump(x).
+ */
+
+#ifndef DDC_EXP_JSON_HH
+#define DDC_EXP_JSON_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ddc {
+namespace exp {
+
+/** An ordered, deterministic JSON value. */
+class Json
+{
+  public:
+    enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+    /** A null value. */
+    Json() = default;
+    Json(bool value) : kind_(Kind::Bool), bool_(value) {}
+    Json(std::int64_t value) : kind_(Kind::Int), int_(value) {}
+    Json(std::uint64_t value);
+    Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+    Json(double value) : kind_(Kind::Double), double_(value) {}
+    Json(std::string value)
+        : kind_(Kind::String), string_(std::move(value))
+    {}
+    Json(const char *value) : Json(std::string(value)) {}
+
+    /** An empty array value. */
+    static Json array() { return Json(Kind::Array); }
+    /** An empty object value. */
+    static Json object() { return Json(Kind::Object); }
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    bool asBool() const;
+    /** Integer value (Int only). */
+    std::int64_t asInt() const;
+    /** Numeric value (Int or Double). */
+    double asDouble() const;
+    const std::string &asString() const;
+
+    /** Array: append an element. */
+    void push(Json value);
+    /** Array or Object: number of elements. */
+    std::size_t size() const;
+    /** Array: element @p index. */
+    const Json &at(std::size_t index) const;
+
+    /** Object: fetch-or-insert member @p key (keeps insertion order). */
+    Json &operator[](const std::string &key);
+    /** Object: member @p key, or nullptr when absent. */
+    const Json *find(const std::string &key) const;
+    /** Object: ordered members. */
+    const std::vector<std::pair<std::string, Json>> &items() const;
+
+    /** Serialize (2-space indent, deterministic). */
+    std::string dump() const;
+    void dump(std::ostream &os) const;
+
+    /**
+     * Parse a complete JSON document.
+     * @return false on malformed input (@p out left null).
+     */
+    static bool parse(std::string_view text, Json &out);
+
+  private:
+    explicit Json(Kind kind) : kind_(kind) {}
+    void dumpTo(std::ostream &os, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    std::vector<Json> array_;
+    std::vector<std::pair<std::string, Json>> object_;
+};
+
+} // namespace exp
+} // namespace ddc
+
+#endif // DDC_EXP_JSON_HH

@@ -1,0 +1,98 @@
+#include "exp/result.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace exp {
+
+void
+RunResult::setMetric(const std::string &name, double value)
+{
+    for (auto &[metric_name, metric_value] : metrics) {
+        if (metric_name == name) {
+            metric_value = value;
+            return;
+        }
+    }
+    metrics.emplace_back(name, value);
+}
+
+double
+RunResult::metric(const std::string &name) const
+{
+    for (const auto &[metric_name, metric_value] : metrics) {
+        if (metric_name == name)
+            return metric_value;
+    }
+    return 0.0;
+}
+
+bool
+RunResult::hasMetric(const std::string &name) const
+{
+    for (const auto &[metric_name, metric_value] : metrics) {
+        if (metric_name == name)
+            return true;
+    }
+    return false;
+}
+
+Json
+RunResult::toJson() const
+{
+    Json json = Json::object();
+    json["index"] = Json(static_cast<std::int64_t>(index));
+
+    Json params_json = Json::object();
+    for (const auto &[name, value] : params)
+        params_json[name] = Json(value);
+    json["params"] = std::move(params_json);
+
+    json["status"] = Json(toString(status));
+    json["cycles"] = Json(static_cast<std::uint64_t>(cycles));
+    json["total_refs"] = Json(total_refs);
+    json["bus_transactions"] = Json(bus_transactions);
+    json["consistent"] = Json(consistent);
+
+    Json metrics_json = Json::object();
+    for (const auto &[name, value] : metrics)
+        metrics_json[name] = Json(value);
+    json["metrics"] = std::move(metrics_json);
+
+    Json counters_json = Json::object();
+    for (const auto &name : counters.names())
+        counters_json[name] = Json(counters.get(name));
+    json["counters"] = std::move(counters_json);
+
+    return json;
+}
+
+RunResult
+RunResult::fromJson(const Json &json)
+{
+    RunResult result;
+    result.index =
+        static_cast<std::size_t>(json.find("index")->asInt());
+    for (const auto &[name, value] : json.find("params")->items())
+        result.params.emplace_back(name, value.asString());
+    result.status = json.find("status")->asString() == toString(
+                        RunStatus::TimedOut)
+                        ? RunStatus::TimedOut
+                        : RunStatus::Finished;
+    result.cycles =
+        static_cast<Cycle>(json.find("cycles")->asInt());
+    result.total_refs =
+        static_cast<std::uint64_t>(json.find("total_refs")->asInt());
+    result.bus_transactions = static_cast<std::uint64_t>(
+        json.find("bus_transactions")->asInt());
+    result.consistent = json.find("consistent")->asBool();
+    for (const auto &[name, value] : json.find("metrics")->items())
+        result.metrics.emplace_back(name, value.asDouble());
+    for (const auto &[name, value] : json.find("counters")->items())
+        result.counters.add(name,
+                            static_cast<std::uint64_t>(value.asInt()));
+    return result;
+}
+
+} // namespace exp
+} // namespace ddc

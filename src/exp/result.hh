@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured per-run results for the experiment engine.
+ *
+ * A RunResult is everything one sweep point produced: the run status
+ * (finished vs. timed out — a deadlocked point is reported, never
+ * silently passed off as a datapoint), headline numbers, derived
+ * metrics, the full counter set, and an optional pre-rendered text
+ * block for scenario-style figures.  Results serialize to JSON and
+ * back so parallel sweeps can be archived and compared byte-for-byte.
+ */
+
+#ifndef DDC_EXP_RESULT_HH
+#define DDC_EXP_RESULT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/types.hh"
+#include "exp/json.hh"
+#include "sim/system.hh"
+#include "stats/counter.hh"
+
+namespace ddc {
+namespace exp {
+
+/** Ordered (name, value) labels identifying one grid point. */
+using ParamList = std::vector<std::pair<std::string, std::string>>;
+
+/** Everything one experiment point produced. */
+struct RunResult
+{
+    /** Grid index; results are always ordered by it. */
+    std::size_t index = 0;
+    /** The parameter labels of this point. */
+    ParamList params;
+    /** Finished, or hit the cycle limit (surfaced, never swallowed). */
+    RunStatus status = RunStatus::Finished;
+    Cycle cycles = 0;
+    std::uint64_t total_refs = 0;
+    std::uint64_t bus_transactions = 0;
+    /** Serial-consistency verdict (true unless checking failed). */
+    bool consistent = true;
+    /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
+    std::vector<std::pair<std::string, double>> metrics;
+    /** Full merged counter set of the run. */
+    stats::CounterSet counters;
+    /**
+     * Presentation text produced by custom points (scenario figures);
+     * printed verbatim by the bench, not serialized to JSON.
+     */
+    std::string rendered;
+
+    /** Set (or overwrite) derived metric @p name. */
+    void setMetric(const std::string &name, double value);
+
+    /** Value of metric @p name (0.0 when absent). */
+    double metric(const std::string &name) const;
+
+    /** True when metric @p name was set. */
+    bool hasMetric(const std::string &name) const;
+
+    /** Serialize to a JSON object (everything except `rendered`). */
+    Json toJson() const;
+
+    /** Rebuild a result from Json emitted by toJson(). */
+    static RunResult fromJson(const Json &json);
+};
+
+} // namespace exp
+} // namespace ddc
+
+#endif // DDC_EXP_RESULT_HH

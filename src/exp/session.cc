@@ -1,0 +1,90 @@
+#include "exp/session.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace exp {
+
+SessionOptions
+parseSessionArgs(int &argc, char **argv)
+{
+    SessionOptions options;
+    int out = 1;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "--json") {
+            if (i + 1 >= argc) {
+                std::cerr << argv[0] << ": " << arg << " needs a value\n";
+                std::exit(1);
+            }
+            const char *value = argv[++i];
+            if (arg == "--jobs") {
+                options.jobs = std::atoi(value);
+                if (options.jobs < 1) {
+                    std::cerr << argv[0] << ": --jobs needs a positive "
+                              << "integer, got " << value << "\n";
+                    std::exit(1);
+                }
+            } else {
+                options.json_path = value;
+            }
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return options;
+}
+
+Session::Session(SessionOptions options) : opts(std::move(options)) {}
+
+const std::vector<RunResult> &
+Session::run(const Experiment &experiment)
+{
+    RunnerOptions runner;
+    runner.jobs = opts.jobs;
+    collected.push_back({experiment.name(), experiment.description(),
+                         runExperiment(experiment, runner)});
+    return collected.back().results;
+}
+
+Json
+Session::toJson() const
+{
+    Json json = Json::object();
+    json["schema"] = Json(std::int64_t{1});
+    Json experiments = Json::array();
+    for (const auto &entry : collected) {
+        Json experiment = Json::object();
+        experiment["name"] = Json(entry.name);
+        experiment["description"] = Json(entry.description);
+        Json runs = Json::array();
+        for (const auto &result : entry.results)
+            runs.push(result.toJson());
+        experiment["runs"] = std::move(runs);
+        experiments.push(std::move(experiment));
+    }
+    json["experiments"] = std::move(experiments);
+    return json;
+}
+
+bool
+Session::writeJson() const
+{
+    if (opts.json_path.empty())
+        return true;
+    std::ofstream out(opts.json_path);
+    if (!out)
+        return false;
+    toJson().dump(out);
+    out << "\n";
+    return out.good();
+}
+
+} // namespace exp
+} // namespace ddc

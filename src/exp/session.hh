@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment session: runs experiments and collects their results.
+ *
+ * A Session is the one object a bench binary or the CLI talks to: it
+ * carries the runner options (--jobs), executes each Experiment, keeps
+ * every result in submission order, and emits the collected set as
+ * JSON (--json PATH, conventionally results.json) alongside whatever
+ * ASCII tables the caller prints.  The JSON bytes are independent of
+ * the job count.
+ */
+
+#ifndef DDC_EXP_SESSION_HH
+#define DDC_EXP_SESSION_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "exp/json.hh"
+#include "exp/runner.hh"
+
+namespace ddc {
+namespace exp {
+
+/** Command-line options shared by every engine consumer. */
+struct SessionOptions
+{
+    /** Worker threads for each experiment run. */
+    int jobs = 1;
+    /** Where to write the collected results ("" = don't). */
+    std::string json_path;
+};
+
+/**
+ * Parse and remove `--jobs N` / `--json PATH` from an argv vector.
+ *
+ * Unrecognized arguments are left in place (benches forward them to
+ * google-benchmark).  Exits with an error message on malformed
+ * values.
+ */
+SessionOptions parseSessionArgs(int &argc, char **argv);
+
+/** Executes experiments and accumulates their results. */
+class Session
+{
+  public:
+    explicit Session(SessionOptions options = {});
+
+    /**
+     * Run @p experiment with this session's job count.
+     * @return The results, ordered by point index; the reference
+     *         stays valid for the session's lifetime.
+     */
+    const std::vector<RunResult> &run(const Experiment &experiment);
+
+    const SessionOptions &options() const { return opts; }
+
+    /** All collected results as one JSON document. */
+    Json toJson() const;
+
+    /**
+     * Write toJson() to options().json_path.
+     * @return false on I/O failure (true when json_path is empty).
+     */
+    bool writeJson() const;
+
+  private:
+    struct Collected
+    {
+        std::string name;
+        std::string description;
+        std::vector<RunResult> results;
+    };
+
+    SessionOptions opts;
+    /** Deque so run() references stay valid as experiments accrue. */
+    std::deque<Collected> collected;
+};
+
+} // namespace exp
+} // namespace ddc
+
+#endif // DDC_EXP_SESSION_HH

@@ -102,6 +102,11 @@ HierSystem::run(Cycle max_cycles)
     Cycle start = clock.now;
     while (!allDone() && clock.now - start < max_cycles)
         tick();
+    run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+    if (run_status == RunStatus::TimedOut) {
+        ddc_warn("HierSystem::run hit its cycle budget (", max_cycles,
+                 " cycles) with agents still busy; reporting timed_out");
+    }
     return clock.now - start;
 }
 

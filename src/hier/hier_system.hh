@@ -22,6 +22,7 @@
 #include "sim/isa.hh"
 #include "sim/memory.hh"
 #include "sim/processor.hh"
+#include "sim/system.hh"
 #include "stats/counter.hh"
 #include "trace/trace.hh"
 
@@ -76,8 +77,17 @@ class HierSystem
     /** Advance one cycle: global bus, cluster buses, then PEs. */
     void tick();
 
-    /** Run until every agent is done (or @p max_cycles elapse). */
-    Cycle run(Cycle max_cycles = 100'000'000);
+    /**
+     * Run until every agent is done (or @p max_cycles elapse); a hit
+     * budget logs a warning and is reported by timedOut().
+     */
+    Cycle run(Cycle max_cycles = System::kDefaultMaxCycles);
+
+    /** Outcome of the most recent run() (Finished before any run). */
+    RunStatus runStatus() const { return run_status; }
+
+    /** True when the most recent run() hit its cycle budget. */
+    bool timedOut() const { return run_status == RunStatus::TimedOut; }
 
     bool allDone() const;
     Cycle now() const { return clock.now; }
@@ -123,6 +133,7 @@ class HierSystem
 
     HierConfig config;
     Clock clock;
+    RunStatus run_status = RunStatus::Finished;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> protocol;
 

@@ -5,6 +5,12 @@
 
 namespace ddc {
 
+const char *
+toString(RunStatus status)
+{
+    return status == RunStatus::Finished ? "finished" : "timed_out";
+}
+
 System::System(const SystemConfig &config) : config(config)
 {
     ddc_assert(config.num_pes >= 1, "need at least one PE");
@@ -98,6 +104,11 @@ System::run(Cycle max_cycles)
     Cycle start = clock.now;
     while (!allDone() && clock.now - start < max_cycles)
         tick();
+    run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+    if (run_status == RunStatus::TimedOut) {
+        ddc_warn("System::run hit its cycle budget (", max_cycles,
+                 " cycles) with agents still busy; reporting timed_out");
+    }
     return clock.now - start;
 }
 

@@ -58,10 +58,25 @@ struct SystemConfig
     bool record_log = false;
 };
 
+/** How a bounded run ended. */
+enum class RunStatus
+{
+    /** Every agent finished within the cycle budget. */
+    Finished,
+    /** The cycle budget elapsed first (deadlock or runaway scenario). */
+    TimedOut,
+};
+
+/** Stable name of @p status ("finished" / "timed_out"). */
+const char *toString(RunStatus status);
+
 /** A complete simulated shared-bus multiprocessor. */
 class System
 {
   public:
+    /** Default cycle budget for run(). */
+    static constexpr Cycle kDefaultMaxCycles = 100'000'000;
+
     explicit System(const SystemConfig &config);
 
     /** Replace every agent with trace replay of @p trace. */
@@ -78,9 +93,18 @@ class System
 
     /**
      * Run until every agent is done (or @p max_cycles elapse).
+     *
+     * Hitting the budget is never silent: it logs a warning and is
+     * reported by runStatus() / timedOut().
      * @return Number of cycles executed.
      */
-    Cycle run(Cycle max_cycles = 100'000'000);
+    Cycle run(Cycle max_cycles = kDefaultMaxCycles);
+
+    /** Outcome of the most recent run() (Finished before any run). */
+    RunStatus runStatus() const { return run_status; }
+
+    /** True when the most recent run() hit its cycle budget. */
+    bool timedOut() const { return run_status == RunStatus::TimedOut; }
 
     /** True when every agent has finished. */
     bool allDone() const;
@@ -135,6 +159,7 @@ class System
 
     SystemConfig config;
     Clock clock;
+    RunStatus run_status = RunStatus::Finished;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> proto;
 

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine (src/exp): grid expansion,
+ * worker-count invariance (jobs=1 vs jobs=8 must produce identical
+ * results and identical JSON bytes), JSON round-tripping, and timeout
+ * status propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/experiment.hh"
+#include "exp/json.hh"
+#include "exp/runner.hh"
+#include "exp/session.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace ddc;
+
+TEST(ParamGridTest, EmptyGridHasOnePoint)
+{
+    exp::ParamGrid grid;
+    EXPECT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid.numAxes(), 0u);
+    EXPECT_TRUE(grid.paramsAt(0).empty());
+}
+
+TEST(ParamGridTest, ExpandsRowMajorLastAxisFastest)
+{
+    exp::ParamGrid grid;
+    grid.axis("a", {"a0", "a1"});
+    grid.axis("b", {"b0", "b1", "b2"});
+    ASSERT_EQ(grid.size(), 6u);
+
+    // Flat index 0 -> (a0, b0); 1 -> (a0, b1); 3 -> (a1, b0).
+    auto p0 = grid.paramsAt(0);
+    EXPECT_EQ(p0[0].second, "a0");
+    EXPECT_EQ(p0[1].second, "b0");
+    auto p1 = grid.paramsAt(1);
+    EXPECT_EQ(p1[0].second, "a0");
+    EXPECT_EQ(p1[1].second, "b1");
+    auto p3 = grid.paramsAt(3);
+    EXPECT_EQ(p3[0].second, "a1");
+    EXPECT_EQ(p3[1].second, "b0");
+
+    auto indices = grid.indicesAt(5);
+    EXPECT_EQ(indices[0], 1u);
+    EXPECT_EQ(indices[1], 2u);
+
+    // Axis names ride along with every point.
+    EXPECT_EQ(p0[0].first, "a");
+    EXPECT_EQ(p0[1].first, "b");
+}
+
+/** A small real sweep: two workloads x two protocols. */
+exp::Experiment
+makeSweep()
+{
+    exp::ParamGrid grid;
+    grid.axis("workload", {"array_init", "migratory"});
+    grid.axis("protocol", {"RB", "RWB"});
+
+    exp::Experiment spec("exp_test_sweep", "engine test sweep");
+    spec.addGrid(grid, [grid](std::size_t flat) {
+        auto indices = grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 256;
+        run.config.protocol = indices[1] == 0 ? ProtocolKind::Rb
+                                              : ProtocolKind::Rwb;
+        run.trace = indices[0] == 0 ? makeArrayInitTrace(4, 256)
+                                    : makeMigratoryTrace(4, 8, 16);
+        return run;
+    });
+    return spec;
+}
+
+TEST(RunnerTest, ResultsOrderedByGridIndex)
+{
+    auto spec = makeSweep();
+    exp::RunnerOptions options;
+    options.jobs = 1;
+    auto results = exp::runExperiment(spec, options);
+    ASSERT_EQ(results.size(), 4u);
+    for (std::size_t i = 0; i < results.size(); i++) {
+        EXPECT_EQ(results[i].index, i);
+        EXPECT_EQ(results[i].params, spec.points()[i].params);
+        EXPECT_EQ(results[i].status, RunStatus::Finished);
+        EXPECT_GT(results[i].cycles, 0u);
+        EXPECT_TRUE(results[i].hasMetric("bus_per_ref"));
+    }
+}
+
+TEST(RunnerTest, ParallelMatchesSerialExactly)
+{
+    auto spec = makeSweep();
+    exp::RunnerOptions serial;
+    serial.jobs = 1;
+    exp::RunnerOptions parallel;
+    parallel.jobs = 8;
+    auto a = exp::runExperiment(spec, serial);
+    auto b = exp::runExperiment(spec, parallel);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        // Byte-level equality of the serialized results covers every
+        // field the engine emits.
+        EXPECT_EQ(a[i].toJson().dump(), b[i].toJson().dump()) << i;
+    }
+}
+
+TEST(RunnerTest, SessionJsonIdenticalAcrossJobCounts)
+{
+    exp::SessionOptions serial;
+    serial.jobs = 1;
+    exp::Session session_a(serial);
+    session_a.run(makeSweep());
+
+    exp::SessionOptions parallel;
+    parallel.jobs = 8;
+    exp::Session session_b(parallel);
+    session_b.run(makeSweep());
+
+    EXPECT_EQ(session_a.toJson().dump(), session_b.toJson().dump());
+}
+
+TEST(RunnerTest, CustomPointsRunAndKeepOrder)
+{
+    exp::Experiment spec("custom", "custom points");
+    for (int i = 0; i < 5; i++) {
+        spec.addCustom({{"i", std::to_string(i)}}, [i]() {
+            exp::RunResult result;
+            result.cycles = static_cast<Cycle>(100 + i);
+            result.setMetric("i", static_cast<double>(i));
+            return result;
+        });
+    }
+    exp::RunnerOptions options;
+    options.jobs = 4;
+    auto results = exp::runExperiment(spec, options);
+    ASSERT_EQ(results.size(), 5u);
+    for (std::size_t i = 0; i < 5; i++) {
+        EXPECT_EQ(results[i].cycles, 100 + i);
+        EXPECT_EQ(results[i].metric("i"), static_cast<double>(i));
+    }
+}
+
+TEST(RunnerTest, TimeoutStatusPropagates)
+{
+    exp::Experiment spec("timeout", "tiny cycle budget");
+    spec.addRun({{"point", "strangled"}}, []() {
+        exp::TraceRun run;
+        run.config.num_pes = 4;
+        run.config.cache_lines = 256;
+        run.config.protocol = ProtocolKind::Rb;
+        run.trace = makeMigratoryTrace(4, 8, 64);
+        run.max_cycles = 10; // far too few to finish
+        return run;
+    });
+    exp::RunnerOptions options;
+    auto results = exp::runExperiment(spec, options);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, RunStatus::TimedOut);
+
+    // And it is visible in the serialized form.
+    auto json = results[0].toJson();
+    EXPECT_EQ(json.find("status")->asString(), "timed_out");
+}
+
+TEST(JsonTest, RoundTripsValues)
+{
+    exp::Json object = exp::Json::object();
+    object["int"] = exp::Json(static_cast<std::int64_t>(-42));
+    object["double"] = exp::Json(0.354375);
+    object["string"] = exp::Json(std::string("hi \"there\"\n"));
+    object["bool"] = exp::Json(true);
+    object["null"] = exp::Json();
+    exp::Json array = exp::Json::array();
+    array.push(exp::Json(static_cast<std::int64_t>(1)));
+    array.push(exp::Json(2.5));
+    object["array"] = array;
+
+    auto text = object.dump();
+    exp::Json parsed;
+    ASSERT_TRUE(exp::Json::parse(text, parsed));
+    EXPECT_EQ(parsed.dump(), text);
+    EXPECT_EQ(parsed.find("int")->asInt(), -42);
+    EXPECT_EQ(parsed.find("double")->asDouble(), 0.354375);
+    EXPECT_EQ(parsed.find("string")->asString(), "hi \"there\"\n");
+    EXPECT_TRUE(parsed.find("bool")->asBool());
+}
+
+TEST(JsonTest, RunResultRoundTrips)
+{
+    auto spec = makeSweep();
+    exp::RunnerOptions options;
+    auto results = exp::runExperiment(spec, options);
+    for (const auto &result : results) {
+        auto text = result.toJson().dump();
+        exp::Json parsed;
+        ASSERT_TRUE(exp::Json::parse(text, parsed));
+        auto rebuilt = exp::RunResult::fromJson(parsed);
+        EXPECT_EQ(rebuilt.toJson().dump(), text);
+        EXPECT_EQ(rebuilt.index, result.index);
+        EXPECT_EQ(rebuilt.params, result.params);
+        EXPECT_EQ(rebuilt.cycles, result.cycles);
+        EXPECT_EQ(rebuilt.counters.get("bus.busy_cycles"),
+                  result.counters.get("bus.busy_cycles"));
+    }
+}
+
+TEST(SessionTest, ParseArgsStripsEngineFlags)
+{
+    const char *raw[] = {"prog", "--jobs", "8", "--foo", "--json",
+                         "out.json", "bar", nullptr};
+    int argc = 7;
+    char *argv[8];
+    for (int i = 0; i < argc; i++)
+        argv[i] = const_cast<char *>(raw[i]);
+    argv[argc] = nullptr;
+
+    auto options = exp::parseSessionArgs(argc, argv);
+    EXPECT_EQ(options.jobs, 8);
+    EXPECT_EQ(options.json_path, "out.json");
+    ASSERT_EQ(argc, 3);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "--foo");
+    EXPECT_STREQ(argv[2], "bar");
+    EXPECT_EQ(argv[3], nullptr);
+}
+
+TEST(SessionTest, CollectsMultipleExperiments)
+{
+    exp::SessionOptions options;
+    options.jobs = 2;
+    exp::Session session(options);
+    const auto &first = session.run(makeSweep());
+    exp::Experiment single("single", "one custom point");
+    single.addCustom({}, []() {
+        exp::RunResult result;
+        result.cycles = 7;
+        return result;
+    });
+    const auto &second = session.run(single);
+
+    // References from earlier runs stay valid after later runs.
+    EXPECT_EQ(first.size(), 4u);
+    EXPECT_EQ(second.size(), 1u);
+    EXPECT_EQ(second[0].cycles, 7u);
+
+    auto json = session.toJson();
+    const auto *experiments = json.find("experiments");
+    ASSERT_NE(experiments, nullptr);
+    EXPECT_EQ(experiments->size(), 2u);
+}
+
+} // namespace

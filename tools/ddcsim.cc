@@ -8,18 +8,23 @@
  *   ddcsim --workload producer_consumer --protocol RWB --pes 8 --check
  *   ddcsim --trace refs.ddct --protocol RB --lines 1024 --stats
  *   ddcsim --workload cmstar_a --save-trace refs.ddct
+ *   ddcsim --workload cmstar_a --json results.json
  *
- * Run with --help for the full option list.
+ * Flat-machine runs go through the experiment engine (src/exp), so
+ * the engine flags --jobs N and --json PATH work here exactly as in
+ * the bench binaries.  Run with --help for the full option list.
  */
 
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "base/types.hh"
 #include "core/simulator.hh"
+#include "exp/session.hh"
 #include "hier/hier_system.hh"
 #include "verify/consistency.hh"
 #include "trace/synthetic.hh"
@@ -61,6 +66,8 @@ usage(std::ostream &os)
         "output options:\n"
         "  --check          verify serial consistency (records the log)\n"
         "  --stats          dump all counters\n"
+        "  --jobs N         experiment-engine worker threads (flat runs)\n"
+        "  --json PATH      write structured results as JSON (flat runs)\n"
         "  --help           this text\n";
 }
 
@@ -217,11 +224,28 @@ buildWorkload(const Options &options, Trace &trace)
     return true;
 }
 
+/** The classic one-line run summary, rebuilt from a RunResult. */
+std::string
+describeResult(const exp::RunResult &result)
+{
+    bool completed = result.status == RunStatus::Finished;
+    std::ostringstream os;
+    os << (completed ? "completed" : "TIMED OUT") << " in "
+       << result.cycles << " cycles; " << result.total_refs << " refs; "
+       << result.bus_transactions << " bus transactions ("
+       << result.metric("bus_per_ref") << " per ref); miss ratio "
+       << result.metric("miss_ratio");
+    if (!result.consistent)
+        os << "; INCONSISTENT";
+    return os.str();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    auto session_options = exp::parseSessionArgs(argc, argv);
     Options options;
     if (!parseArgs(argc, argv, options)) {
         usage(std::cerr);
@@ -286,25 +310,53 @@ main(int argc, char **argv)
         }
         if (options.dump_stats)
             std::cout << system.counters().report();
+        if (!session_options.json_path.empty()) {
+            std::cerr << "ddcsim: --json is not supported for "
+                         "hierarchical runs\n";
+        }
         return (!system.allDone() || !consistent) ? 1 : 0;
     }
 
-    auto summary = runTrace(options.config, trace, options.check);
+    exp::Session session(session_options);
+    exp::Experiment spec("ddcsim", "one CLI-configured trace run");
+    {
+        SystemConfig config = options.config;
+        bool check = options.check;
+        exp::ParamList params{
+            {"protocol", std::string(toString(config.protocol))},
+            {"pes", std::to_string(config.num_pes)},
+        };
+        if (!options.workload.empty())
+            params.emplace_back("workload", options.workload);
+        spec.addRun(params, [config, trace, check]() {
+            exp::TraceRun run;
+            run.config = config;
+            run.trace = trace;
+            run.check_consistency = check;
+            return run;
+        });
+    }
+    const auto &result = session.run(spec)[0];
 
     std::cout << "protocol " << toString(options.config.protocol) << ", "
               << options.config.num_pes << " PEs, "
               << options.config.cache_lines << " lines x "
               << options.config.block_words << " words, "
               << options.config.num_buses << " bus(es)\n"
-              << describe(summary) << "\n";
+              << describeResult(result) << "\n";
     if (options.check) {
         std::cout << "serial consistency: "
-                  << (summary.consistent ? "OK" : "VIOLATED") << "\n";
+                  << (result.consistent ? "OK" : "VIOLATED") << "\n";
     }
     if (options.dump_stats)
-        std::cout << summary.counters.report();
+        std::cout << result.counters.report();
+    if (!session.writeJson()) {
+        std::cerr << "ddcsim: cannot write " << session_options.json_path
+                  << "\n";
+        return 1;
+    }
 
-    bool failed = !summary.completed || (options.check &&
-                                         !summary.consistent);
+    bool failed = result.status != RunStatus::Finished ||
+                  (options.check && !result.consistent);
     return failed ? 1 : 0;
 }
