@@ -14,6 +14,8 @@
  *                output is byte-identical for every N
  *   --json PATH  write the collected results (conventionally
  *                results.json) after the reproduction
+ *   --timing     include per-run wall_time_ms / sim_cycles_per_sec
+ *                in the JSON (host-dependent, so off by default)
  */
 
 #ifndef DDC_BENCH_COMMON_HH

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Simulator throughput microbench: host wall-clock performance of the
+ * simulator itself (simulated cycles/s and refs/s), not a paper
+ * reproduction.  Two grids:
+ *
+ *  - trace replay: every protocol x PE count on the Cm* application
+ *    mix (the paper's representative reference pattern);
+ *  - lock contention: TS vs TTS spin workloads (the hot-path
+ *    stressor -- every spin exercises the bus arbitration and RMW
+ *    machinery).
+ *
+ * Unlike the reproduction benches this binary's output is host-
+ * dependent by design: it forces --timing on, so its JSON rows carry
+ * wall_time_ms / sim_cycles_per_sec.  Methodology (EXPERIMENTS.md):
+ * measure on a Release build with --jobs 1 so points never compete
+ * for cores.
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+
+#include "core/simulator.hh"
+#include "stats/table.hh"
+#include "sync/workload.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace ddc;
+
+const int kPeCounts[] = {4, 16};
+const sync::LockKind kLocks[] = {sync::LockKind::TestAndSet,
+                                 sync::LockKind::TestAndTestAndSet};
+constexpr std::size_t kRefsPerPe = 20000;
+
+/** Mcycles/s (or Mrefs/s) with two decimals, "-" when unmeasured. */
+std::string
+perMega(double per_sec)
+{
+    if (per_sec <= 0.0)
+        return "-";
+    return stats::Table::num(per_sec / 1e6, 2);
+}
+
+void
+printReproduction(exp::Session &session)
+{
+    using stats::Table;
+
+    std::cout <<
+        "Perf: simulator throughput (host wall-clock; higher is\n"
+        "better).  Numbers are machine-dependent -- compare only\n"
+        "against the same host and build type.\n\n";
+
+    auto kinds = allProtocolKinds();
+
+    exp::ParamGrid trace_grid;
+    {
+        std::vector<std::string> protocols;
+        for (auto kind : kinds)
+            protocols.push_back(std::string(toString(kind)));
+        trace_grid.axis("protocol", protocols);
+        trace_grid.axis("pes", {"4", "16"});
+    }
+
+    exp::Experiment trace_spec(
+        "perf_trace_throughput",
+        "Simulator throughput on the Cm* application mix, by scheme "
+        "and PE count");
+    trace_spec.addGrid(trace_grid, [trace_grid, kinds](std::size_t flat) {
+        auto indices = trace_grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = kPeCounts[indices[1]];
+        run.config.cache_lines = 256;
+        run.config.protocol = kinds[indices[0]];
+        run.trace = makeCmStarTrace(cmStarApplicationA(),
+                                    kPeCounts[indices[1]], kRefsPerPe, 5);
+        return run;
+    });
+    const auto &trace_results = session.run(trace_spec);
+
+    Table trace_table("Trace replay: Cm* mix, 20000 refs/PE");
+    trace_table.setHeader({"protocol", "PEs", "cycles", "wall ms",
+                           "Mcycles/s", "Mrefs/s"});
+    std::size_t flat = 0;
+    for (auto kind : kinds) {
+        for (int m : kPeCounts) {
+            const auto &result = trace_results[flat++];
+            double refs_per_sec =
+                result.wall_time_ms > 0.0
+                    ? static_cast<double>(result.total_refs) /
+                          (result.wall_time_ms / 1000.0)
+                    : 0.0;
+            trace_table.addRow({std::string(toString(kind)),
+                                std::to_string(m),
+                                std::to_string(result.cycles),
+                                Table::num(result.wall_time_ms, 2),
+                                perMega(result.sim_cycles_per_sec),
+                                perMega(refs_per_sec)});
+        }
+    }
+    std::cout << trace_table.render() << "\n";
+
+    exp::ParamGrid lock_grid;
+    lock_grid.axis("lock", {"TS", "TTS"});
+    lock_grid.axis("pes", {"4", "16"});
+
+    exp::Experiment lock_spec(
+        "perf_lock_throughput",
+        "Simulator throughput on the TS vs TTS contention workload "
+        "(RB, 8 acquisitions/PE, 8-increment critical sections)");
+    for (std::size_t point = 0; point < lock_grid.size(); point++) {
+        auto indices = lock_grid.indicesAt(point);
+        auto lock = kLocks[indices[0]];
+        int m = kPeCounts[indices[1]];
+        lock_spec.addCustom(lock_grid.paramsAt(point), [m, lock]() {
+            sync::LockExperimentConfig config;
+            config.num_pes = m;
+            config.lock = lock;
+            config.protocol = ProtocolKind::Rb;
+            config.acquisitions_per_pe = 8;
+            config.cs_increments = 8;
+            auto lock_result = sync::runLockExperiment(config);
+            exp::RunResult result;
+            result.cycles = lock_result.cycles;
+            result.bus_transactions = lock_result.bus_transactions;
+            return result;
+        });
+    }
+    const auto &lock_results = session.run(lock_spec);
+
+    Table lock_table("Lock contention: RB, 8 acquisitions/PE");
+    lock_table.setHeader({"lock", "PEs", "cycles", "wall ms",
+                          "Mcycles/s"});
+    flat = 0;
+    for (auto lock : kLocks) {
+        for (int m : kPeCounts) {
+            const auto &result = lock_results[flat++];
+            lock_table.addRow({std::string(sync::toString(lock)),
+                               std::to_string(m),
+                               std::to_string(result.cycles),
+                               Table::num(result.wall_time_ms, 2),
+                               perMega(result.sim_cycles_per_sec)});
+        }
+    }
+    std::cout << lock_table.render() << "\n";
+}
+
+/** Simulated cycles per wall-clock second on the contention workload. */
+void
+BM_LockThroughput(benchmark::State &state)
+{
+    sync::LockExperimentConfig config;
+    config.num_pes = static_cast<int>(state.range(0));
+    config.lock = state.range(1) == 0 ? sync::LockKind::TestAndSet
+                                      : sync::LockKind::TestAndTestAndSet;
+    config.protocol = ProtocolKind::Rb;
+    config.acquisitions_per_pe = 8;
+    config.cs_increments = 8;
+    double cycles = 0.0;
+    for (auto _ : state) {
+        auto result = sync::runLockExperiment(config);
+        cycles += static_cast<double>(result.cycles);
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
+    state.SetLabel(std::string(sync::toString(config.lock)));
+}
+BENCHMARK(BM_LockThroughput)
+    ->Args({16, 0})->Args({16, 1})
+    ->Unit(benchmark::kMillisecond);
+
+/** Simulated cycles per wall-clock second on the Cm* trace replay. */
+void
+BM_TraceThroughput(benchmark::State &state)
+{
+    auto kinds = allProtocolKinds();
+    auto kind = kinds[static_cast<std::size_t>(state.range(0))];
+    auto trace = makeCmStarTrace(cmStarApplicationA(), 4, kRefsPerPe, 5);
+    double cycles = 0.0;
+    for (auto _ : state) {
+        SystemConfig config;
+        config.num_pes = 4;
+        config.cache_lines = 256;
+        config.protocol = kind;
+        auto summary = runTrace(config, trace);
+        cycles += static_cast<double>(summary.cycles);
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
+    state.SetLabel(std::string(toString(kind)));
+}
+BENCHMARK(BM_TraceThroughput)->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Not DDC_BENCH_MAIN: this bench measures the simulator itself, so it
+// forces --timing on -- its JSON is host-dependent on purpose.
+int
+main(int argc, char **argv)
+{
+    auto options = ddc::exp::parseSessionArgs(argc, argv);
+    options.timing = true;
+    ddc::exp::Session session(options);
+    printReproduction(session);
+    std::cout.flush();
+    if (!session.writeJson()) {
+        std::cerr << argv[0] << ": cannot write " << options.json_path
+                  << "\n";
+        return 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

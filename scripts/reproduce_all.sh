@@ -30,16 +30,21 @@ for bench in "$build_dir"/bench/*; do
     name="$(basename "$bench")"
     json="$build_dir/bench/$name.results.json"
     echo "===== $name =====" >> "$repo_root/bench_output.txt"
-    "$bench" --jobs "$jobs" --json "$json" \
+    # perf_throughput measures the simulator's own wall-clock speed;
+    # pin it to one worker so points never compete for cores
+    # (EXPERIMENTS.md methodology).
+    bench_jobs="$jobs"
+    [ "$name" = "perf_throughput" ] && bench_jobs=1
+    "$bench" --jobs "$bench_jobs" --json "$json" \
         >> "$repo_root/bench_output.txt" 2>&1
     json_files+=("$json")
 done
 
 # Merge the per-bench result files into one top-level document:
-# {"schema": 1, "benches": {"<name>": <per-bench document>, ...}}
+# {"schema": 2, "benches": {"<name>": <per-bench document>, ...}}
 merged="$repo_root/BENCH_RESULTS.json"
 {
-    printf '{\n  "schema": 1,\n  "benches": {\n'
+    printf '{\n  "schema": 2,\n  "benches": {\n'
     first=1
     for json in "${json_files[@]}"; do
         name="$(basename "$json" .results.json)"

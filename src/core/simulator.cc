@@ -34,13 +34,10 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
         summary.bus_per_ref =
             static_cast<double>(summary.bus_transactions) /
             static_cast<double>(summary.total_refs);
-        std::uint64_t misses =
-            summary.counters.sumPrefix("cache.read_miss.") +
-            summary.counters.sumPrefix("cache.write_miss.") +
-            summary.counters.sumPrefix("cache.ts.") +
-            summary.counters.sumPrefix("cache.readlock.") +
-            summary.counters.sumPrefix("cache.writeunlock.");
-        summary.miss_ratio = static_cast<double>(misses) /
+        // Every cache.* counter lives in the system's cache counter
+        // set, so the handle-based sum equals the five prefix scans
+        // the merged set used to pay for.
+        summary.miss_ratio = static_cast<double>(system.missRefs()) /
                              static_cast<double>(summary.total_refs);
     }
 

@@ -40,6 +40,7 @@ class Json
         : kind_(Kind::String), string_(std::move(value))
     {}
     Json(const char *value) : Json(std::string(value)) {}
+    Json(std::string_view value) : Json(std::string(value)) {}
 
     /** An empty array value. */
     static Json array() { return Json(Kind::Array); }

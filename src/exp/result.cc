@@ -38,7 +38,7 @@ RunResult::hasMetric(const std::string &name) const
 }
 
 Json
-RunResult::toJson() const
+RunResult::toJson(bool include_timing) const
 {
     Json json = Json::object();
     json["index"] = Json(static_cast<std::int64_t>(index));
@@ -53,6 +53,10 @@ RunResult::toJson() const
     json["total_refs"] = Json(total_refs);
     json["bus_transactions"] = Json(bus_transactions);
     json["consistent"] = Json(consistent);
+    if (include_timing) {
+        json["wall_time_ms"] = Json(wall_time_ms);
+        json["sim_cycles_per_sec"] = Json(sim_cycles_per_sec);
+    }
 
     Json metrics_json = Json::object();
     for (const auto &[name, value] : metrics)
@@ -86,6 +90,10 @@ RunResult::fromJson(const Json &json)
     result.bus_transactions = static_cast<std::uint64_t>(
         json.find("bus_transactions")->asInt());
     result.consistent = json.find("consistent")->asBool();
+    if (const Json *wall = json.find("wall_time_ms"))
+        result.wall_time_ms = wall->asDouble();
+    if (const Json *rate = json.find("sim_cycles_per_sec"))
+        result.sim_cycles_per_sec = rate->asDouble();
     for (const auto &[name, value] : json.find("metrics")->items())
         result.metrics.emplace_back(name, value.asDouble());
     for (const auto &[name, value] : json.find("counters")->items())

@@ -42,6 +42,15 @@ struct RunResult
     std::uint64_t bus_transactions = 0;
     /** Serial-consistency verdict (true unless checking failed). */
     bool consistent = true;
+    /**
+     * Host wall-clock time this point took to execute (measured by
+     * the runner).  Machine-dependent by nature, so it is serialized
+     * only when toJson(true) is requested (--timing): the default
+     * JSON stays byte-identical across hosts, runs, and job counts.
+     */
+    double wall_time_ms = 0.0;
+    /** Simulated cycles per wall-clock second (throughput). */
+    double sim_cycles_per_sec = 0.0;
     /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
     std::vector<std::pair<std::string, double>> metrics;
     /** Full merged counter set of the run. */
@@ -61,8 +70,12 @@ struct RunResult
     /** True when metric @p name was set. */
     bool hasMetric(const std::string &name) const;
 
-    /** Serialize to a JSON object (everything except `rendered`). */
-    Json toJson() const;
+    /**
+     * Serialize to a JSON object (everything except `rendered`).
+     * @param include_timing Also emit wall_time_ms /
+     *        sim_cycles_per_sec (non-deterministic host measurements).
+     */
+    Json toJson(bool include_timing = false) const;
 
     /** Rebuild a result from Json emitted by toJson(). */
     static RunResult fromJson(const Json &json);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "base/logging.hh"
@@ -44,8 +45,17 @@ runExperiment(const Experiment &experiment, const RunnerOptions &options)
 
     auto execute = [&results, &points](std::size_t i) {
         const auto &point = points[i];
+        auto start = std::chrono::steady_clock::now();
         RunResult result =
             point.make ? executeTraceRun(point.make()) : point.custom();
+        std::chrono::duration<double, std::milli> elapsed =
+            std::chrono::steady_clock::now() - start;
+        result.wall_time_ms = elapsed.count();
+        if (elapsed.count() > 0.0) {
+            result.sim_cycles_per_sec =
+                static_cast<double>(result.cycles) /
+                (elapsed.count() / 1000.0);
+        }
         result.index = i;
         result.params = point.params;
         results[i] = std::move(result);

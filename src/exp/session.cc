@@ -16,7 +16,9 @@ parseSessionArgs(int &argc, char **argv)
     int out = 1;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
-        if (arg == "--jobs" || arg == "--json") {
+        if (arg == "--timing") {
+            options.timing = true;
+        } else if (arg == "--jobs" || arg == "--json") {
             if (i + 1 >= argc) {
                 std::cerr << argv[0] << ": " << arg << " needs a value\n";
                 std::exit(1);
@@ -57,7 +59,7 @@ Json
 Session::toJson() const
 {
     Json json = Json::object();
-    json["schema"] = Json(std::int64_t{1});
+    json["schema"] = Json(std::int64_t{2});
     Json experiments = Json::array();
     for (const auto &entry : collected) {
         Json experiment = Json::object();
@@ -65,7 +67,7 @@ Session::toJson() const
         experiment["description"] = Json(entry.description);
         Json runs = Json::array();
         for (const auto &result : entry.results)
-            runs.push(result.toJson());
+            runs.push(result.toJson(opts.timing));
         experiment["runs"] = std::move(runs);
         experiments.push(std::move(experiment));
     }

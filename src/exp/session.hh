@@ -7,7 +7,7 @@
  * every result in submission order, and emits the collected set as
  * JSON (--json PATH, conventionally results.json) alongside whatever
  * ASCII tables the caller prints.  The JSON bytes are independent of
- * the job count.
+ * the job count unless --timing opts into per-run wall-clock fields.
  */
 
 #ifndef DDC_EXP_SESSION_HH
@@ -31,10 +31,17 @@ struct SessionOptions
     int jobs = 1;
     /** Where to write the collected results ("" = don't). */
     std::string json_path;
+    /**
+     * Emit wall_time_ms / sim_cycles_per_sec per run in the JSON.
+     * Off by default: timing is a host measurement, so enabling it
+     * gives up the byte-identical-across-job-counts guarantee.
+     */
+    bool timing = false;
 };
 
 /**
- * Parse and remove `--jobs N` / `--json PATH` from an argv vector.
+ * Parse and remove `--jobs N` / `--json PATH` / `--timing` from an
+ * argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed

@@ -10,6 +10,24 @@ namespace hier {
 ClusterCache::ClusterCache(int cluster_id, stats::CounterSet &stats)
     : clusterId(cluster_id), stats(stats)
 {
+    statForwardCancelled = stats.intern("hier.forward_cancelled");
+    statDroppedReadCompletion =
+        stats.intern("hier.dropped_read_completion");
+    statPull = stats.intern("hier.pull");
+    statForwardResolvedLocally =
+        stats.intern("hier.forward_resolved_locally");
+    statFlush = stats.intern("hier.flush");
+    statGlobalInvalidation = stats.intern("hier.global_invalidation");
+    statSupply = stats.intern("hier.supply");
+    statForwardRotate = stats.intern("hier.forward_rotate");
+    statDownwardBroadcast = stats.intern("hier.downward_broadcast");
+    statAbsorbedRead = stats.intern("hier.absorbed.read");
+    statAbsorbedWrite = stats.intern("hier.absorbed.write");
+    for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
+                    BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
+        statForwardOp[static_cast<std::size_t>(op)] = stats.intern(
+            "hier.forward." + std::string(toString(op)));
+    }
 }
 
 void
@@ -19,7 +37,16 @@ ClusterCache::connectGlobalBus(Bus &bus)
     ddc_assert(bus.blockWords() == 1,
                "the hierarchical machine uses one-word blocks");
     globalBus = &bus;
-    bus.attach(this);
+    clientIndex = bus.attach(this);
+    // No forwards can be queued yet; re-armed as they arrive.
+    bus.setRequestArmed(clientIndex, false);
+}
+
+void
+ClusterCache::updateArmed()
+{
+    if (globalBus != nullptr)
+        globalBus->setRequestArmed(clientIndex, !forwards.empty());
 }
 
 void
@@ -72,7 +99,8 @@ ClusterCache::enqueueForward(BusOp op, Addr addr, Word data, PeId pe)
     forward.origin_child = it->second;
     forward.child_access = it->second->accessId();
     forwards.push_back(forward);
-    stats.add("hier.forward." + std::string(toString(op)));
+    updateArmed();
+    stats.add(statForwardOp[static_cast<std::size_t>(op)]);
 }
 
 void
@@ -88,7 +116,8 @@ ClusterCache::cancelForward(PeId pe)
             if (it == forwards.begin())
                 flushing = false;
             forwards.erase(it);
-            stats.add("hier.forward_cancelled");
+            updateArmed();
+            stats.add(statForwardCancelled);
             return;
         }
     }
@@ -104,7 +133,7 @@ ClusterCache::deliverToChild(const Forward &forward,
     } else {
         ddc_assert(forward.op == BusOp::Read,
                    "a non-read forward was abandoned by its L1");
-        stats.add("hier.dropped_read_completion");
+        stats.add(statDroppedReadCompletion);
     }
 }
 
@@ -128,7 +157,7 @@ ClusterCache::resolvePendingLocally()
                     child->wouldSupply(it->addr, child_value)) {
                     entry_it->second.value = child_value;
                     child->supplied(it->addr);
-                    stats.add("hier.pull");
+                    stats.add(statPull);
                     value = child_value;
                     break;
                 }
@@ -151,7 +180,8 @@ ClusterCache::resolvePendingLocally()
             if (it == forwards.begin())
                 flushing = false;
             it = forwards.erase(it);
-            stats.add("hier.forward_resolved_locally");
+            updateArmed();
+            stats.add(statForwardResolvedLocally);
         } else {
             ++it;
         }
@@ -184,7 +214,7 @@ ClusterCache::currentRequest()
             if (child->wouldSupply(front.addr, child_value)) {
                 entries[front.addr].value = child_value;
                 child->supplied(front.addr);
-                stats.add("hier.pull");
+                stats.add(statPull);
                 break;
             }
         }
@@ -207,10 +237,11 @@ ClusterCache::requestComplete(const BusResult &result)
         // cluster demotes to Readable, and the real op goes next.
         entries[front.addr].tag = LineTag::Readable;
         flushing = false;
-        stats.add("hier.flush");
+        stats.add(statFlush);
         return;
     }
     forwards.pop_front();
+    updateArmed();
 
     // Apply the global RB completion to the cluster-level entry and
     // forward the effective broadcast to the children: the global bus
@@ -304,7 +335,7 @@ ClusterCache::observe(const BusTransaction &txn)
         // cluster entry is gone, so update-snarfing L1s (RWB) must
         // not keep live copies inclusion no longer covers.
         entries.erase(it);
-        stats.add("hier.global_invalidation");
+        stats.add(statGlobalInvalidation);
         BusTransaction down = txn;
         down.op = BusOp::Invalidate;
         forwardDown(down);
@@ -323,7 +354,7 @@ ClusterCache::supplied(Addr addr)
     auto it = entries.find(addr);
     ddc_assert(it != entries.end() && it->second.tag == LineTag::Local,
                "supplied() without global ownership");
-    stats.add("hier.supply");
+    stats.add(statSupply);
     if (pendingSupplyChild != nullptr) {
         Word child_value = 0;
         bool still = pendingSupplyChild->wouldSupply(addr, child_value);
@@ -346,7 +377,7 @@ ClusterCache::requestNacked()
     if (forwards.size() > 1) {
         std::rotate(forwards.begin(), forwards.begin() + 1,
                     forwards.end());
-        stats.add("hier.forward_rotate");
+        stats.add(statForwardRotate);
     }
 }
 
@@ -363,7 +394,7 @@ ClusterCache::peId() const
 void
 ClusterCache::forwardDown(const BusTransaction &txn)
 {
-    stats.add("hier.downward_broadcast");
+    stats.add(statDownwardBroadcast);
     for (Cache *child : children)
         child->observe(txn);
 }
@@ -377,7 +408,7 @@ ClusterCache::tryRead(Addr addr, PeId pe, Word &data)
     if (it != entries.end()) {
         // A dirty child would have killed the read before it got
         // here, so our copy is the cluster's latest.
-        stats.add("hier.absorbed.read");
+        stats.add(statAbsorbedRead);
         cancelForward(pe);
         data = it->second.value;
         return true;
@@ -403,7 +434,7 @@ ClusterCache::tryWrite(Addr addr, PeId pe, Word data)
     auto it = entries.find(addr);
     if (it != entries.end() && it->second.tag == LineTag::Local) {
         // The cluster owns the word: the write is cluster-internal.
-        stats.add("hier.absorbed.write");
+        stats.add(statAbsorbedWrite);
         cancelForward(pe);
         it->second.value = data;
         return true;
@@ -419,7 +450,7 @@ ClusterCache::tryInvalidate(Addr addr, PeId pe, Word data)
     if (it != entries.end() && it->second.tag == LineTag::Local) {
         // Cluster-internal BI: the bus broadcasts the Invalidate to
         // the sibling L1s; we just absorb the data.
-        stats.add("hier.absorbed.write");
+        stats.add(statAbsorbedWrite);
         cancelForward(pe);
         it->second.value = data;
         return true;

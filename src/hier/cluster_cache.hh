@@ -144,11 +144,27 @@ class ClusterCache : public BusClient, public MemorySide
     /** Deliver a (downward) broadcast to every child L1. */
     void forwardDown(const BusTransaction &txn);
 
+    /** Re-arm/disarm on the global bus after a forwards mutation. */
+    void updateArmed();
+
+    /** Number of BusOp enumerators (op-indexed handle table). */
+    static constexpr std::size_t kNumBusOps = 6;
+
     int clusterId;
     stats::CounterSet &stats;
     std::vector<Cache *> children;
     std::unordered_map<PeId, Cache *> childByPe;
     Bus *globalBus = nullptr;
+    /** This cluster's client index on the global bus. */
+    int clientIndex = -1;
+
+    // Handles interned once at construction (per-event adds).
+    stats::CounterId statForwardCancelled, statDroppedReadCompletion,
+        statPull, statForwardResolvedLocally, statFlush,
+        statGlobalInvalidation, statSupply, statForwardRotate,
+        statDownwardBroadcast, statAbsorbedRead, statAbsorbedWrite;
+    /** hier.forward.<op> counters, indexed by BusOp. */
+    stats::CounterId statForwardOp[kNumBusOps];
 
     std::unordered_map<Addr, Entry> entries;
     std::deque<Forward> forwards;

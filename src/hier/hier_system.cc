@@ -58,6 +58,7 @@ HierSystem::loadTrace(const Trace &trace)
             pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
             std::move(stream), cacheStats);
     }
+    rebuildActiveAgents();
 }
 
 void
@@ -67,6 +68,17 @@ HierSystem::setProgram(PeId pe, Program program)
     agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
         pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
         std::move(program), cacheStats);
+    rebuildActiveAgents();
+}
+
+void
+HierSystem::rebuildActiveAgents()
+{
+    activeAgents.clear();
+    for (std::size_t i = 0; i < agents.size(); i++) {
+        if (agents[i] && !agents[i]->done())
+            activeAgents.push_back(i);
+    }
 }
 
 Processor &
@@ -89,10 +101,16 @@ HierSystem::tick()
     globalBus->tick();
     for (auto &bus : clusterBuses)
         bus->tick();
-    for (auto &agent : agents) {
-        if (agent)
-            agent->tick();
+    // Tick the still-running agents in PE order and drop the ones
+    // that finished; compaction is stable so the tick (and execution
+    // log commit) order never changes.
+    std::size_t out = 0;
+    for (std::size_t index : activeAgents) {
+        agents[index]->tick();
+        if (!agents[index]->done())
+            activeAgents[out++] = index;
     }
+    activeAgents.resize(out);
     clock.now++;
 }
 
@@ -113,11 +131,7 @@ HierSystem::run(Cycle max_cycles)
 bool
 HierSystem::allDone() const
 {
-    for (const auto &agent : agents) {
-        if (agent && !agent->done())
-            return false;
-    }
-    return true;
+    return activeAgents.empty();
 }
 
 const Cache &

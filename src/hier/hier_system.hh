@@ -131,6 +131,9 @@ class HierSystem
   private:
     const Cache &l1(PeId pe) const;
 
+    /** Recompute the not-yet-done agent list after (re)installs. */
+    void rebuildActiveAgents();
+
     HierConfig config;
     Clock clock;
     RunStatus run_status = RunStatus::Finished;
@@ -148,6 +151,11 @@ class HierSystem
     /** l1s[pe]. */
     std::vector<std::unique_ptr<Cache>> l1s;
     std::vector<std::unique_ptr<Agent>> agents;
+    /**
+     * Indices of installed agents that have not finished, in PE order
+     * (tick order is preserved); see System::activeAgents.
+     */
+    std::vector<std::size_t> activeAgents;
 };
 
 /** Outcome of a hierarchical invariant check. */

@@ -83,6 +83,10 @@ class CacheSet
     Cache &
     bankFor(Addr addr)
     {
+        // Single-bus configurations (the default) skip the modulo
+        // routing; this sits on the per-reference fast path.
+        if (banks.size() == 1)
+            return *banks.front();
         auto block = static_cast<Addr>(banks.front()->blockWords());
         return *banks[static_cast<std::size_t>((addr / block) %
                                                banks.size())];

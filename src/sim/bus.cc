@@ -8,7 +8,7 @@ namespace ddc {
 
 namespace {
 
-std::string
+std::string_view
 statName(BusOp op)
 {
     switch (op) {
@@ -22,6 +22,12 @@ statName(BusOp op)
     return "bus.unknown";
 }
 
+std::size_t
+opIndex(BusOp op)
+{
+    return static_cast<std::size_t>(op);
+}
+
 } // namespace
 
 Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
@@ -32,6 +38,20 @@ Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
       memoryLatency(memory_latency)
 {
     ddc_assert(block_words >= 1, "block size must be at least one word");
+    statBusy = stats.intern("bus.busy_cycles");
+    statTransfer = stats.intern("bus.transfer_cycles");
+    statIdle = stats.intern("bus.idle_cycles");
+    statKill = stats.intern("bus.kill");
+    statSupplyWrite = stats.intern("bus.supply_write");
+    statRmwSuccess = stats.intern("bus.rmw_success");
+    statRmwFail = stats.intern("bus.rmw_fail");
+    statNack = stats.intern("bus.nack");
+    for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
+                    BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
+        statOp[opIndex(op)] = stats.intern(statName(op));
+        statNackOp[opIndex(op)] = stats.intern(
+            "bus.nack." + std::string(toString(op)));
+    }
 }
 
 int
@@ -39,7 +59,54 @@ Bus::attach(BusClient *client)
 {
     ddc_assert(client != nullptr, "null bus client");
     clients.push_back(client);
+    armed.push_back(1);
+    armedCount++;
+    suppliers.push_back(1);
+    supplierCount++;
     return static_cast<int>(clients.size()) - 1;
+}
+
+void
+Bus::setSupplier(int client, bool is_supplier)
+{
+    auto index = static_cast<std::size_t>(client);
+    ddc_assert(index < clients.size(), "bad bus client index ", client);
+    char flag = is_supplier ? 1 : 0;
+    if (suppliers[index] == flag)
+        return;
+    suppliers[index] = flag;
+    if (is_supplier)
+        supplierCount++;
+    else
+        supplierCount--;
+}
+
+void
+Bus::setRequestArmed(int client, bool is_armed)
+{
+    auto index = static_cast<std::size_t>(client);
+    ddc_assert(index < clients.size(), "bad bus client index ", client);
+    char flag = is_armed ? 1 : 0;
+    if (armed[index] == flag)
+        return;
+    armed[index] = flag;
+    if (is_armed)
+        armedCount++;
+    else
+        armedCount--;
+}
+
+const std::vector<int> &
+Bus::collectRequesters()
+{
+    requesters.clear();
+    if (armedCount == 0)
+        return requesters;
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (armed[i] && clients[i]->hasRequest())
+            requesters.push_back(static_cast<int>(i));
+    }
+    return requesters;
 }
 
 bool
@@ -47,11 +114,7 @@ Bus::idle()
 {
     if (transferCyclesLeft > 0)
         return false;
-    for (auto *client : clients) {
-        if (client->hasRequest())
-            return false;
-    }
-    return true;
+    return collectRequesters().empty();
 }
 
 void
@@ -66,23 +129,19 @@ Bus::tick()
     if (transferCyclesLeft > 0) {
         // A multi-cycle transfer is still streaming over the bus.
         transferCyclesLeft--;
-        stats.add("bus.busy_cycles");
-        stats.add("bus.transfer_cycles");
+        stats.add(statBusy);
+        stats.add(statTransfer);
         return;
     }
 
-    std::vector<int> requesters;
-    for (std::size_t i = 0; i < clients.size(); i++) {
-        if (clients[i]->hasRequest())
-            requesters.push_back(static_cast<int>(i));
-    }
-    if (requesters.empty()) {
-        stats.add("bus.idle_cycles");
+    const std::vector<int> &ready = collectRequesters();
+    if (ready.empty()) {
+        stats.add(statIdle);
         return;
     }
-    stats.add("bus.busy_cycles");
+    stats.add(statBusy);
 
-    int grant = arbiter->pick(requesters);
+    int grant = arbiter->pick(ready);
     BusRequest request = clients[static_cast<std::size_t>(grant)]
                              ->currentRequest();
 
@@ -108,8 +167,8 @@ Bus::executeReadLike(int grant, const BusRequest &request)
     // Snoop phase: does a cache hold the latest value (Local state)?
     int supplier = -1;
     Word supplied_value = 0;
-    for (std::size_t i = 0; i < clients.size(); i++) {
-        if (static_cast<int>(i) == grant)
+    for (std::size_t i = 0; supplierCount > 0 && i < clients.size(); i++) {
+        if (static_cast<int>(i) == grant || !suppliers[i])
             continue;
         Word value = 0;
         if (clients[i]->wouldSupply(request.addr, value)) {
@@ -125,9 +184,9 @@ Bus::executeReadLike(int grant, const BusRequest &request)
         // Kill the transaction and replace it with the owner's bus
         // write; the original request stays pending and retries.
         auto *owner = clients[static_cast<std::size_t>(supplier)];
-        stats.add("bus.kill");
-        stats.add("bus.supply_write");
-        stats.add(statName(BusOp::Write));
+        stats.add(statKill);
+        stats.add(statSupplyWrite);
+        stats.add(statOp[opIndex(BusOp::Write)]);
 
         BusTransaction txn{BusOp::Write, request.addr, supplied_value,
                            supplier, {}};
@@ -157,7 +216,7 @@ Bus::executeReadLike(int grant, const BusRequest &request)
                 nack(grant, request);
                 return;
             }
-            stats.add(statName(request.op));
+            stats.add(statOp[opIndex(request.op)]);
             result.data =
                 result.block[static_cast<std::size_t>(request.addr -
                                                       base)];
@@ -172,7 +231,7 @@ Bus::executeReadLike(int grant, const BusRequest &request)
                 nack(grant, request);
                 return;
             }
-            stats.add(statName(request.op));
+            stats.add(statOp[opIndex(request.op)]);
             occupy(wordCost());
             broadcast({BusOp::Read, request.addr, data, grant, {}},
                       grant);
@@ -186,7 +245,7 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             nack(grant, request);
             return;
         }
-        stats.add(statName(request.op));
+        stats.add(statOp[opIndex(request.op)]);
         occupy(wordCost());
         broadcast({BusOp::Read, request.addr, data, grant, {}}, grant);
         grantee->requestComplete({data, false, {}});
@@ -199,16 +258,16 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             nack(grant, request);
             return;
         }
-        stats.add(statName(request.op));
+        stats.add(statOp[opIndex(request.op)]);
         occupy(wordCost());
         if (success) {
-            stats.add("bus.rmw_success");
+            stats.add(statRmwSuccess);
             broadcast({BusOp::Write, request.addr, request.data, grant,
                        {}},
                       grant);
             grantee->requestComplete({old, true, {}});
         } else {
-            stats.add("bus.rmw_fail");
+            stats.add(statRmwFail);
             broadcast({BusOp::Read, request.addr, old, grant, {}}, grant);
             grantee->requestComplete({old, false, {}});
         }
@@ -267,7 +326,7 @@ Bus::executeWriteLike(int grant, const BusRequest &request)
         occupy(wordCost());
     }
 
-    stats.add(statName(request.op));
+    stats.add(statOp[opIndex(request.op)]);
     broadcast(txn, grant);
     grantee->requestComplete({request.data, false, {}});
 }
@@ -284,8 +343,8 @@ Bus::broadcast(const BusTransaction &txn, int skip)
 void
 Bus::nack(int grant, const BusRequest &request)
 {
-    stats.add("bus.nack");
-    stats.add("bus.nack." + std::string(toString(request.op)));
+    stats.add(statNack);
+    stats.add(statNackOp[opIndex(request.op)]);
     clients[static_cast<std::size_t>(grant)]->requestNacked();
 }
 

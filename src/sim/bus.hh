@@ -156,6 +156,30 @@ class Bus
     /** Attach a client; returns its client index on this bus. */
     int attach(BusClient *client);
 
+    /**
+     * Fast-path hint: whether client @p client may have a pending
+     * request.  Clients attach armed (and a client that never calls
+     * this is polled every cycle, exactly as before); a client that
+     * tracks its own pending state can disarm while it has nothing to
+     * issue so idle cycles cost no virtual polling at all.
+     *
+     * Disarming is strictly a promise that hasRequest() would return
+     * false (and have no side effects) until the client re-arms.
+     */
+    void setRequestArmed(int client, bool is_armed);
+
+    /** Number of currently armed clients. */
+    std::size_t armedClients() const { return armedCount; }
+
+    /**
+     * Declare whether @p client could supply data for a snooped read
+     * (same contract shape as setRequestArmed: clearing is strictly a
+     * promise that wouldSupply() returns false until re-set).  Clients
+     * default to set at attach, so a client that never calls this is
+     * always polled during the supplier scan.
+     */
+    void setSupplier(int client, bool is_supplier);
+
     /** Advance one cycle (at most one new transaction begins). */
     void tick();
 
@@ -173,6 +197,18 @@ class Bus
     }
 
   private:
+    /** Number of BusOp enumerators (op-indexed handle tables). */
+    static constexpr std::size_t kNumBusOps = 6;
+
+    /**
+     * Poll the armed clients and collect those with a request into
+     * the reusable scratch vector (ascending client indices, as the
+     * arbiter requires).  One pass serves both the idle check and
+     * arbitration; when every client is disarmed it returns empty
+     * without a single virtual call.
+     */
+    const std::vector<int> &collectRequesters();
+
     /** Handle Read / ReadLock / Rmw, including the kill/supply path. */
     void executeReadLike(int grant, const BusRequest &request);
 
@@ -205,8 +241,27 @@ class Bus
     std::size_t blockSize;
     std::size_t memoryLatency;
     std::vector<BusClient *> clients;
+    /** Per-client armed flag (1 = poll; parallel to clients). */
+    std::vector<char> armed;
+    /** Count of set entries in armed. */
+    std::size_t armedCount = 0;
+    /** Per-client potential-supplier flag (parallel to clients). */
+    std::vector<char> suppliers;
+    /** Count of set entries in suppliers. */
+    std::size_t supplierCount = 0;
+    /** Scratch requester list reused every cycle (no allocation). */
+    std::vector<int> requesters;
     /** Remaining cycles of an in-flight transaction. */
     std::size_t transferCyclesLeft = 0;
+
+    // Handles interned once at construction; every per-event
+    // statistic is a plain array increment.
+    stats::CounterId statBusy, statTransfer, statIdle, statKill,
+        statSupplyWrite, statRmwSuccess, statRmwFail, statNack;
+    /** bus.<op> issue counters, indexed by BusOp. */
+    stats::CounterId statOp[kNumBusOps];
+    /** bus.nack.<op> counters, indexed by BusOp. */
+    stats::CounterId statNackOp[kNumBusOps];
 };
 
 } // namespace ddc

@@ -37,9 +37,46 @@ Cache::Cache(PeId pe, std::size_t num_lines, const Protocol &protocol,
     ddc_assert(block_words >= 1, "block size must be at least one word");
     ddc_assert(ways >= 1 && num_lines % ways == 0,
                "associativity must divide the line count");
+    std::size_t num_sets = num_lines / ways;
+    if ((blockSize & (blockSize - 1)) == 0 &&
+        (num_sets & (num_sets - 1)) == 0) {
+        pow2Geometry = true;
+        blockShift = 0;
+        for (std::size_t size = blockSize; size > 1; size >>= 1)
+            blockShift++;
+        setMask = num_sets - 1;
+    }
     lines.resize(num_lines);
     for (auto &line : lines)
         line.data.assign(blockSize, 0);
+
+    statRefs = this->stats.intern("cache.refs");
+    statWriteback = this->stats.intern("cache.writeback");
+    statFlush = this->stats.intern("cache.flush");
+    statFill = this->stats.intern("cache.fill");
+    statSnarf = this->stats.intern("cache.snarf");
+    statSnarfSuppressed = this->stats.intern("cache.snarf_suppressed");
+    statInvalidated = this->stats.intern("cache.invalidated");
+    statSupply = this->stats.intern("cache.supply");
+    statBroadcastFill = this->stats.intern("cache.broadcast_fill");
+
+    const CpuOp ops[kNumCpuOps] = {CpuOp::Read, CpuOp::Write,
+                                   CpuOp::TestAndSet, CpuOp::ReadLock,
+                                   CpuOp::WriteUnlock};
+    const DataClass classes[kNumClasses] = {
+        DataClass::Code, DataClass::Local, DataClass::Shared};
+    for (CpuOp op : ops) {
+        for (DataClass cls : classes) {
+            for (int miss = 0; miss < 2; miss++) {
+                MemRef ref;
+                ref.op = op;
+                ref.cls = cls;
+                refStat[static_cast<std::size_t>(op)][miss]
+                       [static_cast<std::size_t>(cls)] =
+                    this->stats.intern(refStatName(ref, miss != 0));
+            }
+        }
+    }
 }
 
 void
@@ -49,18 +86,33 @@ Cache::connectBus(Bus &bus_to_join)
     ddc_assert(bus_to_join.blockWords() == blockSize,
                "cache and bus disagree on the block size");
     bus = &bus_to_join;
-    bus->attach(this);
+    clientIndex = bus->attach(this);
+    // Nothing can be pending yet; stay disarmed until a miss arms us,
+    // and no line is held yet, so the supplier scan can skip us too.
+    bus->setRequestArmed(clientIndex, false);
+    bus->setSupplier(clientIndex, false);
+}
+
+void
+Cache::setArmed(bool is_armed)
+{
+    bus->setRequestArmed(clientIndex, is_armed);
 }
 
 Addr
 Cache::blockBase(Addr addr) const
 {
+    if (pow2Geometry)
+        return addr & ~((Addr{1} << blockShift) - 1);
     return addr - addr % static_cast<Addr>(blockSize);
 }
 
 std::size_t
 Cache::setBase(Addr addr) const
 {
+    if (pow2Geometry)
+        return (static_cast<std::size_t>(addr >> blockShift) & setMask) *
+               ways;
     std::size_t num_sets = lines.size() / ways;
     auto set = static_cast<std::size_t>(
         (addr / static_cast<Addr>(blockSize)) %
@@ -132,6 +184,56 @@ Cache::stateFor(const Line &line, Addr addr) const
     return line.state;
 }
 
+SnoopReaction
+Cache::snoopReaction(LineState state, BusOp op) const
+{
+    auto op_index = static_cast<std::size_t>(op);
+    ddc_assert(op_index < kNumSnoopOps,
+               "snooped an unresolved conditional bus op");
+    if (state.streak != 0)
+        return protocol.onSnoop(state, op);
+    // Filled lazily rather than eagerly at construction: combinations
+    // a protocol treats as impossible panic inside onSnoop, and must
+    // keep doing so only when actually reached.
+    auto tag_index = static_cast<std::size_t>(state.tag);
+    if (!snoopMemoValid[tag_index][op_index]) {
+        snoopMemo[tag_index][op_index] = protocol.onSnoop(state, op);
+        snoopMemoValid[tag_index][op_index] = true;
+    }
+    return snoopMemo[tag_index][op_index];
+}
+
+CpuReaction
+Cache::cpuReaction(LineState state, CpuOp op, DataClass cls) const
+{
+    if (state.streak != 0)
+        return protocol.onCpuAccess(state, op, cls);
+    auto tag_index = static_cast<std::size_t>(state.tag);
+    auto op_index = static_cast<std::size_t>(op);
+    auto cls_index = static_cast<std::size_t>(cls);
+    if (!cpuMemoValid[tag_index][op_index][cls_index]) {
+        cpuMemo[tag_index][op_index][cls_index] =
+            protocol.onCpuAccess(state, op, cls);
+        cpuMemoValid[tag_index][op_index][cls_index] = true;
+    }
+    return cpuMemo[tag_index][op_index][cls_index];
+}
+
+void
+Cache::setLineState(Line &line, LineState next)
+{
+    if (line.state == next)
+        return;
+    bool was_supplier = snoopReaction(line.state, BusOp::Read).supply;
+    bool is_supplier = snoopReaction(next, BusOp::Read).supply;
+    if (was_supplier != is_supplier) {
+        supplierLines += is_supplier ? 1 : std::size_t{0} - 1;
+        if (is_supplier ? supplierLines == 1 : supplierLines == 0)
+            bus->setSupplier(clientIndex, supplierLines != 0);
+    }
+    line.state = next;
+}
+
 Cache::AccessResult
 Cache::cpuAccess(const MemRef &ref)
 {
@@ -142,17 +244,19 @@ Cache::cpuAccess(const MemRef &ref)
     accessCounter++;
     Line &line = victimLine(ref.addr);
     LineState state = stateFor(line, ref.addr);
-    CpuReaction reaction = protocol.onCpuAccess(state, ref.op, ref.cls);
+    CpuReaction reaction = cpuReaction(state, ref.op, ref.cls);
 
-    stats.add("cache.refs");
-    stats.add(refStatName(ref, reaction.needs_bus));
+    stats.add(statRefs);
+    stats.add(refStat[static_cast<std::size_t>(ref.op)]
+                     [reaction.needs_bus ? 1 : 0]
+                     [static_cast<std::size_t>(ref.cls)]);
 
     std::size_t offset =
         static_cast<std::size_t>(ref.addr - blockBase(ref.addr));
 
     if (!reaction.needs_bus) {
         // Hit: complete within the cache cycle.
-        line.state = reaction.next;
+        setLineState(line, reaction.next);
         line.last_use = ++lruClock;
         if (reaction.update_value)
             line.data[offset] = ref.data;
@@ -169,6 +273,8 @@ Cache::cpuAccess(const MemRef &ref)
     pending.reaction = reaction;
     pending.way_index = static_cast<std::size_t>(&line - lines.data());
     pending.phase = computePhase();
+    pending.stale = false;
+    setArmed(true);
     return {};
 }
 
@@ -237,7 +343,10 @@ Cache::hasRequest()
 {
     if (!pending.active)
         return false;
-    revalidatePending();
+    // Between line mutations the re-derivation is a pure function of
+    // unchanged state, so polling it every cycle is wasted work.
+    if (pending.stale)
+        revalidatePending();
     return pending.active;
 }
 
@@ -290,26 +399,26 @@ Cache::requestComplete(const BusResult &result)
 
     switch (pending.phase) {
       case Phase::Writeback:
-        stats.add("cache.writeback");
-        line.state = {LineTag::NotPresent, 0};
+        stats.add(statWriteback);
+        setLineState(line, {LineTag::NotPresent, 0});
         revalidatePending();
         return;
 
       case Phase::Flush:
-        stats.add("cache.flush");
+        stats.add(statFlush);
         // The flushed block now matches memory.
-        line.state = protocol.afterSupply(line.state);
+        setLineState(line, protocol.afterSupply(line.state));
         revalidatePending();
         return;
 
       case Phase::Fill: {
-        stats.add("cache.fill");
+        stats.add(statFill);
         ddc_assert(result.block.size() == blockSize,
                    "fill returned a malformed block");
         LineState state = stateFor(line, pending.ref.addr);
         line.base = base;
         line.data = result.block;
-        line.state = protocol.afterBusOp(state, BusOp::Read, false);
+        setLineState(line, protocol.afterBusOp(state, BusOp::Read, false));
         line.last_use = ++lruClock;
         revalidatePending();
         return;
@@ -352,8 +461,9 @@ Cache::requestComplete(const BusResult &result)
                     result.rmw_success ? ref.data : result.data;
                 break;
             }
-            line.state = protocol.afterBusOp(state, pending.reaction.bus_op,
-                                             result.rmw_success);
+            setLineState(line,
+                         protocol.afterBusOp(state, pending.reaction.bus_op,
+                                             result.rmw_success));
             line.last_use = ++lruClock;
         }
         AccessResult access;
@@ -371,10 +481,14 @@ Cache::requestComplete(const BusResult &result)
 bool
 Cache::wouldSupply(Addr addr, Word &value)
 {
+    // Polled for every attached cache on every read-class bus
+    // transaction; a cache owning no line answers without a lookup.
+    if (supplierLines == 0)
+        return false;
     const Line *line = findLine(addr);
     if (line == nullptr)
         return false;
-    if (!protocol.onSnoop(line->state, BusOp::Read).supply)
+    if (!snoopReaction(line->state, BusOp::Read).supply)
         return false;
     value = line->data[static_cast<std::size_t>(addr - line->base)];
     return true;
@@ -398,9 +512,16 @@ Cache::observe(const BusTransaction &txn)
     Line &line = *found;
     LineState state = line.state;
 
-    SnoopReaction reaction = protocol.onSnoop(state, txn.op);
+    SnoopReaction reaction = snoopReaction(state, txn.op);
     ddc_assert(!reaction.supply,
                "supply decision must be resolved before broadcast");
+
+    // A snoop that neither moves the state nor captures data is a
+    // no-op; skipping it keeps the pending re-derivation lazy (a
+    // spinning cache is not re-evaluated for every failed broadcast
+    // that changes nothing).
+    if (reaction.next == state && !reaction.snarf)
+        return;
 
     bool was_present = state.present();
     if (reaction.snarf && !was_present && blockSize > 1 &&
@@ -409,10 +530,16 @@ Cache::observe(const BusTransaction &txn)
         // flowing past, but a word-granular transaction (e.g. a
         // failed test-and-set broadcast) cannot fill a multi-word
         // line: the block's other words may be stale.  Stay dead.
-        stats.add("cache.snarf_suppressed");
+        stats.add(statSnarfSuppressed);
         return;
     }
-    line.state = reaction.next;
+    if (reaction.next != state) {
+        // The pending plan is a pure function of line *state* (data is
+        // read only at completion), so a snarf that merely refreshes
+        // the value leaves it valid.
+        pending.stale = true;
+        setLineState(line, reaction.next);
+    }
     if (reaction.snarf) {
         if (!txn.block.empty()) {
             ddc_assert(txn.block.size() == blockSize,
@@ -422,10 +549,10 @@ Cache::observe(const BusTransaction &txn)
             line.data[static_cast<std::size_t>(txn.addr - line.base)] =
                 txn.data;
         }
-        stats.add("cache.snarf");
+        stats.add(statSnarf);
     }
     if (was_present && !reaction.next.present())
-        stats.add("cache.invalidated");
+        stats.add(statInvalidated);
 }
 
 void
@@ -434,13 +561,15 @@ Cache::supplied(Addr addr)
     Line *line = findLine(addr);
     ddc_assert(line != nullptr,
                "supplied() for an address this cache does not hold");
-    stats.add("cache.supply");
-    line->state = protocol.afterSupply(line->state);
+    stats.add(statSupply);
+    setLineState(*line, protocol.afterSupply(line->state));
+    pending.stale = true;
 }
 
 void
 Cache::revalidatePending()
 {
+    pending.stale = false;
     if (!pending.active)
         return;
 
@@ -451,11 +580,11 @@ Cache::revalidatePending()
     // erased / re-created the need for a write-back, fill, or flush.
     Line &line = pendingLine();
     LineState state = stateFor(line, pending.ref.addr);
-    CpuReaction reaction = protocol.onCpuAccess(state, pending.ref.op,
-                                                pending.ref.cls);
+    CpuReaction reaction = cpuReaction(state, pending.ref.op,
+                                       pending.ref.cls);
     if (!reaction.needs_bus) {
-        stats.add("cache.broadcast_fill");
-        line.state = reaction.next;
+        stats.add(statBroadcastFill);
+        setLineState(line, reaction.next);
         if (reaction.update_value) {
             line.data[static_cast<std::size_t>(
                 pending.ref.addr - line.base)] = pending.ref.data;
@@ -479,6 +608,7 @@ Cache::finish(const AccessResult &result)
 {
     logCommit(pending.ref, result);
     pending.active = false;
+    setArmed(false);
     completionReady = true;
     completion = result;
 }

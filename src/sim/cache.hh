@@ -145,6 +145,14 @@ class Cache : public BusClient
         Phase phase = Phase::Main;
         /** Line index reserved for this access (stable across phases). */
         std::size_t way_index = 0;
+        /**
+         * True when a snoop may have changed the stored reaction or
+         * phase.  The re-derivation is pure in the line array, so
+         * hasRequest() only re-runs it after a line actually mutated
+         * (observe / supplied / requestComplete) instead of on every
+         * poll of every cycle.
+         */
+        bool stale = false;
     };
 
     Addr blockBase(Addr addr) const;
@@ -166,6 +174,24 @@ class Cache : public BusClient
     /** The line reserved for the pending access. */
     Line &pendingLine();
     const Line &pendingLine() const;
+
+    /**
+     * Assign @p next to @p line's state, maintaining supplierLines.
+     * Every state change must go through here.
+     */
+    void setLineState(Line &line, LineState next);
+
+    /**
+     * Protocol::onSnoop via the constructor-built memo table.
+     * Protocols are stateless policy objects, so the reaction for a
+     * streak-free state is a constant per (tag, op); states carrying
+     * a write streak (RWB FirstWrite) fall back to the virtual call.
+     */
+    SnoopReaction snoopReaction(LineState state, BusOp op) const;
+
+    /** Protocol::onCpuAccess via the same kind of memo table. */
+    CpuReaction cpuReaction(LineState state, CpuOp op,
+                            DataClass cls) const;
 
     /** True when @p line holds the block containing @p addr. */
     bool holdsBlock(const Line &line, Addr addr) const;
@@ -189,6 +215,21 @@ class Cache : public BusClient
     /** Record the commit of @p ref in the serial execution log. */
     void logCommit(const MemRef &ref, const AccessResult &result);
 
+    /** Tell the bus whether this cache needs polling (fast path). */
+    void setArmed(bool is_armed);
+
+    /** Number of CpuOp / DataClass enumerators (handle table). */
+    static constexpr std::size_t kNumCpuOps = 5;
+    static constexpr std::size_t kNumClasses = 3;
+    /** Number of LineTag enumerators (snoop memo table). */
+    static constexpr std::size_t kNumTags = 8;
+    /**
+     * Snooped bus ops are the contiguous enum prefix Read, Write,
+     * Invalidate (the bus resolves Rmw / ReadLock / WriteUnlock to an
+     * effective Read or Write before broadcast).
+     */
+    static constexpr std::size_t kNumSnoopOps = 3;
+
     PeId pe;
     const Protocol &protocol;
     const Clock &clock;
@@ -196,8 +237,46 @@ class Cache : public BusClient
     ExecutionLog *log;
     std::size_t blockSize;
     std::size_t ways;
+    /**
+     * Power-of-two geometry (block size and set count) lets the
+     * per-snoop address mapping use shifts and masks; odd geometries
+     * keep the division path.  Every broadcast runs the mapping once
+     * per attached cache, so this is the snoop fast path.
+     */
+    bool pow2Geometry = false;
+    std::size_t blockShift = 0;
+    std::size_t setMask = 0;
+    /**
+     * Number of lines whose state would supply a snooped read
+     * (protocol ownership, e.g. RB/RWB Local).  The bus polls
+     * wouldSupply() on every attached cache for every read-class
+     * transaction; a zero count answers without touching the line
+     * array.
+     */
+    std::size_t supplierLines = 0;
     std::uint64_t lruClock = 0;
     Bus *bus = nullptr;
+    /** This cache's client index on the attached bus. */
+    int clientIndex = -1;
+
+    // Handles interned once at construction; per-reference statistics
+    // are plain array increments.
+    stats::CounterId statRefs, statWriteback, statFlush, statFill,
+        statSnarf, statSnarfSuppressed, statInvalidated, statSupply,
+        statBroadcastFill;
+    /**
+     * Per-reference cache.<op>[_<hit|miss>].<class> handles, indexed
+     * [op][miss][class]; ops without a hit/miss split (TS, readlock,
+     * writeunlock) hold the same handle in both miss slots.
+     */
+    stats::CounterId refStat[kNumCpuOps][2][kNumClasses];
+
+    /** Snoop reactions for streak-free states, filled lazily. */
+    mutable SnoopReaction snoopMemo[kNumTags][kNumSnoopOps];
+    mutable bool snoopMemoValid[kNumTags][kNumSnoopOps] = {};
+    /** CPU reactions for streak-free states, filled lazily. */
+    mutable CpuReaction cpuMemo[kNumTags][kNumCpuOps][kNumClasses];
+    mutable bool cpuMemoValid[kNumTags][kNumCpuOps][kNumClasses] = {};
 
     std::vector<Line> lines;
     PendingOp pending;

@@ -6,12 +6,16 @@ namespace ddc {
 
 Memory::Memory(stats::CounterSet &stats) : stats(stats)
 {
+    statRead = stats.intern("memory.read");
+    statWrite = stats.intern("memory.write");
+    statBlockRead = stats.intern("memory.block_read");
+    statBlockWrite = stats.intern("memory.block_write");
 }
 
 Word
 Memory::read(Addr addr)
 {
-    stats.add("memory.read");
+    stats.add(statRead);
     auto it = words.find(addr);
     return it == words.end() ? 0 : it->second;
 }
@@ -21,14 +25,14 @@ Memory::write(Addr addr, Word data)
 {
     ddc_assert(data <= kMaxDataValue,
                "write of the reserved invalidate encoding");
-    stats.add("memory.write");
+    stats.add(statWrite);
     words[addr] = data;
 }
 
 std::vector<Word>
 Memory::readBlock(Addr base, std::size_t count)
 {
-    stats.add("memory.block_read");
+    stats.add(statBlockRead);
     std::vector<Word> block;
     block.reserve(count);
     for (std::size_t i = 0; i < count; i++)
@@ -39,7 +43,7 @@ Memory::readBlock(Addr base, std::size_t count)
 void
 Memory::writeBlock(Addr base, const std::vector<Word> &block)
 {
-    stats.add("memory.block_write");
+    stats.add(statBlockWrite);
     for (std::size_t i = 0; i < block.size(); i++) {
         ddc_assert(block[i] <= kMaxDataValue,
                    "block write of the reserved invalidate encoding");

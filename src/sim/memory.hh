@@ -80,6 +80,8 @@ class Memory : public MemorySide
     std::unordered_map<Addr, Word> words;
     std::unordered_map<Addr, PeId> locks;
     stats::CounterSet &stats;
+    /** Handles interned once at construction (hot-path adds). */
+    stats::CounterId statRead, statWrite, statBlockRead, statBlockWrite;
 };
 
 } // namespace ddc

@@ -9,6 +9,8 @@ Processor::Processor(PeId pe, CacheSet caches, Program program,
     : pe(pe), caches(std::move(caches)), program(std::move(program)),
       stats(stats)
 {
+    statStallCycles = stats.intern("pe.stall_cycles");
+    statInstructions = stats.intern("pe.instructions");
     halted = this->program.empty();
 }
 
@@ -35,7 +37,7 @@ Processor::tick()
     if (waiting) {
         if (!caches.hasCompletion()) {
             stalls++;
-            stats.add("pe.stall_cycles");
+            stats.add(statStallCycles);
             return;
         }
         auto result = caches.takeCompletion();
@@ -44,7 +46,7 @@ Processor::tick()
         waiting = false;
         waitingDst = -1;
         retired++;
-        stats.add("pe.instructions");
+        stats.add(statInstructions);
         return; // Resume with the next instruction next cycle.
     }
 
@@ -137,7 +139,7 @@ Processor::execute(const Instruction &instruction)
         instruction.op != Opcode::LoadLocked &&
         instruction.op != Opcode::StoreUnlock) {
         retired++;
-        stats.add("pe.instructions");
+        stats.add(statInstructions);
     }
 }
 
@@ -154,13 +156,13 @@ Processor::issueMemory(const Instruction &instruction, const MemRef &ref)
         if (loads)
             regs[instruction.dst] = result.value;
         retired++;
-        stats.add("pe.instructions");
+        stats.add(statInstructions);
         return;
     }
     waiting = true;
     waitingDst = loads ? instruction.dst : -1;
     stalls++;
-    stats.add("pe.stall_cycles");
+    stats.add(statStallCycles);
 }
 
 } // namespace ddc

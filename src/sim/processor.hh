@@ -55,6 +55,8 @@ class Processor : public Agent
     CacheSet caches;
     Program program;
     stats::CounterSet &stats;
+    /** Handles interned once at construction (per-cycle adds). */
+    stats::CounterId statStallCycles, statInstructions;
 
     Word regs[kNumRegs] = {};
     std::size_t pc = 0;

@@ -5,7 +5,7 @@
 
 namespace ddc {
 
-const char *
+std::string_view
 toString(RunStatus status)
 {
     return status == RunStatus::Finished ? "finished" : "timed_out";
@@ -39,6 +39,18 @@ System::System(const SystemConfig &config) : config(config)
         }
     }
     agents.resize(static_cast<std::size_t>(config.num_pes));
+
+    static constexpr std::string_view kMissPrefixes[] = {
+        "cache.read_miss.", "cache.write_miss.", "cache.ts.",
+        "cache.readlock.", "cache.writeunlock."};
+    static constexpr std::string_view kClasses[] = {"Code", "Local",
+                                                    "Shared"};
+    for (auto prefix : kMissPrefixes) {
+        for (auto cls : kClasses) {
+            missStats.push_back(cacheStats.intern(std::string(prefix) +
+                                                  std::string(cls)));
+        }
+    }
 }
 
 CacheSet
@@ -65,6 +77,7 @@ System::loadTrace(const Trace &trace)
         agents[static_cast<std::size_t>(pe)] = std::make_unique<TraceAgent>(
             pe, cacheSetFor(pe), std::move(stream), cacheStats);
     }
+    rebuildActiveAgents();
 }
 
 void
@@ -73,6 +86,17 @@ System::setProgram(PeId pe, Program program)
     ddc_assert(pe >= 0 && pe < config.num_pes, "PE id out of range");
     agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
         pe, cacheSetFor(pe), std::move(program), cacheStats);
+    rebuildActiveAgents();
+}
+
+void
+System::rebuildActiveAgents()
+{
+    activeAgents.clear();
+    for (std::size_t i = 0; i < agents.size(); i++) {
+        if (agents[i] && !agents[i]->done())
+            activeAgents.push_back(i);
+    }
 }
 
 Processor &
@@ -91,10 +115,16 @@ System::tick()
 {
     for (auto &bus : buses)
         bus->tick();
-    for (auto &agent : agents) {
-        if (agent)
-            agent->tick();
+    // Tick the still-running agents in PE order and drop the ones
+    // that finished; compaction is stable so the tick (and execution
+    // log commit) order never changes.
+    std::size_t out = 0;
+    for (std::size_t index : activeAgents) {
+        agents[index]->tick();
+        if (!agents[index]->done())
+            activeAgents[out++] = index;
     }
+    activeAgents.resize(out);
     clock.now++;
 }
 
@@ -115,11 +145,7 @@ System::run(Cycle max_cycles)
 bool
 System::allDone() const
 {
-    for (const auto &agent : agents) {
-        if (agent && !agent->done())
-            return false;
-    }
-    return true;
+    return activeAgents.empty();
 }
 
 const Cache &
@@ -198,6 +224,15 @@ System::totalBusTransactions() const
     std::uint64_t total = 0;
     for (const auto &bus_stats : busStats)
         total += bus_stats->get("bus.busy_cycles");
+    return total;
+}
+
+std::uint64_t
+System::missRefs() const
+{
+    std::uint64_t total = 0;
+    for (auto id : missStats)
+        total += cacheStats.get(id);
     return total;
 }
 

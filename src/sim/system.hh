@@ -13,6 +13,7 @@
 #define DDC_SIM_SYSTEM_HH
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "base/types.hh"
@@ -68,7 +69,7 @@ enum class RunStatus
 };
 
 /** Stable name of @p status ("finished" / "timed_out"). */
-const char *toString(RunStatus status);
+std::string_view toString(RunStatus status);
 
 /** A complete simulated shared-bus multiprocessor. */
 class System
@@ -153,9 +154,21 @@ class System
     /** Total bus transactions across all buses. */
     std::uint64_t totalBusTransactions() const;
 
+    /**
+     * References that needed the bus at issue time (the miss_ratio
+     * numerator): the sum of every cache.read_miss.* /
+     * cache.write_miss.* / cache.ts.* / cache.readlock.* /
+     * cache.writeunlock.* counter, read through handles cached at
+     * construction instead of five prefix scans.
+     */
+    std::uint64_t missRefs() const;
+
   private:
     const Cache &cacheBank(PeId pe, Addr addr) const;
     CacheSet cacheSetFor(PeId pe);
+
+    /** Recompute the not-yet-done agent list after (re)installs. */
+    void rebuildActiveAgents();
 
     SystemConfig config;
     Clock clock;
@@ -170,6 +183,17 @@ class System
     /** caches[pe * num_buses + bus]. */
     std::vector<std::unique_ptr<Cache>> caches;
     std::vector<std::unique_ptr<Agent>> agents;
+    /**
+     * Indices of installed agents that have not finished, in PE order
+     * (tick order is preserved).  Maintained incrementally: an agent
+     * reporting done() after its tick is dropped, so neither tick()
+     * nor allDone() rescans every agent each cycle.  Done-ness is
+     * monotonic for every Agent in the tree.
+     */
+    std::vector<std::size_t> activeAgents;
+
+    /** Handles of the miss-class cache counters (see missRefs()). */
+    std::vector<stats::CounterId> missStats;
 };
 
 } // namespace ddc

@@ -8,6 +8,7 @@ TraceAgent::TraceAgent(PeId pe, CacheSet caches, std::vector<MemRef> stream,
       stats(stats)
 {
     (void)this->pe;
+    statStallCycles = stats.intern("pe.stall_cycles");
 }
 
 bool
@@ -21,7 +22,7 @@ TraceAgent::tick()
 {
     if (waiting) {
         if (!caches.hasCompletion()) {
-            stats.add("pe.stall_cycles");
+            stats.add(statStallCycles);
             return;
         }
         caches.takeCompletion();
@@ -38,7 +39,7 @@ TraceAgent::tick()
         completed++;
     } else {
         waiting = true;
-        stats.add("pe.stall_cycles");
+        stats.add(statStallCycles);
     }
 }
 

@@ -38,6 +38,8 @@ class TraceAgent : public Agent
     CacheSet caches;
     std::vector<MemRef> stream;
     stats::CounterSet &stats;
+    /** Handle interned once at construction (per-stall add). */
+    stats::CounterId statStallCycles;
     std::size_t next = 0;
     std::size_t completed = 0;
     bool waiting = false;

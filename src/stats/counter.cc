@@ -5,28 +5,39 @@
 namespace ddc {
 namespace stats {
 
-void
-CounterSet::add(const std::string &name, std::uint64_t delta)
+CounterId
+CounterSet::intern(std::string_view name)
 {
-    counters[name] += delta;
+    auto it = index.find(name);
+    if (it == index.end()) {
+        it = index.emplace(std::string(name), values.size()).first;
+        values.push_back(0);
+    }
+    return CounterId(it->second);
+}
+
+void
+CounterSet::add(std::string_view name, std::uint64_t delta)
+{
+    add(intern(name), delta);
 }
 
 std::uint64_t
-CounterSet::get(const std::string &name) const
+CounterSet::get(std::string_view name) const
 {
-    auto it = counters.find(name);
-    return it == counters.end() ? 0 : it->second;
+    auto it = index.find(name);
+    return it == index.end() ? 0 : values[it->second];
 }
 
 bool
-CounterSet::has(const std::string &name) const
+CounterSet::has(std::string_view name) const
 {
-    return counters.find(name) != counters.end();
+    return index.find(name) != index.end();
 }
 
 double
-CounterSet::ratio(const std::string &numerator,
-                  const std::string &denominator) const
+CounterSet::ratio(std::string_view numerator,
+                  std::string_view denominator) const
 {
     std::uint64_t den = get(denominator);
     if (den == 0)
@@ -35,13 +46,13 @@ CounterSet::ratio(const std::string &numerator,
 }
 
 std::uint64_t
-CounterSet::sumPrefix(const std::string &prefix) const
+CounterSet::sumPrefix(std::string_view prefix) const
 {
     std::uint64_t total = 0;
-    for (auto it = counters.lower_bound(prefix); it != counters.end(); ++it) {
+    for (auto it = index.lower_bound(prefix); it != index.end(); ++it) {
         if (it->first.compare(0, prefix.size(), prefix) != 0)
             break;
-        total += it->second;
+        total += values[it->second];
     }
     return total;
 }
@@ -49,24 +60,30 @@ CounterSet::sumPrefix(const std::string &prefix) const
 void
 CounterSet::clear()
 {
-    for (auto &entry : counters)
-        entry.second = 0;
+    for (auto &value : values)
+        value = 0;
 }
 
 void
 CounterSet::merge(const CounterSet &other)
 {
-    for (const auto &entry : other.counters)
-        counters[entry.first] += entry.second;
+    // Skip zero-valued entries: components pre-intern every counter
+    // name they might bump, and names that never fired must not leak
+    // into the merged set (has(), and index size, stay as if the
+    // name had never been mentioned).
+    for (const auto &entry : other.index) {
+        if (other.values[entry.second] != 0)
+            add(entry.first, other.values[entry.second]);
+    }
 }
 
 std::vector<std::string>
 CounterSet::names() const
 {
     std::vector<std::string> result;
-    result.reserve(counters.size());
-    for (const auto &entry : counters) {
-        if (entry.second != 0)
+    result.reserve(index.size());
+    for (const auto &entry : index) {
+        if (values[entry.second] != 0)
             result.push_back(entry.first);
     }
     return result;
@@ -76,9 +93,9 @@ std::string
 CounterSet::report() const
 {
     std::ostringstream os;
-    for (const auto &entry : counters) {
-        if (entry.second != 0)
-            os << entry.first << " = " << entry.second << "\n";
+    for (const auto &entry : index) {
+        if (values[entry.second] != 0)
+            os << entry.first << " = " << values[entry.second] << "\n";
     }
     return os.str();
 }

@@ -5,6 +5,13 @@
  * A CounterSet is a flat registry of named 64-bit event counters plus
  * derived ratio queries.  Every simulator component owns (or shares) a
  * CounterSet; benches and tests read the counters back by name.
+ *
+ * Hot paths never pay for a name lookup: a component interns each
+ * counter name once at construction and receives a CounterId — an
+ * index into a dense value array — so add(CounterId) is a plain array
+ * increment.  The name-keyed API (get / sumPrefix / merge / report)
+ * sits on top of the same storage and iterates in lexicographic name
+ * order, so reports are byte-identical to the pre-handle scheme.
  */
 
 #ifndef DDC_STATS_COUNTER_HH
@@ -13,38 +20,81 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ddc {
 namespace stats {
 
 /**
+ * Opaque handle to one counter of a specific CounterSet.
+ *
+ * Obtained from CounterSet::intern(); only meaningful for the set
+ * that produced it (sharing components that intern the same name in
+ * the same set receive equal handles).
+ */
+class CounterId
+{
+  public:
+    /** An invalid handle; add()/get() must not be called with it. */
+    CounterId() = default;
+
+    /** True when this handle came from CounterSet::intern(). */
+    bool valid() const { return index != kInvalid; }
+
+  private:
+    friend class CounterSet;
+    explicit CounterId(std::size_t index) : index(index) {}
+
+    static constexpr std::size_t kInvalid = ~std::size_t{0};
+    std::size_t index = kInvalid;
+};
+
+/**
  * A registry of named monotonically increasing event counters.
  *
- * Counters are created on first use and iterate in lexicographic name
- * order so reports are stable across runs.
+ * Counters are created on first use (or when interned) and iterate in
+ * lexicographic name order so reports are stable across runs.  Only
+ * counters with non-zero values appear in names() and report(), so
+ * interning a name that never fires is invisible in the output.
  */
 class CounterSet
 {
   public:
+    /**
+     * Resolve @p name to a dense handle, creating the counter at zero.
+     * Interning the same name again returns the same handle.
+     */
+    CounterId intern(std::string_view name);
+
+    /** Add @p delta to the counter behind @p id (hot path). */
+    void
+    add(CounterId id, std::uint64_t delta = 1)
+    {
+        values[id.index] += delta;
+    }
+
+    /** Value of the counter behind @p id. */
+    std::uint64_t get(CounterId id) const { return values[id.index]; }
+
     /** Add @p delta to counter @p name (creating it at zero). */
-    void add(const std::string &name, std::uint64_t delta = 1);
+    void add(std::string_view name, std::uint64_t delta = 1);
 
     /** Value of @p name, or zero when the counter never fired. */
-    std::uint64_t get(const std::string &name) const;
+    std::uint64_t get(std::string_view name) const;
 
     /** True when @p name has been created. */
-    bool has(const std::string &name) const;
+    bool has(std::string_view name) const;
 
     /**
      * Ratio get(numerator) / get(denominator).
      * @return 0.0 when the denominator is zero.
      */
-    double ratio(const std::string &numerator,
-                 const std::string &denominator) const;
+    double ratio(std::string_view numerator,
+                 std::string_view denominator) const;
 
     /** Sum of all counters whose name starts with @p prefix. */
-    std::uint64_t sumPrefix(const std::string &prefix) const;
+    std::uint64_t sumPrefix(std::string_view prefix) const;
 
     /** Reset every counter to zero (names are kept). */
     void clear();
@@ -59,7 +109,11 @@ class CounterSet
     std::string report() const;
 
   private:
-    std::map<std::string, std::uint64_t> counters;
+    /** Lexicographic name -> values index (transparent comparator so
+     *  lookups take string_view without a temporary string). */
+    std::map<std::string, std::size_t, std::less<>> index;
+    /** Dense counter storage; indices are stable (never erased). */
+    std::vector<std::uint64_t> values;
 };
 
 } // namespace stats

@@ -211,6 +211,49 @@ TEST(JsonTest, RunResultRoundTrips)
     }
 }
 
+TEST(JsonTest, TimingFieldsAreOptIn)
+{
+    exp::RunResult result;
+    result.cycles = 5000;
+    result.wall_time_ms = 2.5;
+    result.sim_cycles_per_sec = 2e6;
+
+    // Default serialization stays byte-stable across hosts: no
+    // timing fields.
+    auto plain = result.toJson();
+    EXPECT_EQ(plain.find("wall_time_ms"), nullptr);
+    EXPECT_EQ(plain.find("sim_cycles_per_sec"), nullptr);
+
+    auto timed = result.toJson(true);
+    ASSERT_NE(timed.find("wall_time_ms"), nullptr);
+    EXPECT_EQ(timed.find("wall_time_ms")->asDouble(), 2.5);
+    EXPECT_EQ(timed.find("sim_cycles_per_sec")->asDouble(), 2e6);
+
+    // Round trip through parse preserves the timing fields.
+    exp::Json parsed;
+    ASSERT_TRUE(exp::Json::parse(timed.dump(), parsed));
+    auto rebuilt = exp::RunResult::fromJson(parsed);
+    EXPECT_EQ(rebuilt.wall_time_ms, 2.5);
+    EXPECT_EQ(rebuilt.sim_cycles_per_sec, 2e6);
+    EXPECT_EQ(rebuilt.toJson(true).dump(), timed.dump());
+}
+
+TEST(RunnerTest, MeasuresWallClockPerPoint)
+{
+    auto spec = makeSweep();
+    exp::RunnerOptions options;
+    auto results = exp::runExperiment(spec, options);
+    for (const auto &result : results) {
+        EXPECT_GT(result.wall_time_ms, 0.0);
+        EXPECT_GT(result.sim_cycles_per_sec, 0.0);
+        // rate * seconds == cycles (up to rounding).
+        EXPECT_NEAR(result.sim_cycles_per_sec *
+                        (result.wall_time_ms / 1000.0),
+                    static_cast<double>(result.cycles),
+                    1.0);
+    }
+}
+
 TEST(SessionTest, ParseArgsStripsEngineFlags)
 {
     const char *raw[] = {"prog", "--jobs", "8", "--foo", "--json",
@@ -224,11 +267,42 @@ TEST(SessionTest, ParseArgsStripsEngineFlags)
     auto options = exp::parseSessionArgs(argc, argv);
     EXPECT_EQ(options.jobs, 8);
     EXPECT_EQ(options.json_path, "out.json");
+    EXPECT_FALSE(options.timing);
     ASSERT_EQ(argc, 3);
     EXPECT_STREQ(argv[0], "prog");
     EXPECT_STREQ(argv[1], "--foo");
     EXPECT_STREQ(argv[2], "bar");
     EXPECT_EQ(argv[3], nullptr);
+}
+
+TEST(SessionTest, ParseArgsAcceptsTimingFlag)
+{
+    const char *raw[] = {"prog", "--timing", "--jobs", "2", nullptr};
+    int argc = 4;
+    char *argv[5];
+    for (int i = 0; i < argc; i++)
+        argv[i] = const_cast<char *>(raw[i]);
+    argv[argc] = nullptr;
+
+    auto options = exp::parseSessionArgs(argc, argv);
+    EXPECT_TRUE(options.timing);
+    EXPECT_EQ(options.jobs, 2);
+    ASSERT_EQ(argc, 1);
+    EXPECT_EQ(argv[1], nullptr);
+}
+
+TEST(SessionTest, TimingOptionEmitsWallClockFields)
+{
+    exp::SessionOptions options;
+    options.timing = true;
+    exp::Session session(options);
+    session.run(makeSweep());
+    auto json = session.toJson();
+    const auto &run =
+        json.find("experiments")->at(0).find("runs")->at(0);
+    ASSERT_NE(run.find("wall_time_ms"), nullptr);
+    EXPECT_GT(run.find("wall_time_ms")->asDouble(), 0.0);
+    ASSERT_NE(run.find("sim_cycles_per_sec"), nullptr);
 }
 
 TEST(SessionTest, CollectsMultipleExperiments)

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Golden-value regression tests for the hot-path rework.
+ *
+ * Every number here was captured from the build immediately before
+ * the interned counter-handle and incremental done/idle-tracking
+ * changes (same workloads, same seeds).  They pin two things at
+ * once: the counter values visible through the name-keyed API
+ * (get/sumPrefix/report must be unaffected by handle-based adds) and
+ * the exact cycle counts (the event-driven idle/done tracking must
+ * not change when any component runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.hh"
+#include "hier/hier_system.hh"
+#include "trace/synthetic.hh"
+#include "verify/consistency.hh"
+
+namespace ddc {
+namespace {
+
+TEST(Golden, CmStarRunMatchesPreRefactorBaseline)
+{
+    // ddcsim --workload cmstar_a --pes 4 --refs 2000 --seed 7 --check
+    SystemConfig config;
+    auto trace = makeCmStarTrace(cmStarApplicationA(), 4, 2000, 7);
+    auto summary = runTrace(config, trace, true);
+
+    EXPECT_TRUE(summary.completed);
+    EXPECT_TRUE(summary.consistent);
+    EXPECT_EQ(summary.cycles, 3358u);
+    EXPECT_EQ(summary.total_refs, 8000u);
+    EXPECT_EQ(summary.bus_transactions, 2792u);
+    EXPECT_NEAR(summary.miss_ratio, 0.333, 1e-9);
+
+    const auto &counters = summary.counters;
+    EXPECT_EQ(counters.get("bus.busy_cycles"), 2792u);
+    EXPECT_EQ(counters.get("bus.idle_cycles"), 566u);
+    EXPECT_EQ(counters.get("bus.kill"), 17u);
+    EXPECT_EQ(counters.get("bus.read"), 2202u);
+    EXPECT_EQ(counters.get("bus.supply_write"), 17u);
+    EXPECT_EQ(counters.get("bus.write"), 590u);
+    EXPECT_EQ(counters.get("cache.invalidated"), 29u);
+    EXPECT_EQ(counters.get("cache.read_hit.Code"), 3660u);
+    EXPECT_EQ(counters.get("cache.read_hit.Local"), 1310u);
+    EXPECT_EQ(counters.get("cache.read_hit.Shared"), 19u);
+    EXPECT_EQ(counters.get("cache.read_miss.Code"), 1450u);
+    EXPECT_EQ(counters.get("cache.read_miss.Local"), 467u);
+    EXPECT_EQ(counters.get("cache.read_miss.Shared"), 285u);
+    EXPECT_EQ(counters.get("cache.refs"), 8000u);
+    EXPECT_EQ(counters.get("cache.snarf"), 6u);
+    EXPECT_EQ(counters.get("cache.supply"), 17u);
+    EXPECT_EQ(counters.get("cache.write_hit.Local"), 343u);
+    EXPECT_EQ(counters.get("cache.write_hit.Shared"), 4u);
+    EXPECT_EQ(counters.get("cache.write_miss.Local"), 363u);
+    EXPECT_EQ(counters.get("cache.write_miss.Shared"), 99u);
+    EXPECT_EQ(counters.get("cache.writeback"), 111u);
+    EXPECT_EQ(counters.get("memory.read"), 2202u);
+    EXPECT_EQ(counters.get("memory.write"), 590u);
+    EXPECT_EQ(counters.get("pe.stall_cycles"), 4903u);
+
+    // sumPrefix over the merged set still agrees with the dense
+    // handle path the facade now uses for miss_ratio.
+    EXPECT_EQ(counters.sumPrefix("cache.read_miss."), 2202u);
+    EXPECT_EQ(counters.sumPrefix("cache.write_miss."), 462u);
+
+    // Pre-interned handles that never fired (bus.nack, cache.flush,
+    // cache.ts.*, ...) must not appear in names() or report().
+    auto names = counters.names();
+    EXPECT_EQ(names.size(), 24u);
+    EXPECT_FALSE(counters.has("bus.nack"));
+    EXPECT_EQ(counters.report().find("bus.nack"), std::string::npos);
+    EXPECT_NE(counters.report().find("cache.refs = 8000"),
+              std::string::npos);
+}
+
+TEST(Golden, HotSpotRwbRunMatchesPreRefactorBaseline)
+{
+    // ddcsim --workload hot_spot --pes 8 --refs 500 --seed 3
+    //        --protocol RWB --check
+    SystemConfig config;
+    config.protocol = ProtocolKind::Rwb;
+    auto trace = makeHotSpotTrace(8, 500 / 9 + 1, 8);
+    auto summary = runTrace(config, trace, true);
+
+    EXPECT_TRUE(summary.completed);
+    EXPECT_TRUE(summary.consistent);
+    EXPECT_EQ(summary.cycles, 568u);
+    EXPECT_EQ(summary.total_refs, 4032u);
+    EXPECT_EQ(summary.bus_transactions, 456u);
+    EXPECT_NEAR(summary.miss_ratio, 456.0 / 4032.0, 1e-9);
+}
+
+TEST(Golden, HierarchicalRunMatchesPreRefactorBaseline)
+{
+    // ddcsim --workload producer_consumer --clusters 2 --pes 8
+    //        --refs 400 --seed 9 --check
+    hier::HierConfig config;
+    config.num_clusters = 2;
+    config.pes_per_cluster = 8;
+    config.cache_lines = 1024;
+    config.record_log = true;
+
+    hier::HierSystem system(config);
+    system.loadTrace(makeProducerConsumerTrace(16, 16, 400 / 64 + 1, 2));
+    Cycle cycles = system.run();
+
+    EXPECT_TRUE(system.allDone());
+    EXPECT_FALSE(system.timedOut());
+    EXPECT_EQ(cycles, 575u);
+    EXPECT_EQ(system.globalBusTransactions(), 268u);
+    EXPECT_EQ(system.clusterBusTransactions(), 708u);
+    EXPECT_TRUE(checkSerialConsistency(system.log()).consistent);
+}
+
+} // namespace
+} // namespace ddc

@@ -89,6 +89,66 @@ TEST(CounterSet, ReportContainsNonZeroEntries)
     EXPECT_NE(report.find("bus.read = 12"), std::string::npos);
 }
 
+TEST(CounterId, InvalidByDefault)
+{
+    CounterId id;
+    EXPECT_FALSE(id.valid());
+}
+
+TEST(CounterId, HandleAndNameKeyedAddsHitTheSameCounter)
+{
+    CounterSet counters;
+    CounterId read = counters.intern("bus.read");
+    EXPECT_TRUE(read.valid());
+    counters.add(read);
+    counters.add("bus.read", 4);
+    counters.add(read, 2);
+    EXPECT_EQ(counters.get("bus.read"), 7u);
+    EXPECT_EQ(counters.get(read), 7u);
+}
+
+TEST(CounterId, InterningIsIdempotent)
+{
+    CounterSet counters;
+    CounterId first = counters.intern("cache.refs");
+    counters.add("cache.refs", 3);
+    CounterId again = counters.intern("cache.refs");
+    counters.add(again, 2);
+    EXPECT_EQ(counters.get(first), 5u);
+}
+
+TEST(CounterId, ZeroValuedHandlesStayOutOfNamesAndReport)
+{
+    // Components intern every handle at construction; names that
+    // never fire must not leak into names()/report()/sumPrefix.
+    CounterSet counters;
+    counters.intern("bus.nack");
+    CounterId read = counters.intern("bus.read");
+    counters.add(read, 9);
+    auto names = counters.names();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "bus.read");
+    EXPECT_EQ(counters.report().find("bus.nack"), std::string::npos);
+    EXPECT_EQ(counters.sumPrefix("bus."), 9u);
+}
+
+TEST(CounterId, HandleAddsSurviveClearAndMerge)
+{
+    CounterSet a;
+    CounterId x = a.intern("x");
+    a.add(x, 7);
+    a.clear();
+    EXPECT_EQ(a.get(x), 0u);
+    a.add(x, 2);
+
+    CounterSet b;
+    b.add("x", 1);
+    b.add("y", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get(x), 3u);
+    EXPECT_EQ(a.get("y"), 5u);
+}
+
 TEST(Histogram, TracksCountSumMinMaxMean)
 {
     Histogram histogram(8, 10);

@@ -68,6 +68,8 @@ usage(std::ostream &os)
         "  --stats          dump all counters\n"
         "  --jobs N         experiment-engine worker threads (flat runs)\n"
         "  --json PATH      write structured results as JSON (flat runs)\n"
+        "  --timing         include wall_time_ms / sim_cycles_per_sec\n"
+        "                   in the JSON (host-dependent values)\n"
         "  --help           this text\n";
 }
 
