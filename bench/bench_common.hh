@@ -14,8 +14,12 @@
  *                output is byte-identical for every N
  *   --json PATH  write the collected results (conventionally
  *                results.json) after the reproduction
- *   --timing     include per-run wall_time_ms / sim_cycles_per_sec
- *                in the JSON (host-dependent, so off by default)
+ *   --timing     include per-run wall_time_ms / sim_cycles_per_sec /
+ *                skipped_cycles / skip_fraction in the JSON
+ *                (host-dependent, so off by default)
+ *   --no-skip    disable quiescent-cycle skipping process-wide
+ *                (A/B baseline; tables and JSON are byte-identical
+ *                with or without it, the run is just slower)
  */
 
 #ifndef DDC_BENCH_COMMON_HH

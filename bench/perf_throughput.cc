@@ -8,7 +8,12 @@
  *    mix (the paper's representative reference pattern);
  *  - lock contention: TS vs TTS spin workloads (the hot-path
  *    stressor -- every spin exercises the bus arbitration and RMW
- *    machinery).
+ *    machinery);
+ *  - idle-heavy scenarios: the lock workloads under a memory-latency
+ *    sweep, where PEs spend most cycles stalled behind multi-cycle
+ *    transfers -- the regime the quiescent-skip engine collapses.
+ *    Rows report the skipped-cycle fraction next to the throughput
+ *    (run with --no-skip to measure the cycle-by-cycle baseline).
  *
  * Unlike the reproduction benches this binary's output is host-
  * dependent by design: it forces --timing on, so its JSON rows carry
@@ -33,6 +38,8 @@ using namespace ddc;
 const int kPeCounts[] = {4, 16};
 const sync::LockKind kLocks[] = {sync::LockKind::TestAndSet,
                                  sync::LockKind::TestAndTestAndSet};
+/** Memory-latency sweep of the idle-heavy scenario family. */
+const std::size_t kIdleLatencies[] = {0, 16, 64};
 constexpr std::size_t kRefsPerPe = 20000;
 
 /** Mcycles/s (or Mrefs/s) with two decimals, "-" when unmeasured. */
@@ -146,6 +153,60 @@ printReproduction(exp::Session &session)
         }
     }
     std::cout << lock_table.render() << "\n";
+
+    exp::ParamGrid idle_grid;
+    idle_grid.axis("lock", {"TS", "TTS"});
+    idle_grid.axis("latency", {"0", "16", "64"});
+
+    exp::Experiment idle_spec(
+        "perf_idle_throughput",
+        "Simulator throughput on idle-heavy scenarios: the lock "
+        "workloads under a memory-latency sweep (RB, 16 PEs, 32 "
+        "acquisitions/PE); skip_fraction is the share of cycles the "
+        "quiescent-skip engine fast-forwarded");
+    for (std::size_t point = 0; point < idle_grid.size(); point++) {
+        auto indices = idle_grid.indicesAt(point);
+        auto lock = kLocks[indices[0]];
+        std::size_t latency = kIdleLatencies[indices[1]];
+        idle_spec.addCustom(idle_grid.paramsAt(point), [lock, latency]() {
+            sync::LockExperimentConfig config;
+            config.num_pes = 16;
+            config.lock = lock;
+            config.protocol = ProtocolKind::Rb;
+            config.acquisitions_per_pe = 32;
+            config.cs_increments = 8;
+            config.memory_latency = latency;
+            auto lock_result = sync::runLockExperiment(config);
+            exp::RunResult result;
+            result.cycles = lock_result.cycles;
+            result.skipped_cycles = lock_result.skipped_cycles;
+            result.bus_transactions = lock_result.bus_transactions;
+            return result;
+        });
+    }
+    const auto &idle_results = session.run(idle_spec);
+
+    Table idle_table("Idle-heavy: lock x memory latency, RB, 16 PEs");
+    idle_table.setHeader({"lock", "latency", "cycles", "skip %",
+                          "wall ms", "Mcycles/s"});
+    flat = 0;
+    for (auto lock : kLocks) {
+        for (std::size_t latency : kIdleLatencies) {
+            const auto &result = idle_results[flat++];
+            double skip_pct =
+                result.cycles > 0
+                    ? 100.0 * static_cast<double>(result.skipped_cycles) /
+                          static_cast<double>(result.cycles)
+                    : 0.0;
+            idle_table.addRow({std::string(sync::toString(lock)),
+                               std::to_string(latency),
+                               std::to_string(result.cycles),
+                               Table::num(skip_pct, 1),
+                               Table::num(result.wall_time_ms, 2),
+                               perMega(result.sim_cycles_per_sec)});
+        }
+    }
+    std::cout << idle_table.render() << "\n";
 }
 
 /** Simulated cycles per wall-clock second on the contention workload. */

@@ -20,6 +20,7 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
 
     RunSummary summary;
     summary.cycles = system.run(max_cycles);
+    summary.skipped_cycles = system.skippedCycles();
     summary.status = system.runStatus();
     summary.completed = system.allDone();
     summary.total_refs = trace.totalRefs();

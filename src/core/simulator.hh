@@ -25,6 +25,12 @@ struct RunSummary
     /** Finished vs. timed out (== completed, as an explicit status). */
     RunStatus status = RunStatus::Finished;
     Cycle cycles = 0;
+    /**
+     * Of cycles, how many the run loop fast-forwarded across
+     * quiescent intervals instead of ticking (see SystemConfig::
+     * skip_quiescent; 0 with skipping disabled).
+     */
+    Cycle skipped_cycles = 0;
     std::uint64_t total_refs = 0;
     std::uint64_t bus_transactions = 0;
     /** Bus transactions per memory reference. */

@@ -56,6 +56,12 @@ RunResult::toJson(bool include_timing) const
     if (include_timing) {
         json["wall_time_ms"] = Json(wall_time_ms);
         json["sim_cycles_per_sec"] = Json(sim_cycles_per_sec);
+        json["skipped_cycles"] =
+            Json(static_cast<std::uint64_t>(skipped_cycles));
+        json["skip_fraction"] =
+            Json(cycles > 0 ? static_cast<double>(skipped_cycles) /
+                                  static_cast<double>(cycles)
+                            : 0.0);
     }
 
     Json metrics_json = Json::object();
@@ -94,6 +100,8 @@ RunResult::fromJson(const Json &json)
         result.wall_time_ms = wall->asDouble();
     if (const Json *rate = json.find("sim_cycles_per_sec"))
         result.sim_cycles_per_sec = rate->asDouble();
+    if (const Json *skipped = json.find("skipped_cycles"))
+        result.skipped_cycles = static_cast<Cycle>(skipped->asInt());
     for (const auto &[name, value] : json.find("metrics")->items())
         result.metrics.emplace_back(name, value.asDouble());
     for (const auto &[name, value] : json.find("counters")->items())

@@ -51,6 +51,15 @@ struct RunResult
     double wall_time_ms = 0.0;
     /** Simulated cycles per wall-clock second (throughput). */
     double sim_cycles_per_sec = 0.0;
+    /**
+     * Of cycles, how many the run loop fast-forwarded across
+     * quiescent intervals (next-event time advance).  Deterministic,
+     * but serialized only with toJson(true) alongside the timing
+     * fields: it describes how the engine spent its host time, and
+     * gating it keeps the default JSON byte-identical to runs with
+     * skipping disabled (whose skipped count is 0 by construction).
+     */
+    Cycle skipped_cycles = 0;
     /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
     std::vector<std::pair<std::string, double>> metrics;
     /** Full merged counter set of the run. */

@@ -20,6 +20,7 @@ executeTraceRun(const TraceRun &run)
     RunResult result;
     result.status = summary.status;
     result.cycles = summary.cycles;
+    result.skipped_cycles = summary.skipped_cycles;
     result.total_refs = summary.total_refs;
     result.bus_transactions = summary.bus_transactions;
     result.consistent = summary.consistent;

@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "base/logging.hh"
+#include "sim/system.hh"
 
 namespace ddc {
 namespace exp {
@@ -18,6 +19,9 @@ parseSessionArgs(int &argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--timing") {
             options.timing = true;
+        } else if (arg == "--no-skip") {
+            options.no_skip = true;
+            setQuiescentSkipEnabled(false);
         } else if (arg == "--jobs" || arg == "--json") {
             if (i + 1 >= argc) {
                 std::cerr << argv[0] << ": " << arg << " needs a value\n";
@@ -59,7 +63,7 @@ Json
 Session::toJson() const
 {
     Json json = Json::object();
-    json["schema"] = Json(std::int64_t{2});
+    json["schema"] = Json(std::int64_t{3});
     Json experiments = Json::array();
     for (const auto &entry : collected) {
         Json experiment = Json::object();

@@ -32,20 +32,29 @@ struct SessionOptions
     /** Where to write the collected results ("" = don't). */
     std::string json_path;
     /**
-     * Emit wall_time_ms / sim_cycles_per_sec per run in the JSON.
-     * Off by default: timing is a host measurement, so enabling it
-     * gives up the byte-identical-across-job-counts guarantee.
+     * Emit wall_time_ms / sim_cycles_per_sec / skipped_cycles /
+     * skip_fraction per run in the JSON.  Off by default: timing is a
+     * host measurement, so enabling it gives up the
+     * byte-identical-across-job-counts guarantee.
      */
     bool timing = false;
+    /**
+     * Disable quiescent-cycle skipping for every System the process
+     * builds (A/B baseline; results are byte-identical either way,
+     * only slower).  parseSessionArgs applies it process-wide via
+     * setQuiescentSkipEnabled() so custom experiment points that
+     * construct their own Systems are covered too.
+     */
+    bool no_skip = false;
 };
 
 /**
- * Parse and remove `--jobs N` / `--json PATH` / `--timing` from an
- * argv vector.
+ * Parse and remove `--jobs N` / `--json PATH` / `--timing` /
+ * `--no-skip` from an argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed
- * values.
+ * values.  `--no-skip` takes effect immediately (process-wide).
  */
 SessionOptions parseSessionArgs(int &argc, char **argv);
 

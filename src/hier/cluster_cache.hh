@@ -92,6 +92,21 @@ class ClusterCache : public BusClient, public MemorySide
     PeId peId() const override;
 
     // ---- Cluster-bus memory side ----------------------------------
+    /**
+     * As a memory side the cluster cache never self-schedules:
+     * whenever it has queued forwards it is armed on the *global* bus
+     * (updateArmed()), and a cluster-bus transaction it NACKed leaves
+     * the issuing L1 armed on the cluster bus — so one of the two
+     * buses always reports the pending work and kNever here never
+     * hides an event from the skip engine.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        (void)now;
+        return kNever;
+    }
+
     bool tryRead(Addr addr, PeId pe, Word &data) override;
     bool tryReadBlock(Addr base, std::size_t words, PeId pe,
                       std::vector<Word> &block) override;

@@ -1,5 +1,7 @@
 #include "hier/hier_system.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "core/rb.hh"
 #include "sim/trace_agent.hh"
@@ -115,11 +117,59 @@ HierSystem::tick()
 }
 
 Cycle
+HierSystem::earliestNextEvent() const
+{
+    Cycle earliest = globalBus->nextEventCycle(clock.now);
+    if (earliest <= clock.now)
+        return clock.now;
+    for (const auto &bus : clusterBuses) {
+        Cycle next = bus->nextEventCycle(clock.now);
+        if (next <= clock.now)
+            return clock.now;
+        earliest = std::min(earliest, next);
+    }
+    for (std::size_t index : activeAgents) {
+        Cycle next = agents[index]->nextEventCycle(clock.now);
+        if (next <= clock.now)
+            return clock.now;
+        earliest = std::min(earliest, next);
+    }
+    return earliest;
+}
+
+void
+HierSystem::skipQuiescent(Cycle count)
+{
+    globalBus->skipCycles(count);
+    for (auto &bus : clusterBuses)
+        bus->skipCycles(count);
+    for (std::size_t index : activeAgents)
+        agents[index]->skipCycles(count);
+    clock.now += count;
+    skipped += count;
+}
+
+Cycle
 HierSystem::run(Cycle max_cycles)
 {
     Cycle start = clock.now;
-    while (!allDone() && clock.now - start < max_cycles)
+    Cycle end = start + max_cycles;
+    // Next-event time advance; see System::run.  The hierarchy's
+    // buses run at the unified (zero extra latency) cycle, so skips
+    // engage only when every level is simultaneously blocked — but
+    // the engine is wired identically so the on/off equivalence
+    // guarantee covers this machine too.
+    bool skipping = config.skip_quiescent && quiescentSkipEnabled();
+    while (!allDone() && clock.now < end) {
+        if (skipping) {
+            Cycle next = earliestNextEvent();
+            if (next > clock.now) {
+                skipQuiescent(std::min(next, end) - clock.now);
+                continue;
+            }
+        }
         tick();
+    }
     run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
     if (run_status == RunStatus::TimedOut) {
         ddc_warn("HierSystem::run hit its cycle budget (", max_cycles,

@@ -48,6 +48,12 @@ struct HierConfig
     ArbiterKind arbiter = ArbiterKind::RoundRobin;
     std::uint64_t arbiter_seed = 1;
     bool record_log = false;
+    /**
+     * Fast-forward run() across quiescent cycles; same contract as
+     * SystemConfig::skip_quiescent (byte-identical either way, ANDed
+     * with setQuiescentSkipEnabled()).
+     */
+    bool skip_quiescent = true;
 };
 
 /** A complete hierarchical shared-bus multiprocessor (RB recursive). */
@@ -88,6 +94,9 @@ class HierSystem
 
     /** True when the most recent run() hit its cycle budget. */
     bool timedOut() const { return run_status == RunStatus::TimedOut; }
+
+    /** Cycles run() fast-forwarded instead of ticking. */
+    Cycle skippedCycles() const { return skipped; }
 
     bool allDone() const;
     Cycle now() const { return clock.now; }
@@ -134,9 +143,17 @@ class HierSystem
     /** Recompute the not-yet-done agent list after (re)installs. */
     void rebuildActiveAgents();
 
+    /** Earliest next event across all buses and active agents. */
+    Cycle earliestNextEvent() const;
+
+    /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
+    void skipQuiescent(Cycle count);
+
     HierConfig config;
     Clock clock;
     RunStatus run_status = RunStatus::Finished;
+    /** Cycles fast-forwarded by skipQuiescent() so far. */
+    Cycle skipped = 0;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> protocol;
 

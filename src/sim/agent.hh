@@ -20,6 +20,7 @@
 
 #include "base/logging.hh"
 #include "sim/cache.hh"
+#include "sim/clock.hh"
 
 namespace ddc {
 
@@ -34,6 +35,28 @@ class Agent
 
     /** True when the agent has no more work. */
     virtual bool done() const = 0;
+
+    /**
+     * Earliest cycle at which this agent can next change machine state
+     * (part of the next-event contract, see DESIGN.md).
+     *
+     * Must be side-effect free.  Return @p now when the agent would do
+     * real work if ticked this cycle; a future cycle when it is in a
+     * self-timed wait; kNever when it is blocked on another component
+     * (e.g. a cache miss awaiting a bus grant) and can only be woken
+     * by that component's progress.  The conservative default — always
+     * runnable — disables skipping around agents that do not opt in.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const { return now; }
+
+    /**
+     * Account for @p count cycles skipped while this agent was
+     * quiescent.  Only called when nextEventCycle() reported no event
+     * in the skipped interval; must update exactly the state and
+     * statistics that @p count consecutive tick() calls would have
+     * (stall counters etc.), so skipping stays byte-identical.
+     */
+    virtual void skipCycles(Cycle count) { (void)count; }
 };
 
 /** Routes one PE's accesses across its per-bus cache banks. */

@@ -124,6 +124,25 @@ Bus::occupy(std::size_t extra_cycles)
 }
 
 void
+Bus::skipCycles(Cycle count)
+{
+    // Streaming past the end of the in-flight transfer is only legal
+    // when no client could have requested the freed bus.
+    ddc_assert(count <= static_cast<Cycle>(transferCyclesLeft) ||
+                   armedCount == 0,
+               "skipped across a bus grant opportunity");
+    auto streamed = std::min(count,
+                             static_cast<Cycle>(transferCyclesLeft));
+    if (streamed > 0) {
+        transferCyclesLeft -= static_cast<std::size_t>(streamed);
+        stats.add(statBusy, streamed);
+        stats.add(statTransfer, streamed);
+    }
+    if (count > streamed)
+        stats.add(statIdle, count - streamed);
+}
+
+void
 Bus::tick()
 {
     if (transferCyclesLeft > 0) {

@@ -27,6 +27,7 @@
 #ifndef DDC_SIM_BUS_HH
 #define DDC_SIM_BUS_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -182,6 +183,35 @@ class Bus
 
     /** Advance one cycle (at most one new transaction begins). */
     void tick();
+
+    /**
+     * Earliest cycle at which this bus (or the memory side behind it)
+     * can next change state: @p now while any client is armed (a
+     * grant could start a transaction), the end of the streaming
+     * window while a multi-cycle transfer occupies the bus, kNever
+     * when every client is disarmed.  Side-effect free: consults only
+     * the armed count, the transfer countdown, and the memory side's
+     * own nextEventCycle() — never hasRequest() (whose lazy
+     * revalidation must stay aligned with the baseline polling
+     * schedule).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const
+    {
+        Cycle own = transferCyclesLeft > 0
+                        ? now + static_cast<Cycle>(transferCyclesLeft)
+                        : (armedCount > 0 ? now : kNever);
+        return std::min(own, memory.nextEventCycle(now));
+    }
+
+    /**
+     * Account for @p count quiescent cycles at once: stream the
+     * in-flight transfer and/or accrue idle cycles exactly as @p count
+     * consecutive tick() calls would have.  The caller guarantees no
+     * grant opportunity was skipped (count never crosses this bus's
+     * nextEventCycle() while a client is armed).
+     */
+    void skipCycles(Cycle count);
 
     /** True when no client has a pending request. */
     bool idle();

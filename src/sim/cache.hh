@@ -136,7 +136,19 @@ class Cache : public BusClient
     /** Phases of a pending access. */
     enum class Phase { Writeback, Fill, Flush, Main };
 
-    /** The (single) outstanding access. */
+    /**
+     * The (single) outstanding access.
+     *
+     * Arming invariant (the skip engine's lifeline): the cache arms
+     * itself on its bus exactly for the lifetime of a pending access
+     * — setArmed(true) at activation in cpuAccess(), cleared only by
+     * finish(), which also raises completionReady.  NACK retries and
+     * phase/reaction changes never disarm, so an agent stalled on
+     * this access is always visible to System::earliestNextEvent()
+     * through the bus's armed count (or through hasCompletion() once
+     * the access finished), and a quiescent interval can never hide a
+     * retry the baseline would have issued.
+     */
     struct PendingOp
     {
         bool active = false;

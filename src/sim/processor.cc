@@ -56,6 +56,17 @@ Processor::tick()
 }
 
 void
+Processor::skipCycles(Cycle count)
+{
+    // The engine only skips an agent that is stalled for the whole
+    // interval; account the cycles exactly as that many ticks would.
+    ddc_assert(waiting && !caches.hasCompletion(),
+               "skipped a runnable processor");
+    stalls += count;
+    stats.add(statStallCycles, count);
+}
+
+void
 Processor::execute(const Instruction &instruction)
 {
     auto addr_of = [&](const Instruction &inst) {

@@ -32,6 +32,20 @@ class Processor : public Agent
     void tick() override;
     bool done() const override { return halted; }
 
+    /**
+     * A PE executing instructions is runnable every cycle (spin loops
+     * are real work: they retire instructions and touch the cache);
+     * only a PE stalled on an outstanding cache miss whose completion
+     * has not yet arrived is event-free until the bus delivers it.
+     */
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return waiting && !caches.hasCompletion() ? kNever : now;
+    }
+
+    void skipCycles(Cycle count) override;
+
     /** Current register value. */
     Word reg(int index) const;
 

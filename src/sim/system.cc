@@ -1,5 +1,8 @@
 #include "sim/system.hh"
 
+#include <algorithm>
+#include <atomic>
+
 #include "base/logging.hh"
 #include "sim/trace_agent.hh"
 
@@ -8,7 +11,32 @@ namespace ddc {
 std::string_view
 toString(RunStatus status)
 {
-    return status == RunStatus::Finished ? "finished" : "timed_out";
+    switch (status) {
+      case RunStatus::Finished: return "finished";
+      case RunStatus::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
+namespace {
+
+// Atomic so parallel sweeps (exp runner worker threads) may read it
+// while the main thread parses flags; flipped only before any System
+// runs in practice.
+std::atomic<bool> quiescentSkip{true};
+
+} // namespace
+
+void
+setQuiescentSkipEnabled(bool enabled)
+{
+    quiescentSkip.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+quiescentSkipEnabled()
+{
+    return quiescentSkip.load(std::memory_order_relaxed);
 }
 
 System::System(const SystemConfig &config) : config(config)
@@ -129,11 +157,60 @@ System::tick()
 }
 
 Cycle
+System::earliestNextEvent() const
+{
+    Cycle earliest = kNever;
+    for (const auto &bus : buses) {
+        Cycle next = bus->nextEventCycle(clock.now);
+        if (next <= clock.now)
+            return clock.now;
+        earliest = std::min(earliest, next);
+    }
+    for (std::size_t index : activeAgents) {
+        Cycle next = agents[index]->nextEventCycle(clock.now);
+        if (next <= clock.now)
+            return clock.now;
+        earliest = std::min(earliest, next);
+    }
+    return earliest;
+}
+
+void
+System::skipQuiescent(Cycle count)
+{
+    for (auto &bus : buses)
+        bus->skipCycles(count);
+    for (std::size_t index : activeAgents)
+        agents[index]->skipCycles(count);
+    clock.now += count;
+    skipped += count;
+}
+
+Cycle
 System::run(Cycle max_cycles)
 {
     Cycle start = clock.now;
-    while (!allDone() && clock.now - start < max_cycles)
+    Cycle end = start + max_cycles;
+    // Next-event time advance: when no bus can grant and no agent can
+    // act this cycle, jump the clock to the earliest future event
+    // (typically the end of a memory-latency transfer) instead of
+    // ticking through the quiescent interval.  Every skipped cycle is
+    // bulk-accounted exactly as a tick would have, so counters, the
+    // execution log, and arbiter RNG streams are byte-identical with
+    // skipping on or off.
+    bool skipping = config.skip_quiescent && quiescentSkipEnabled();
+    while (!allDone() && clock.now < end) {
+        if (skipping) {
+            Cycle next = earliestNextEvent();
+            if (next > clock.now) {
+                // kNever (all components blocked on each other) fast-
+                // forwards to the budget, reported as timed_out below.
+                skipQuiescent(std::min(next, end) - clock.now);
+                continue;
+            }
+        }
         tick();
+    }
     run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
     if (run_status == RunStatus::TimedOut) {
         ddc_warn("System::run hit its cycle budget (", max_cycles,

@@ -57,7 +57,23 @@ struct SystemConfig
     std::uint64_t arbiter_seed = 1;
     /** Record the serial execution log for consistency checking. */
     bool record_log = false;
+    /**
+     * Fast-forward run() across quiescent cycles (next-event time
+     * advance).  Results are byte-identical either way; off is the
+     * A/B-debugging baseline.  ANDed with the process-wide
+     * setQuiescentSkipEnabled() switch (the --no-skip flag).
+     */
+    bool skip_quiescent = true;
 };
+
+/**
+ * Process-wide quiescent-skip switch, default on.  The --no-skip flag
+ * clears it so every System built afterwards — including ones buried
+ * inside custom experiment points — runs cycle by cycle, without
+ * threading a flag through each construction site.
+ */
+void setQuiescentSkipEnabled(bool enabled);
+bool quiescentSkipEnabled();
 
 /** How a bounded run ended. */
 enum class RunStatus
@@ -106,6 +122,12 @@ class System
 
     /** True when the most recent run() hit its cycle budget. */
     bool timedOut() const { return run_status == RunStatus::TimedOut; }
+
+    /**
+     * Cycles run() fast-forwarded instead of ticking (0 with skipping
+     * disabled); included in the cycle counts run() returns.
+     */
+    Cycle skippedCycles() const { return skipped; }
 
     /** True when every agent has finished. */
     bool allDone() const;
@@ -170,9 +192,23 @@ class System
     /** Recompute the not-yet-done agent list after (re)installs. */
     void rebuildActiveAgents();
 
+    /**
+     * Earliest cycle at which any bus or active agent can change
+     * state: clock.now when some component is runnable this cycle,
+     * a future cycle during a quiescent interval, kNever when every
+     * component is blocked (mutual deadlock; run() then fast-forwards
+     * to the budget).  Side-effect free.
+     */
+    Cycle earliestNextEvent() const;
+
+    /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
+    void skipQuiescent(Cycle count);
+
     SystemConfig config;
     Clock clock;
     RunStatus run_status = RunStatus::Finished;
+    /** Cycles fast-forwarded by skipQuiescent() so far. */
+    Cycle skipped = 0;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> proto;
 

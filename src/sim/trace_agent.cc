@@ -18,6 +18,14 @@ TraceAgent::done() const
 }
 
 void
+TraceAgent::skipCycles(Cycle count)
+{
+    ddc_assert(waiting && !caches.hasCompletion(),
+               "skipped a runnable trace agent");
+    stats.add(statStallCycles, count);
+}
+
+void
 TraceAgent::tick()
 {
     if (waiting) {

@@ -30,6 +30,19 @@ class TraceAgent : public Agent
     void tick() override;
     bool done() const override;
 
+    /**
+     * Runnable whenever it could issue the next reference or consume
+     * a completion; event-free only while stalled on an outstanding
+     * miss (the bus wakes it by completing the access).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return waiting && !caches.hasCompletion() ? kNever : now;
+    }
+
+    void skipCycles(Cycle count) override;
+
     /** References fully completed so far. */
     std::size_t refsCompleted() const { return completed; }
 

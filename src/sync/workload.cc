@@ -25,6 +25,7 @@ runLockExperiment(const LockExperimentConfig &config,
     system_config.num_pes = config.num_pes;
     system_config.cache_lines = config.cache_lines;
     system_config.protocol = config.protocol;
+    system_config.memory_latency = config.memory_latency;
     system_config.record_log = config.record_log;
 
     auto system = std::make_unique<System>(system_config);
@@ -42,6 +43,7 @@ runLockExperiment(const LockExperimentConfig &config,
 
     LockExperimentResult result;
     result.cycles = system->run();
+    result.skipped_cycles = system->skippedCycles();
     result.completed = system->allDone();
     result.bus_transactions = system->totalBusTransactions();
 

@@ -25,6 +25,14 @@ struct LockExperimentConfig
     int cs_increments = 4;
     int local_work = 0;
     std::size_t cache_lines = 256;
+    /**
+     * Extra bus-occupancy cycles per memory-touching transaction
+     * (SystemConfig::memory_latency; 0 = the paper's unified cycle).
+     * Raising it makes the workload idle-heavy: PEs spend most cycles
+     * stalled behind multi-cycle transfers, the regime the quiescent-
+     * skip engine collapses.
+     */
+    std::size_t memory_latency = 0;
     bool record_log = false;
 };
 
@@ -32,6 +40,8 @@ struct LockExperimentConfig
 struct LockExperimentResult
 {
     Cycle cycles = 0;
+    /** Of cycles, how many run() fast-forwarded (quiescent skip). */
+    Cycle skipped_cycles = 0;
     std::uint64_t bus_transactions = 0;
     std::uint64_t rmw_attempts = 0;
     std::uint64_t rmw_failures = 0;

@@ -46,6 +46,8 @@ usage(std::ostream &os)
         "  --lines N        cache lines per PE (default 1024)\n"
         "  --block W        words per cache block (default 1)\n"
         "  --ways N         set associativity (default 1)\n"
+        "  --latency L      extra bus cycles per memory transaction\n"
+        "                   (default 0, the paper's unified cycle)\n"
         "  --buses K        interleaved shared buses (default 1)\n"
         "  --clusters C     run the two-level hierarchical machine\n"
         "                   (recursive RB) with C clusters of\n"
@@ -68,8 +70,12 @@ usage(std::ostream &os)
         "  --stats          dump all counters\n"
         "  --jobs N         experiment-engine worker threads (flat runs)\n"
         "  --json PATH      write structured results as JSON (flat runs)\n"
-        "  --timing         include wall_time_ms / sim_cycles_per_sec\n"
-        "                   in the JSON (host-dependent values)\n"
+        "  --timing         include wall_time_ms / sim_cycles_per_sec /\n"
+        "                   skipped_cycles / skip_fraction in the JSON\n"
+        "                   (host-dependent values)\n"
+        "  --no-skip        disable quiescent-cycle skipping (A/B\n"
+        "                   baseline; results are byte-identical, the\n"
+        "                   run is just slower)\n"
         "  --help           this text\n";
 }
 
@@ -129,6 +135,11 @@ parseArgs(int argc, char **argv, Options &options)
             if (!(value = need_value(i)))
                 return false;
             options.config.ways =
+                static_cast<std::size_t>(std::atoll(value));
+        } else if (arg == "--latency") {
+            if (!(value = need_value(i)))
+                return false;
+            options.config.memory_latency =
                 static_cast<std::size_t>(std::atoll(value));
         } else if (arg == "--buses") {
             if (!(value = need_value(i)))
