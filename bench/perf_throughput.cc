@@ -6,6 +6,12 @@
  *
  *  - trace replay: every protocol x PE count on the Cm* application
  *    mix (the paper's representative reference pattern);
+ *  - snoop-filter PE scaling: the Cm* mix at P = 4..64 with the
+ *    sharer-indexed snoop filter on vs off, with snoop-visit counts
+ *    alongside the throughput (the filter makes broadcast and the
+ *    supplier scan O(holders) instead of O(P), so the speedup grows
+ *    with P; run with --no-snoop-filter to force every point to the
+ *    full-scan baseline);
  *  - lock contention: TS vs TTS spin workloads (the hot-path
  *    stressor -- every spin exercises the bus arbitration and RMW
  *    machinery);
@@ -25,6 +31,7 @@
 #include "bench_common.hh"
 
 #include <iostream>
+#include <iterator>
 
 #include "core/simulator.hh"
 #include "stats/table.hh"
@@ -36,6 +43,10 @@ namespace {
 using namespace ddc;
 
 const int kPeCounts[] = {4, 16};
+/** PE axis of the snoop-filter scaling family. */
+const int kScalePeCounts[] = {4, 8, 16, 32, 64};
+/** Timing reps per scaling point (the table keeps the best). */
+constexpr std::size_t kScaleReps = 3;
 const sync::LockKind kLocks[] = {sync::LockKind::TestAndSet,
                                  sync::LockKind::TestAndTestAndSet};
 /** Memory-latency sweep of the idle-heavy scenario family. */
@@ -109,6 +120,75 @@ printReproduction(exp::Session &session)
         }
     }
     std::cout << trace_table.render() << "\n";
+
+    exp::ParamGrid scale_grid;
+    scale_grid.axis("pes", {"4", "8", "16", "32", "64"});
+    scale_grid.axis("snoop_filter", {"on", "off"});
+    // Every point runs kScaleReps times and the table keeps the best
+    // rep per arm: single wall-clock samples on a shared host swing
+    // by 10%+, and min-time is the standard noise-robust estimator.
+    scale_grid.axis("rep", {"0", "1", "2"});
+
+    // Traces are generated up front: point lambdas run inside the
+    // timed region, and trace synthesis would dilute the on/off
+    // wall-clock ratio this family exists to measure.
+    std::vector<Trace> scale_traces;
+    for (int m : kScalePeCounts) {
+        scale_traces.push_back(
+            makeCmStarTrace(cmStarApplicationA(), m, kRefsPerPe, 5));
+    }
+
+    exp::Experiment scale_spec(
+        "perf_snoop_filter_scaling",
+        "Simulator throughput vs PE count on the Cm* application mix "
+        "(RWB), sharer-indexed snoop filter on vs off");
+    scale_spec.addGrid(scale_grid,
+                       [scale_grid, &scale_traces](std::size_t flat) {
+        auto indices = scale_grid.indicesAt(flat);
+        exp::TraceRun run;
+        run.config.num_pes = kScalePeCounts[indices[0]];
+        run.config.cache_lines = 1024;
+        run.config.protocol = ProtocolKind::Rwb;
+        run.config.snoop_filter = indices[1] == 0;
+        run.trace = scale_traces[indices[0]];
+        return run;
+    });
+    const auto &scale_results = session.run(scale_spec);
+
+    // Best rep (highest sim rate) of the arm starting at flat index
+    // @p first; reps are the innermost axis, so they are contiguous.
+    auto bestRep = [&scale_results](std::size_t first) -> const auto & {
+        const auto *best = &scale_results[first];
+        for (std::size_t r = 1; r < kScaleReps; r++) {
+            const auto &rep = scale_results[first + r];
+            if (rep.sim_cycles_per_sec > best->sim_cycles_per_sec)
+                best = &rep;
+        }
+        return *best;
+    };
+
+    Table scale_table("Snoop-filter PE scaling: Cm* mix, RWB, "
+                      "20000 refs/PE, best of 3 reps");
+    scale_table.setHeader({"PEs", "cycles", "visits(on)", "visits(off)",
+                           "Mcyc/s(on)", "Mcyc/s(off)", "speedup"});
+    for (std::size_t i = 0; i < std::size(kScalePeCounts); i++) {
+        const auto &on = bestRep(2 * kScaleReps * i);
+        const auto &off = bestRep(2 * kScaleReps * i + kScaleReps);
+        // Both arms simulate the same cycles, so the sim-rate ratio
+        // is the sim-loop time ratio, undiluted by point setup.
+        double speedup = off.sim_cycles_per_sec > 0.0
+                             ? on.sim_cycles_per_sec /
+                                   off.sim_cycles_per_sec
+                             : 0.0;
+        scale_table.addRow({std::to_string(kScalePeCounts[i]),
+                            std::to_string(on.cycles),
+                            std::to_string(on.snoop_visits),
+                            std::to_string(off.snoop_visits),
+                            perMega(on.sim_cycles_per_sec),
+                            perMega(off.sim_cycles_per_sec),
+                            Table::num(speedup, 2)});
+    }
+    std::cout << scale_table.render() << "\n";
 
     exp::ParamGrid lock_grid;
     lock_grid.axis("lock", {"TS", "TTS"});

@@ -41,10 +41,10 @@ for bench in "$build_dir"/bench/*; do
 done
 
 # Merge the per-bench result files into one top-level document:
-# {"schema": 3, "benches": {"<name>": <per-bench document>, ...}}
+# {"schema": 4, "benches": {"<name>": <per-bench document>, ...}}
 merged="$repo_root/BENCH_RESULTS.json"
 {
-    printf '{\n  "schema": 3,\n  "benches": {\n'
+    printf '{\n  "schema": 4,\n  "benches": {\n'
     first=1
     for json in "${json_files[@]}"; do
         name="$(basename "$json" .results.json)"

@@ -1,5 +1,6 @@
 #include "core/simulator.hh"
 
+#include <chrono>
 #include <sstream>
 
 #include "verify/consistency.hh"
@@ -19,12 +20,17 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
     system.loadTrace(trace);
 
     RunSummary summary;
+    auto start = std::chrono::steady_clock::now();
     summary.cycles = system.run(max_cycles);
+    std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    summary.sim_time_ms = elapsed.count();
     summary.skipped_cycles = system.skippedCycles();
     summary.status = system.runStatus();
     summary.completed = system.allDone();
     summary.total_refs = trace.totalRefs();
     summary.bus_transactions = system.totalBusTransactions();
+    summary.snoop_visits = system.snoopVisits();
     summary.counters = system.counters();
     for (int b = 0; b < system.numBuses(); b++) {
         summary.per_bus_busy_cycles.push_back(

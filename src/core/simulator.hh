@@ -33,6 +33,19 @@ struct RunSummary
     Cycle skipped_cycles = 0;
     std::uint64_t total_refs = 0;
     std::uint64_t bus_transactions = 0;
+    /**
+     * Broadcast visits + supplier polls across all buses (see
+     * Bus::snoopVisits); shrinks with the snoop filter on while every
+     * other field stays byte-identical.
+     */
+    std::uint64_t snoop_visits = 0;
+    /**
+     * Host wall-clock milliseconds spent inside the simulation loop
+     * proper (System::run), excluding machine construction and trace
+     * loading.  The denominator for honest cycles-per-second
+     * throughput comparisons; machine-dependent by nature.
+     */
+    double sim_time_ms = 0.0;
     /** Bus transactions per memory reference. */
     double bus_per_ref = 0.0;
     /** Fraction of references needing the bus at issue time. */

@@ -55,6 +55,7 @@ RunResult::toJson(bool include_timing) const
     json["consistent"] = Json(consistent);
     if (include_timing) {
         json["wall_time_ms"] = Json(wall_time_ms);
+        json["sim_time_ms"] = Json(sim_time_ms);
         json["sim_cycles_per_sec"] = Json(sim_cycles_per_sec);
         json["skipped_cycles"] =
             Json(static_cast<std::uint64_t>(skipped_cycles));
@@ -62,6 +63,7 @@ RunResult::toJson(bool include_timing) const
             Json(cycles > 0 ? static_cast<double>(skipped_cycles) /
                                   static_cast<double>(cycles)
                             : 0.0);
+        json["snoop_visits"] = Json(snoop_visits);
     }
 
     Json metrics_json = Json::object();
@@ -98,10 +100,14 @@ RunResult::fromJson(const Json &json)
     result.consistent = json.find("consistent")->asBool();
     if (const Json *wall = json.find("wall_time_ms"))
         result.wall_time_ms = wall->asDouble();
+    if (const Json *sim = json.find("sim_time_ms"))
+        result.sim_time_ms = sim->asDouble();
     if (const Json *rate = json.find("sim_cycles_per_sec"))
         result.sim_cycles_per_sec = rate->asDouble();
     if (const Json *skipped = json.find("skipped_cycles"))
         result.skipped_cycles = static_cast<Cycle>(skipped->asInt());
+    if (const Json *visits = json.find("snoop_visits"))
+        result.snoop_visits = static_cast<std::uint64_t>(visits->asInt());
     for (const auto &[name, value] : json.find("metrics")->items())
         result.metrics.emplace_back(name, value.asDouble());
     for (const auto &[name, value] : json.find("counters")->items())

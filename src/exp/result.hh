@@ -49,7 +49,19 @@ struct RunResult
      * JSON stays byte-identical across hosts, runs, and job counts.
      */
     double wall_time_ms = 0.0;
-    /** Simulated cycles per wall-clock second (throughput). */
+    /**
+     * Of wall_time_ms, the milliseconds spent inside the simulation
+     * loop proper (System::run) — excluding trace materialization,
+     * machine construction, and trace loading.  0 for custom points,
+     * which have no trace-run breakdown.  Serialized only with
+     * toJson(true), like wall_time_ms.
+     */
+    double sim_time_ms = 0.0;
+    /**
+     * Simulated cycles per second of simulation-loop time
+     * (sim_time_ms when available, else wall_time_ms), so engine
+     * throughput comparisons are not diluted by per-point setup.
+     */
     double sim_cycles_per_sec = 0.0;
     /**
      * Of cycles, how many the run loop fast-forwarded across
@@ -60,6 +72,14 @@ struct RunResult
      * skipping disabled (whose skipped count is 0 by construction).
      */
     Cycle skipped_cycles = 0;
+    /**
+     * Bus broadcast visits + supplier polls the run performed (see
+     * Bus::snoopVisits).  Deterministic, but a function of the snoop
+     * filter setting, so — like skipped_cycles — it is serialized
+     * only with toJson(true): the default JSON stays byte-identical
+     * filter-on vs filter-off.
+     */
+    std::uint64_t snoop_visits = 0;
     /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
     std::vector<std::pair<std::string, double>> metrics;
     /** Full merged counter set of the run. */

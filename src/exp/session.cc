@@ -22,6 +22,9 @@ parseSessionArgs(int &argc, char **argv)
         } else if (arg == "--no-skip") {
             options.no_skip = true;
             setQuiescentSkipEnabled(false);
+        } else if (arg == "--no-snoop-filter") {
+            options.no_snoop_filter = true;
+            setSnoopFilterEnabled(false);
         } else if (arg == "--jobs" || arg == "--json") {
             if (i + 1 >= argc) {
                 std::cerr << argv[0] << ": " << arg << " needs a value\n";
@@ -63,7 +66,7 @@ Json
 Session::toJson() const
 {
     Json json = Json::object();
-    json["schema"] = Json(std::int64_t{3});
+    json["schema"] = Json(std::int64_t{4});
     Json experiments = Json::array();
     for (const auto &entry : collected) {
         Json experiment = Json::object();

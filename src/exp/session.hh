@@ -46,15 +46,24 @@ struct SessionOptions
      * construct their own Systems are covered too.
      */
     bool no_skip = false;
+    /**
+     * Disable sharer-indexed snoop filtering for every Bus the
+     * process builds (A/B baseline; results are byte-identical either
+     * way, only slower).  parseSessionArgs applies it process-wide
+     * via setSnoopFilterEnabled() so custom experiment points that
+     * construct their own Systems are covered too.
+     */
+    bool no_snoop_filter = false;
 };
 
 /**
  * Parse and remove `--jobs N` / `--json PATH` / `--timing` /
- * `--no-skip` from an argv vector.
+ * `--no-skip` / `--no-snoop-filter` from an argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed
- * values.  `--no-skip` takes effect immediately (process-wide).
+ * values.  `--no-skip` and `--no-snoop-filter` take effect
+ * immediately (process-wide).
  */
 SessionOptions parseSessionArgs(int &argc, char **argv);
 

@@ -22,7 +22,8 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
 
     memory = std::make_unique<Memory>(globalStats);
     globalBus = std::make_unique<Bus>(*memory, config.arbiter, clock,
-                                      globalStats, config.arbiter_seed);
+                                      globalStats, config.arbiter_seed,
+                                      1, 0, config.snoop_filter);
 
     ExecutionLog *log = config.record_log ? &execLog : nullptr;
     for (int c = 0; c < config.num_clusters; c++) {
@@ -33,7 +34,8 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
         clusterBuses.push_back(std::make_unique<Bus>(
             *clusterCaches.back(), config.arbiter, clock,
             *clusterStats.back(),
-            config.arbiter_seed + static_cast<std::uint64_t>(c) + 1));
+            config.arbiter_seed + static_cast<std::uint64_t>(c) + 1,
+            1, 0, config.snoop_filter));
 
         for (int p = 0; p < config.pes_per_cluster; p++) {
             PeId pe = c * config.pes_per_cluster + p;
@@ -258,6 +260,15 @@ HierSystem::clusterBusTransactions() const
     std::uint64_t total = 0;
     for (const auto &cluster : clusterStats)
         total += cluster->get("bus.busy_cycles");
+    return total;
+}
+
+std::uint64_t
+HierSystem::snoopVisits() const
+{
+    std::uint64_t total = globalBus->snoopVisits();
+    for (const auto &bus : clusterBuses)
+        total += bus->snoopVisits();
     return total;
 }
 

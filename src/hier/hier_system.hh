@@ -54,6 +54,14 @@ struct HierConfig
      * with setQuiescentSkipEnabled()).
      */
     bool skip_quiescent = true;
+    /**
+     * Sharer-indexed snooping on the cluster buses; same contract as
+     * SystemConfig::snoop_filter (byte-identical either way, ANDed
+     * with setSnoopFilterEnabled()).  Cluster caches register as
+     * always-snoop on the global bus, so global broadcasts reach
+     * every cluster regardless.
+     */
+    bool snoop_filter = true;
 };
 
 /** A complete hierarchical shared-bus multiprocessor (RB recursive). */
@@ -136,6 +144,9 @@ class HierSystem
 
     /** Transactions executed on all cluster buses. */
     std::uint64_t clusterBusTransactions() const;
+
+    /** Broadcast visits + supplier polls across every bus. */
+    std::uint64_t snoopVisits() const;
 
   private:
     const Cache &l1(PeId pe) const;

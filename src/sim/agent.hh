@@ -57,6 +57,26 @@ class Agent
      * (stall counters etc.), so skipping stays byte-identical.
      */
     virtual void skipCycles(Cycle count) { (void)count; }
+
+    /**
+     * True when every tick until the agent's outstanding cache access
+     * completes would only account one stall cycle.  The System
+     * consults this once after each real tick and then stops ticking
+     * the agent until its cache raises the completion wake flag,
+     * adding the skipped cycles in bulk via addStallCycles() —
+     * strictly an optimization contract: ticking through the stall
+     * anyway must be behaviorally identical.  The conservative
+     * default (never stalled) keeps agents that do not opt in on the
+     * every-cycle schedule.
+     */
+    virtual bool stalledOnCompletion() const { return false; }
+
+    /**
+     * Account @p count stall cycles the System skipped while
+     * stalledOnCompletion() held (exactly the bookkeeping those
+     * ticks would have done).
+     */
+    virtual void addStallCycles(Cycle count) { (void)count; }
 };
 
 /** Routes one PE's accesses across its per-bus cache banks. */

@@ -1,6 +1,7 @@
 #include "sim/bus.hh"
 
-#include <string>
+#include <atomic>
+#include <bit>
 
 #include "base/logging.hh"
 
@@ -19,7 +20,26 @@ statName(BusOp op)
       case BusOp::ReadLock:    return "bus.readlock";
       case BusOp::WriteUnlock: return "bus.writeunlock";
     }
-    return "bus.unknown";
+    ddc_panic("unknown BusOp ", static_cast<int>(op));
+}
+
+/**
+ * "bus.nack." + toString(op), pre-joined so the constructor interns a
+ * literal instead of assembling a std::string per op per Bus.
+ * tests/bus_test.cc pins each name to its toString(BusOp) spelling.
+ */
+std::string_view
+nackStatName(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read:        return "bus.nack.BusRead";
+      case BusOp::Write:       return "bus.nack.BusWrite";
+      case BusOp::Invalidate:  return "bus.nack.BusInvalidate";
+      case BusOp::Rmw:         return "bus.nack.BusRmw";
+      case BusOp::ReadLock:    return "bus.nack.BusReadLock";
+      case BusOp::WriteUnlock: return "bus.nack.BusWriteUnlock";
+    }
+    ddc_panic("unknown BusOp ", static_cast<int>(op));
 }
 
 std::size_t
@@ -28,16 +48,47 @@ opIndex(BusOp op)
     return static_cast<std::size_t>(op);
 }
 
+// Atomic for the same reason as quiescentSkip in system.cc: parallel
+// sweep workers may read it while the main thread parses flags;
+// flipped only before any Bus is built in practice.
+std::atomic<bool> snoopFilter{true};
+
+constexpr std::uint64_t
+clientBit(int client)
+{
+    return std::uint64_t{1} << client;
+}
+
 } // namespace
+
+void
+setSnoopFilterEnabled(bool enabled)
+{
+    snoopFilter.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+snoopFilterEnabled()
+{
+    return snoopFilter.load(std::memory_order_relaxed);
+}
 
 Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
          stats::CounterSet &stats, std::uint64_t seed,
-         std::size_t block_words, std::size_t memory_latency)
+         std::size_t block_words, std::size_t memory_latency,
+         bool snoop_filter)
     : memory(memory), arbiter(makeArbiter(arbiter_kind, seed)),
       clock(clock), stats(stats), blockSize(block_words),
-      memoryLatency(memory_latency)
+      memoryLatency(memory_latency),
+      filterOn(snoop_filter && snoopFilterEnabled())
 {
     ddc_assert(block_words >= 1, "block size must be at least one word");
+    if ((blockSize & (blockSize - 1)) == 0) {
+        for (std::size_t size = blockSize; size > 1; size >>= 1)
+            blockShift++;
+    } else {
+        blockPow2 = false;
+    }
     statBusy = stats.intern("bus.busy_cycles");
     statTransfer = stats.intern("bus.transfer_cycles");
     statIdle = stats.intern("bus.idle_cycles");
@@ -49,8 +100,7 @@ Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
     for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
                     BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
         statOp[opIndex(op)] = stats.intern(statName(op));
-        statNackOp[opIndex(op)] = stats.intern(
-            "bus.nack." + std::string(toString(op)));
+        statNackOp[opIndex(op)] = stats.intern(nackStatName(op));
     }
 }
 
@@ -63,7 +113,64 @@ Bus::attach(BusClient *client)
     armedCount++;
     suppliers.push_back(1);
     supplierCount++;
-    return static_cast<int>(clients.size()) - 1;
+    indexed.push_back(0);
+    int index = static_cast<int>(clients.size()) - 1;
+    if (clients.size() > kMaxFilterClients) {
+        revertToFullSnoop();
+    } else {
+        alwaysSnoopMask |= clientBit(index);
+        supplierMask |= clientBit(index);
+    }
+    return index;
+}
+
+void
+Bus::setSnoopIndexed(int client)
+{
+    auto index = static_cast<std::size_t>(client);
+    ddc_assert(index < clients.size(), "bad bus client index ", client);
+    if (indexed[index])
+        return;
+    indexed[index] = 1;
+    if (index < kMaxFilterClients)
+        alwaysSnoopMask &= ~clientBit(client);
+}
+
+void
+Bus::noteBlockPresent(int client, Addr base)
+{
+    ddc_assert(static_cast<std::size_t>(client) < clients.size() &&
+                   indexed[static_cast<std::size_t>(client)],
+               "presence note from a non-indexed client ", client);
+    if (!filterOn)
+        return;
+    std::uint64_t &mask = holders.findOrInsert(blockIndex(base));
+    ddc_assert(!(mask & clientBit(client)),
+               "client ", client, " already indexed for block ", base);
+    mask |= clientBit(client);
+    if (holders.used > kMaxFilterBlocks)
+        revertToFullSnoop();
+}
+
+void
+Bus::noteBlockAbsent(int client, Addr base)
+{
+    if (!filterOn)
+        return;
+    std::uint64_t *mask = holders.lookup(blockIndex(base));
+    ddc_assert(mask != nullptr && (*mask & clientBit(client)),
+               "client ", client, " not indexed for block ", base);
+    *mask &= ~clientBit(client);
+}
+
+std::vector<int>
+Bus::indexHolders(Addr addr) const
+{
+    std::vector<int> held;
+    std::uint64_t mask = holders.held(blockIndex(addr));
+    for (; mask != 0; mask &= mask - 1)
+        held.push_back(std::countr_zero(mask));
+    return held;
 }
 
 void
@@ -79,6 +186,12 @@ Bus::setSupplier(int client, bool is_supplier)
         supplierCount++;
     else
         supplierCount--;
+    if (index < kMaxFilterClients) {
+        if (is_supplier)
+            supplierMask |= clientBit(client);
+        else
+            supplierMask &= ~clientBit(client);
+    }
 }
 
 void
@@ -178,26 +291,175 @@ Bus::tick()
     }
 }
 
+std::uint64_t
+Bus::blockIndex(Addr addr) const
+{
+    if (blockPow2)
+        return addr >> blockShift;
+    return addr / blockSize;
+}
+
+std::uint64_t
+Bus::snooperMask(Addr addr) const
+{
+    return holders.held(blockIndex(addr)) | alwaysSnoopMask;
+}
+
+void
+Bus::revertToFullSnoop()
+{
+    filterOn = false;
+    holders.clear();
+}
+
+std::size_t
+Bus::HolderIndex::slotOf(std::uint64_t block) const
+{
+    // Multiplicative (fibonacci) hash; the upper-middle bits of the
+    // product are well mixed, and slots.size() is a power of two.
+    std::uint64_t h = block * std::uint64_t{0x9E3779B97F4A7C15};
+    return static_cast<std::size_t>(h >> 32) & (slots.size() - 1);
+}
+
+std::uint64_t
+Bus::HolderIndex::held(std::uint64_t block) const
+{
+    if (slots.empty())
+        return 0;
+    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
+        if (slots[i].key == block)
+            return slots[i].mask;
+        if (slots[i].key == kEmpty)
+            return 0;
+    }
+}
+
+std::uint64_t *
+Bus::HolderIndex::lookup(std::uint64_t block)
+{
+    if (slots.empty())
+        return nullptr;
+    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
+        if (slots[i].key == block)
+            return &slots[i].mask;
+        if (slots[i].key == kEmpty)
+            return nullptr;
+    }
+}
+
+std::uint64_t &
+Bus::HolderIndex::findOrInsert(std::uint64_t block)
+{
+    ddc_assert(block != kEmpty, "block index collides with the empty key");
+    if (slots.empty() || used * 4 >= slots.size() * 3)
+        grow();
+    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
+        if (slots[i].key == block)
+            return slots[i].mask;
+        if (slots[i].key == kEmpty) {
+            slots[i].key = block;
+            used++;
+            return slots[i].mask;
+        }
+    }
+}
+
+void
+Bus::HolderIndex::grow()
+{
+    std::vector<Slot> old = std::move(slots);
+    std::size_t capacity = old.empty() ? 1024 : old.size() * 2;
+    slots.assign(capacity, Slot{});
+    for (const Slot &slot : old) {
+        if (slot.key == kEmpty)
+            continue;
+        std::size_t j = slotOf(slot.key);
+        while (slots[j].key != kEmpty)
+            j = (j + 1) & (slots.size() - 1);
+        slots[j] = slot;
+    }
+}
+
+void
+Bus::HolderIndex::clear()
+{
+    slots.clear();
+    slots.shrink_to_fit();
+    used = 0;
+}
+
+int
+Bus::findSupplier(int grant, Addr addr, Word &value)
+{
+    // Snoop phase: does a cache hold the latest value (Local state)?
+    int supplier = -1;
+    if (supplierCount == 0)
+        return supplier;
+
+    if (!filterOn) {
+        for (std::size_t i = 0; i < clients.size(); i++) {
+            if (static_cast<int>(i) == grant || !suppliers[i])
+                continue;
+            snoopVisitCount++;
+            Word candidate = 0;
+            if (clients[i]->wouldSupply(addr, candidate)) {
+                ddc_assert(supplier < 0,
+                           "two caches claim ownership of addr ", addr,
+                           " (single-Local invariant violated)");
+                supplier = static_cast<int>(i);
+                value = candidate;
+            }
+        }
+        return supplier;
+    }
+
+    // A supplier holds a tag-matching line by definition, so it is
+    // either indexed for the block or an always-snoop client; polling
+    // anyone else could only return false.
+    std::uint64_t mask =
+        snooperMask(addr) & supplierMask & ~clientBit(grant);
+    for (; mask != 0; mask &= mask - 1) {
+        int c = std::countr_zero(mask);
+        snoopVisitCount++;
+        Word candidate = 0;
+        if (clients[static_cast<std::size_t>(c)]->wouldSupply(addr,
+                                                              candidate)) {
+            ddc_assert(supplier < 0,
+                       "two caches claim ownership of addr ", addr,
+                       " (single-Local invariant violated)");
+            supplier = c;
+            value = candidate;
+        }
+    }
+
+#ifndef NDEBUG
+    // Cross-check the index against the pre-filter full scan: every
+    // client the filter skipped must indeed decline to supply.
+    // (Double-polling is safe: wouldSupply is pure for caches and
+    // idempotent for the hierarchical cluster cache.)
+    int full_scan = -1;
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (static_cast<int>(i) == grant || !suppliers[i])
+            continue;
+        Word candidate = 0;
+        if (clients[i]->wouldSupply(addr, candidate))
+            full_scan = static_cast<int>(i);
+    }
+    ddc_assert(full_scan == supplier,
+               "snoop index disagrees with the full supplier scan for "
+               "addr ", addr, ": index says ", supplier, ", scan says ",
+               full_scan);
+#endif
+    return supplier;
+}
+
 void
 Bus::executeReadLike(int grant, const BusRequest &request)
 {
     auto *grantee = clients[static_cast<std::size_t>(grant)];
 
-    // Snoop phase: does a cache hold the latest value (Local state)?
-    int supplier = -1;
     Word supplied_value = 0;
-    for (std::size_t i = 0; supplierCount > 0 && i < clients.size(); i++) {
-        if (static_cast<int>(i) == grant || !suppliers[i])
-            continue;
-        Word value = 0;
-        if (clients[i]->wouldSupply(request.addr, value)) {
-            ddc_assert(supplier < 0,
-                       "two caches claim ownership of addr ", request.addr,
-                       " (single-Local invariant violated)");
-            supplier = static_cast<int>(i);
-            supplied_value = value;
-        }
-    }
+    int supplier = findSupplier(grant, request.addr, supplied_value);
 
     if (supplier >= 0) {
         // Kill the transaction and replace it with the owner's bus
@@ -353,9 +615,26 @@ Bus::executeWriteLike(int grant, const BusRequest &request)
 void
 Bus::broadcast(const BusTransaction &txn, int skip)
 {
-    for (std::size_t i = 0; i < clients.size(); i++) {
-        if (static_cast<int>(i) != skip)
+    if (!filterOn) {
+        for (std::size_t i = 0; i < clients.size(); i++) {
+            if (static_cast<int>(i) == skip)
+                continue;
+            snoopVisitCount++;
             clients[i]->observe(txn);
+        }
+        return;
+    }
+
+    // A skipped client holds no tag-matching line, for which observe()
+    // is a pure no-op (caches react only to blocks they contain), so
+    // filtering is unobservable in state, counters, and the log.
+    std::uint64_t mask = snooperMask(txn.addr);
+    if (skip >= 0)
+        mask &= ~clientBit(skip);
+    for (; mask != 0; mask &= mask - 1) {
+        int c = std::countr_zero(mask);
+        snoopVisitCount++;
+        clients[static_cast<std::size_t>(c)]->observe(txn);
     }
 }
 

@@ -28,6 +28,7 @@
 #define DDC_SIM_BUS_HH
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -132,6 +133,16 @@ class BusClient
     virtual PeId peId() const = 0;
 };
 
+/**
+ * Process-wide snoop-filter switch, default on.  The --no-snoop-filter
+ * flag clears it so every Bus built afterwards — including ones buried
+ * inside custom experiment points — broadcasts to every client and
+ * polls every potential supplier, without threading a flag through
+ * each construction site.  Mirrors setQuiescentSkipEnabled().
+ */
+void setSnoopFilterEnabled(bool enabled);
+bool snoopFilterEnabled();
+
 /** The shared bus: arbitration, execution, snooping, kill/retry. */
 class Bus
 {
@@ -149,10 +160,16 @@ class Bus
      * @param memory_latency Extra cycles every memory-touching
      *        transaction holds the bus (0 = the paper's unified
      *        cycle).
+     * @param snoop_filter Resolve broadcasts and supplier scans
+     *        through the sharer index (see setSnoopIndexed) instead
+     *        of visiting every client.  Results are byte-identical
+     *        either way; off is the A/B baseline.  ANDed with the
+     *        process-wide setSnoopFilterEnabled() switch.
      */
     Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
         stats::CounterSet &stats, std::uint64_t seed = 0,
-        std::size_t block_words = 1, std::size_t memory_latency = 0);
+        std::size_t block_words = 1, std::size_t memory_latency = 0,
+        bool snoop_filter = true);
 
     /** Attach a client; returns its client index on this bus. */
     int attach(BusClient *client);
@@ -180,6 +197,42 @@ class Bus
      * always polled during the supplier scan.
      */
     void setSupplier(int client, bool is_supplier);
+
+    /**
+     * Opt @p client into sharer-indexed snooping.  Clients attach as
+     * *always-snoop* (visited on every broadcast and polled on every
+     * supplier scan, exactly as before); an indexed client is visited
+     * only while the index records it as holding the transaction's
+     * block.  Indexing is strictly a promise that observe() is a
+     * no-op and wouldSupply() returns false for any block the client
+     * has not declared via noteBlockPresent().  Must be called while
+     * the client holds no blocks (typically right after attach).
+     */
+    void setSnoopIndexed(int client);
+
+    /**
+     * Declare that indexed client @p client now holds (or no longer
+     * holds) a line whose tag matches block @p base.  Presence is
+     * tag-match in *any* state — including Invalid, whose lines still
+     * react to broadcasts (RB revives I -> R on a snooped read).
+     */
+    void noteBlockPresent(int client, Addr base);
+    void noteBlockAbsent(int client, Addr base);
+
+    /** Whether this bus resolves snoops through the sharer index. */
+    bool snoopFilterActive() const { return filterOn; }
+
+    /**
+     * Clients visited by broadcasts plus clients polled by supplier
+     * scans so far (counted identically with the filter on or off, so
+     * an A/B pair quantifies the avoided virtual calls).  Plain
+     * bookkeeping, deliberately not a CounterSet statistic: counter
+     * reports stay byte-identical filter-on vs filter-off.
+     */
+    std::uint64_t snoopVisits() const { return snoopVisitCount; }
+
+    /** Test introspection: indexed holders of @p addr's block. */
+    std::vector<int> indexHolders(Addr addr) const;
 
     /** Advance one cycle (at most one new transaction begins). */
     void tick();
@@ -245,7 +298,40 @@ class Bus
     /** Handle Write / WriteUnlock / Invalidate. */
     void executeWriteLike(int grant, const BusRequest &request);
 
-    /** Deliver @p txn to every client except @p skip. */
+    /** Block number of @p addr (the holder-index key). */
+    std::uint64_t blockIndex(Addr addr) const;
+
+    /**
+     * Bitmask of the clients that must see a transaction on
+     * @p addr's block: its indexed holders OR'd with the always-snoop
+     * clients.  Bit position is client index, so iterating set bits
+     * upward reproduces the unfiltered ascending visit order,
+     * restricted to clients whose snoop can matter.  The returned
+     * value is also a free snapshot: a snooper's reaction may evict a
+     * line and mutate the index mid-delivery without disturbing the
+     * mask being iterated.
+     */
+    std::uint64_t snooperMask(Addr addr) const;
+
+    /**
+     * Permanently fall back to unfiltered snooping on this bus (more
+     * clients than a mask holds, or a workload caching more distinct
+     * blocks than the index cap).  Always safe: filtered and
+     * unfiltered snooping are byte-identical by construction, and
+     * presence notes become no-ops from here on.
+     */
+    void revertToFullSnoop();
+
+    /**
+     * The single client that would kill a read of @p addr and supply
+     * its value (-1 when none); @p value receives the supplied word.
+     * Scans every potential supplier, or — with the filter on — only
+     * the snoopers snooperMask() reports, plus a Debug-only
+     * full-scan cross-check that the index missed nobody.
+     */
+    int findSupplier(int grant, Addr addr, Word &value);
+
+    /** Deliver @p txn to every (filtered) client except @p skip. */
     void broadcast(const BusTransaction &txn, int skip);
 
     /** Record a retry due to a locked word / not-ready memory side. */
@@ -283,6 +369,73 @@ class Bus
     std::vector<int> requesters;
     /** Remaining cycles of an in-flight transaction. */
     std::size_t transferCyclesLeft = 0;
+
+    /** Most clients one bus can sharer-index (bits in a mask). */
+    static constexpr std::size_t kMaxFilterClients = 64;
+    /** Cap on distinct blocks the holder index tracks (16 MiB). */
+    static constexpr std::size_t kMaxFilterBlocks = std::size_t{1} << 20;
+
+    /**
+     * The sharer index: block number -> bitmask of the indexed
+     * clients holding a tag-matching line (any state, including
+     * Invalid).  The synthetic address space is sparse — private PE
+     * regions sit a megaword apart and shared data lives at 2^40 —
+     * so a dense array is unusable; this is an open-addressing hash
+     * table (power-of-two capacity, multiplicative hash, linear
+     * probing).  Entries are never erased: an eviction clears the
+     * holder's bit but leaves the key in place, so lookups need no
+     * tombstone logic and a block's slot is stable once created.
+     * The entry count is bounded by the distinct blocks the workload
+     * ever caches, and capped by kMaxFilterBlocks (revertToFullSnoop
+     * past that).
+     */
+    struct HolderIndex
+    {
+        /** Key meaning "empty slot"; no real block index (an address
+         *  right-shifted by at least 0) can be all-ones. */
+        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+        /** Key and mask share a 16-byte slot so a probe touches one
+         *  cache line, not one per array. */
+        struct Slot
+        {
+            std::uint64_t key = kEmpty;
+            std::uint64_t mask = 0;
+        };
+
+        std::vector<Slot> slots;
+        /** Occupied slots == distinct blocks ever noted present. */
+        std::size_t used = 0;
+
+        /** Holder mask of @p block (0 when never noted). */
+        std::uint64_t held(std::uint64_t block) const;
+        /** Mutable mask of @p block, or nullptr when never noted. */
+        std::uint64_t *lookup(std::uint64_t block);
+        /** Mask of @p block, inserting an empty entry if needed. */
+        std::uint64_t &findOrInsert(std::uint64_t block);
+        /** Release all storage (revertToFullSnoop). */
+        void clear();
+
+      private:
+        std::size_t slotOf(std::uint64_t block) const;
+        void grow();
+    };
+
+    /** Whether this bus filters snoops (ctor flag AND process flag). */
+    bool filterOn = true;
+    /** blockSize is a power of two; blockIndex() shifts instead. */
+    bool blockPow2 = true;
+    std::size_t blockShift = 0;
+    /** Per-client indexed flag (1 = sharer-indexed; parallel). */
+    std::vector<char> indexed;
+    /** Bit per client not opted into indexing (always visited). */
+    std::uint64_t alwaysSnoopMask = 0;
+    /** Bit per client registered as a potential supplier. */
+    std::uint64_t supplierMask = 0;
+    /** Sharer index (see HolderIndex). */
+    HolderIndex holders;
+    /** Broadcast visits + supplier polls (see snoopVisits()). */
+    std::uint64_t snoopVisitCount = 0;
 
     // Handles interned once at construction; every per-event
     // statistic is a plain array increment.

@@ -91,6 +91,13 @@ Cache::connectBus(Bus &bus_to_join)
     // and no line is held yet, so the supplier scan can skip us too.
     bus->setRequestArmed(clientIndex, false);
     bus->setSupplier(clientIndex, false);
+    if (bus->snoopFilterActive()) {
+        // Snoops can only matter for blocks this cache holds, so let
+        // the bus's sharer index route them; every line is NotPresent
+        // right now, matching the (empty) index.
+        bus->setSnoopIndexed(clientIndex);
+        busIndexed = true;
+    }
 }
 
 void
@@ -231,7 +238,30 @@ Cache::setLineState(Line &line, LineState next)
         if (is_supplier ? supplierLines == 1 : supplierLines == 0)
             bus->setSupplier(clientIndex, supplierLines != 0);
     }
+    // Presence for the sharer index is tag-match, not state: an
+    // Invalid line still reacts to broadcasts (RB revives I -> R),
+    // so only the NotPresent boundary changes the index.
+    bool was_present = line.state.tag != LineTag::NotPresent;
+    bool is_present = next.tag != LineTag::NotPresent;
+    if (busIndexed && was_present != is_present) {
+        if (is_present)
+            bus->noteBlockPresent(clientIndex, line.base);
+        else
+            bus->noteBlockAbsent(clientIndex, line.base);
+    }
     line.state = next;
+}
+
+void
+Cache::setLineBase(Line &line, Addr base)
+{
+    if (line.base == base)
+        return;
+    if (busIndexed && line.state.tag != LineTag::NotPresent) {
+        bus->noteBlockAbsent(clientIndex, line.base);
+        bus->noteBlockPresent(clientIndex, base);
+    }
+    line.base = base;
 }
 
 Cache::AccessResult
@@ -416,7 +446,7 @@ Cache::requestComplete(const BusResult &result)
         ddc_assert(result.block.size() == blockSize,
                    "fill returned a malformed block");
         LineState state = stateFor(line, pending.ref.addr);
-        line.base = base;
+        setLineBase(line, base);
         line.data = result.block;
         setLineState(line, protocol.afterBusOp(state, BusOp::Read, false));
         line.last_use = ++lruClock;
@@ -430,7 +460,7 @@ Cache::requestComplete(const BusResult &result)
             LineState state = stateFor(line, ref.addr);
             switch (pending.reaction.bus_op) {
               case BusOp::Read:
-                line.base = base;
+                setLineBase(line, base);
                 if (blockSize > 1) {
                     ddc_assert(result.block.size() == blockSize,
                                "block read returned a malformed block");
@@ -442,7 +472,7 @@ Cache::requestComplete(const BusResult &result)
               case BusOp::ReadLock:
                 ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
                            "ReadLock allocation without a resident block");
-                line.base = base;
+                setLineBase(line, base);
                 line.data[offset] = result.data;
                 break;
               case BusOp::Write:
@@ -450,13 +480,13 @@ Cache::requestComplete(const BusResult &result)
               case BusOp::Invalidate:
                 ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
                            "write allocation without a resident block");
-                line.base = base;
+                setLineBase(line, base);
                 line.data[offset] = ref.data;
                 break;
               case BusOp::Rmw:
                 ddc_assert(blockSize == 1 || stateFor(line, ref.addr).present(),
                            "RMW allocation without a resident block");
-                line.base = base;
+                setLineBase(line, base);
                 line.data[offset] =
                     result.rmw_success ? ref.data : result.data;
                 break;
@@ -611,6 +641,8 @@ Cache::finish(const AccessResult &result)
     setArmed(false);
     completionReady = true;
     completion = result;
+    if (wakeFlag != nullptr)
+        *wakeFlag = 1;
 }
 
 void

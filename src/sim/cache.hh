@@ -93,6 +93,15 @@ class Cache : public BusClient
     /** True when a previously pending access has completed. */
     bool hasCompletion() const { return completionReady; }
 
+    /**
+     * Register a flag raised whenever an outstanding access completes
+     * (every completionReady transition).  The System points this at
+     * the owning agent's wake slot so an agent stalled on a miss
+     * needs no per-cycle completion polling (see
+     * Agent::stalledOnCompletion).
+     */
+    void setWakeFlag(char *flag) { wakeFlag = flag; }
+
     /** Retrieve (and consume) the completed access's result. */
     AccessResult takeCompletion();
 
@@ -188,10 +197,20 @@ class Cache : public BusClient
     const Line &pendingLine() const;
 
     /**
-     * Assign @p next to @p line's state, maintaining supplierLines.
-     * Every state change must go through here.
+     * Assign @p next to @p line's state, maintaining supplierLines
+     * and the bus's sharer index (a NotPresent boundary crossing is a
+     * presence change for line.base, which must already hold the
+     * line's block).  Every state change must go through here.
      */
     void setLineState(Line &line, LineState next);
+
+    /**
+     * Retarget @p line to block @p base, moving its sharer-index
+     * entry when the line is present under a different base (clean
+     * retag of a victim that needed no write-back).  Every base
+     * assignment must go through here.
+     */
+    void setLineBase(Line &line, Addr base);
 
     /**
      * Protocol::onSnoop via the constructor-built memo table.
@@ -270,6 +289,12 @@ class Cache : public BusClient
     Bus *bus = nullptr;
     /** This cache's client index on the attached bus. */
     int clientIndex = -1;
+    /**
+     * True when this cache registered as sharer-indexed on its bus
+     * (the bus's snoop filter is active), and so must report every
+     * presence / base change through noteBlockPresent / Absent.
+     */
+    bool busIndexed = false;
 
     // Handles interned once at construction; per-reference statistics
     // are plain array increments.
@@ -294,6 +319,8 @@ class Cache : public BusClient
     PendingOp pending;
     std::uint64_t accessCounter = 0;
     bool completionReady = false;
+    /** Raised on completion for the owning agent (see setWakeFlag). */
+    char *wakeFlag = nullptr;
     AccessResult completion{};
 };
 

@@ -54,19 +54,26 @@ System::System(const SystemConfig &config) : config(config)
         buses.push_back(std::make_unique<Bus>(
             *memories.back(), config.arbiter, clock, *busStats.back(),
             config.arbiter_seed + static_cast<std::uint64_t>(b),
-            config.block_words, config.memory_latency));
+            config.block_words, config.memory_latency,
+            config.snoop_filter));
     }
 
     ExecutionLog *log = config.record_log ? &execLog : nullptr;
+    auto num_pes = static_cast<std::size_t>(config.num_pes);
+    agentStalled.assign(num_pes, 0);
+    agentWake.assign(num_pes, 0);
+    stallAccrued.assign(num_pes, 0);
     for (PeId pe = 0; pe < config.num_pes; pe++) {
         for (int b = 0; b < config.num_buses; b++) {
             caches.push_back(std::make_unique<Cache>(
                 pe, config.cache_lines, *proto, clock, cacheStats, log,
                 config.block_words, config.ways));
             caches.back()->connectBus(*buses[static_cast<std::size_t>(b)]);
+            caches.back()->setWakeFlag(
+                &agentWake[static_cast<std::size_t>(pe)]);
         }
     }
-    agents.resize(static_cast<std::size_t>(config.num_pes));
+    agents.resize(num_pes);
 
     static constexpr std::string_view kMissPrefixes[] = {
         "cache.read_miss.", "cache.write_miss.", "cache.ts.",
@@ -120,10 +127,24 @@ System::setProgram(PeId pe, Program program)
 void
 System::rebuildActiveAgents()
 {
+    flushStalls();
+    std::fill(agentStalled.begin(), agentStalled.end(), 0);
+    std::fill(agentWake.begin(), agentWake.end(), 0);
     activeAgents.clear();
     for (std::size_t i = 0; i < agents.size(); i++) {
         if (agents[i] && !agents[i]->done())
             activeAgents.push_back(i);
+    }
+}
+
+void
+System::flushStalls() const
+{
+    for (std::size_t i = 0; i < stallAccrued.size(); i++) {
+        if (stallAccrued[i] > 0 && agents[i]) {
+            agents[i]->addStallCycles(stallAccrued[i]);
+            stallAccrued[i] = 0;
+        }
     }
 }
 
@@ -145,10 +166,30 @@ System::tick()
         bus->tick();
     // Tick the still-running agents in PE order and drop the ones
     // that finished; compaction is stable so the tick (and execution
-    // log commit) order never changes.
+    // log commit) order never changes.  An agent stalled on a miss is
+    // skipped without even the virtual call until its cache raises
+    // the wake flag; each skipped tick would only have accrued one
+    // stall cycle, added in bulk at wake (or by flushStalls()).
     std::size_t out = 0;
     for (std::size_t index : activeAgents) {
+        if (agentStalled[index]) {
+            if (!agentWake[index]) {
+                stallAccrued[index]++;
+                activeAgents[out++] = index;
+                continue;
+            }
+            agentStalled[index] = 0;
+            agentWake[index] = 0;
+            if (stallAccrued[index] > 0) {
+                agents[index]->addStallCycles(stallAccrued[index]);
+                stallAccrued[index] = 0;
+            }
+        }
         agents[index]->tick();
+        if (agents[index]->stalledOnCompletion()) {
+            agentStalled[index] = 1;
+            agentWake[index] = 0;
+        }
         if (!agents[index]->done())
             activeAgents[out++] = index;
     }
@@ -167,6 +208,10 @@ System::earliestNextEvent() const
         earliest = std::min(earliest, next);
     }
     for (std::size_t index : activeAgents) {
+        // A stalled agent with no wake pending can only be woken by
+        // its cache's completion: kNever, without the virtual call.
+        if (agentStalled[index] && !agentWake[index])
+            continue;
         Cycle next = agents[index]->nextEventCycle(clock.now);
         if (next <= clock.now)
             return clock.now;
@@ -211,6 +256,9 @@ System::run(Cycle max_cycles)
         }
         tick();
     }
+    // Agents still stalled (timeout) carry unflushed skipped-stall
+    // cycles; account them before anyone reads counters.
+    flushStalls();
     run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
     if (run_status == RunStatus::TimedOut) {
         ddc_warn("System::run hit its cycle budget (", max_cycles,
@@ -281,6 +329,7 @@ System::coherentValue(Addr addr) const
 stats::CounterSet
 System::counters() const
 {
+    flushStalls();
     stats::CounterSet merged;
     merged.merge(cacheStats);
     for (const auto &bus_stats : busStats)
@@ -301,6 +350,15 @@ System::totalBusTransactions() const
     std::uint64_t total = 0;
     for (const auto &bus_stats : busStats)
         total += bus_stats->get("bus.busy_cycles");
+    return total;
+}
+
+std::uint64_t
+System::snoopVisits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bus : buses)
+        total += bus->snoopVisits();
     return total;
 }
 

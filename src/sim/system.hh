@@ -64,6 +64,15 @@ struct SystemConfig
      * setQuiescentSkipEnabled() switch (the --no-skip flag).
      */
     bool skip_quiescent = true;
+    /**
+     * Resolve bus broadcasts and supplier scans through each bus's
+     * sharer index (O(holders) per transaction) instead of visiting
+     * every attached cache (O(PEs)).  Results are byte-identical
+     * either way; off is the A/B baseline.  ANDed with the
+     * process-wide setSnoopFilterEnabled() switch (the
+     * --no-snoop-filter flag).
+     */
+    bool snoop_filter = true;
 };
 
 /**
@@ -171,10 +180,22 @@ class System
     const stats::CounterSet &busCounters(int bus) const;
 
     /** Shared cache/PE counter set. */
-    const stats::CounterSet &cacheCounters() const { return cacheStats; }
+    const stats::CounterSet &
+    cacheCounters() const
+    {
+        flushStalls();
+        return cacheStats;
+    }
 
     /** Total bus transactions across all buses. */
     std::uint64_t totalBusTransactions() const;
+
+    /**
+     * Broadcast visits plus supplier polls across all buses (see
+     * Bus::snoopVisits); an A/B pair of runs with the snoop filter
+     * on and off quantifies the avoided virtual calls.
+     */
+    std::uint64_t snoopVisits() const;
 
     /**
      * References that needed the bus at issue time (the miss_ratio
@@ -204,6 +225,14 @@ class System
     /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
     void skipQuiescent(Cycle count);
 
+    /**
+     * Push stall cycles accrued while skipping stalled agents' ticks
+     * into the owning agents' counters (see tick()).  Called at wake,
+     * at the end of run(), and before any counter read, so observed
+     * statistics always match the tick-every-cycle baseline.
+     */
+    void flushStalls() const;
+
     SystemConfig config;
     Clock clock;
     RunStatus run_status = RunStatus::Finished;
@@ -227,6 +256,21 @@ class System
      * monotonic for every Agent in the tree.
      */
     std::vector<std::size_t> activeAgents;
+    /**
+     * Per-PE stalled-on-miss flag: set after an agent's tick reports
+     * stalledOnCompletion(), cleared at wake.  While set (and no wake
+     * is pending) the agent's tick is skipped entirely — each such
+     * cycle would only have accrued one pe.stall_cycles.
+     */
+    std::vector<char> agentStalled;
+    /** Per-PE wake flag, raised by Cache::finish() on completion. */
+    std::vector<char> agentWake;
+    /**
+     * Stall cycles accrued per PE while its ticks were skipped;
+     * flushed by flushStalls() (mutable: counter reads are const but
+     * must observe the flushed totals).
+     */
+    mutable std::vector<Cycle> stallAccrued;
 
     /** Handles of the miss-class cache counters (see missRefs()). */
     std::vector<stats::CounterId> missStats;

@@ -26,6 +26,12 @@ TraceAgent::skipCycles(Cycle count)
 }
 
 void
+TraceAgent::addStallCycles(Cycle count)
+{
+    stats.add(statStallCycles, count);
+}
+
+void
 TraceAgent::tick()
 {
     if (waiting) {

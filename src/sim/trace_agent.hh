@@ -43,6 +43,15 @@ class TraceAgent : public Agent
 
     void skipCycles(Cycle count) override;
 
+    /** Ticking while a miss is outstanding only counts a stall. */
+    bool
+    stalledOnCompletion() const override
+    {
+        return waiting && !caches.hasCompletion();
+    }
+
+    void addStallCycles(Cycle count) override;
+
     /** References fully completed so far. */
     std::size_t refsCompleted() const { return completed; }
 

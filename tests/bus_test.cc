@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <optional>
+#include <string>
 
 #include "sim/bus.hh"
 #include "sim/memory.hh"
@@ -368,6 +369,134 @@ TEST_F(BusTest, RoundRobinFairnessAcrossTicks)
     EXPECT_EQ(clients[0].completions.size(), 3u);
     EXPECT_EQ(clients[1].completions.size(), 3u);
     EXPECT_EQ(clients[2].completions.size(), 3u);
+}
+
+TEST_F(BusTest, NackCountersUsePerOpNames)
+{
+    // The per-op NACK names are pre-joined literals; pin each to the
+    // "bus.nack." + toString(op) spelling so neither side can drift.
+    for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
+                    BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
+        EXPECT_TRUE(stats.has("bus.nack." + std::string(toString(op))))
+            << "missing pre-interned NACK counter for " << toString(op);
+    }
+
+    // And a NACK lands in its op's counter: a write bounces off a
+    // locked word.
+    clients[0].push({BusOp::ReadLock, 6, 0});
+    bus.tick();
+    clients[1].push({BusOp::Write, 6, 99});
+    bus.tick();
+    EXPECT_EQ(stats.get("bus.nack.BusWrite"), 1u);
+    EXPECT_EQ(stats.get("bus.nack"), 1u);
+}
+
+/**
+ * A rig exercising the sharer index directly: clients 0 and 1 opt
+ * into indexing (as caches do); client 2 stays always-snoop (as the
+ * hierarchical cluster cache does).
+ */
+class SnoopIndexTest : public ::testing::Test
+{
+  protected:
+    SnoopIndexTest()
+        : memory(stats),
+          bus(memory, ArbiterKind::RoundRobin, clock, stats)
+    {
+        for (auto &client : clients)
+            bus.attach(&client);
+        bus.setSnoopIndexed(0);
+        bus.setSnoopIndexed(1);
+        EXPECT_TRUE(bus.snoopFilterActive());
+    }
+
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory;
+    Bus bus;
+    FakeClient clients[3] = {FakeClient(0), FakeClient(1), FakeClient(2)};
+};
+
+TEST_F(SnoopIndexTest, BroadcastVisitsHoldersAndAlwaysSnoopersOnly)
+{
+    bus.noteBlockPresent(1, 8);
+    clients[0].push({BusOp::Write, 8, 7});
+    bus.tick();
+
+    // The indexed holder and the always-snoop client observed the
+    // write; an indexed client holding nothing was never visited.
+    ASSERT_EQ(clients[1].observed.size(), 1u);
+    EXPECT_EQ(clients[1].observed[0].data, 7u);
+    ASSERT_EQ(clients[2].observed.size(), 1u);
+
+    clients[1].observed.clear();
+    clients[2].observed.clear();
+    clients[0].push({BusOp::Write, 40, 9}); // nobody holds block 40
+    bus.tick();
+    EXPECT_TRUE(clients[1].observed.empty());
+    ASSERT_EQ(clients[2].observed.size(), 1u); // always-snoop still sees it
+}
+
+TEST_F(SnoopIndexTest, InsertAndRemoveMaintainTheHolderList)
+{
+    EXPECT_TRUE(bus.indexHolders(8).empty());
+    bus.noteBlockPresent(1, 8);
+    bus.noteBlockPresent(0, 8);
+    EXPECT_EQ(bus.indexHolders(8), (std::vector<int>{0, 1}));
+
+    // Eviction (or a clean retag) removes exactly one holder.
+    bus.noteBlockAbsent(1, 8);
+    EXPECT_EQ(bus.indexHolders(8), (std::vector<int>{0}));
+    bus.noteBlockAbsent(0, 8);
+    EXPECT_TRUE(bus.indexHolders(8).empty());
+
+    // An evicted holder is no longer visited.
+    bus.noteBlockPresent(0, 8);
+    bus.noteBlockAbsent(0, 8);
+    clients[1].push({BusOp::Write, 8, 7});
+    bus.tick();
+    EXPECT_TRUE(clients[0].observed.empty());
+}
+
+TEST_F(SnoopIndexTest, OwnerLookupResolvesThroughTheIndex)
+{
+    // Client 1 owns addr 8: index it and let it claim the supply.
+    bus.noteBlockPresent(1, 8);
+    clients[1].supply_addr = 8;
+    clients[1].supply_value = 123;
+    clients[0].push({BusOp::Read, 8, 0});
+    bus.tick();
+
+    // The read was killed and replaced by the owner's supply write.
+    EXPECT_TRUE(clients[0].completions.empty());
+    EXPECT_EQ(memory.peek(8), 123u);
+    ASSERT_EQ(clients[1].supplied_addrs.size(), 1u);
+    EXPECT_EQ(stats.get("bus.kill"), 1u);
+
+    // Retry after the supply: memory now serves the read, and the
+    // (still indexed) previous owner snoops it.
+    clients[1].supply_addr.reset();
+    clients[1].observed.clear();
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_EQ(clients[0].completions[0].data, 123u);
+    EXPECT_EQ(clients[1].observed.size(), 1u);
+}
+
+TEST_F(SnoopIndexTest, SnoopVisitsShrinkWithTheIndex)
+{
+    // A write to an unheld block: only the always-snoop client is
+    // visited (1 visit), where an unfiltered bus would visit 2.
+    clients[0].push({BusOp::Write, 40, 9});
+    bus.tick();
+    EXPECT_EQ(bus.snoopVisits(), 1u);
+
+    // A read of a block held by client 1: supplier scan polls the
+    // holder and the always-snoop client, broadcast visits them both.
+    bus.noteBlockPresent(1, 8);
+    clients[0].push({BusOp::Read, 8, 0});
+    bus.tick();
+    EXPECT_EQ(bus.snoopVisits(), 1u + 2u + 2u);
 }
 
 } // namespace

@@ -216,17 +216,20 @@ TEST(JsonTest, TimingFieldsAreOptIn)
     exp::RunResult result;
     result.cycles = 5000;
     result.wall_time_ms = 2.5;
+    result.sim_time_ms = 2.0;
     result.sim_cycles_per_sec = 2e6;
 
     // Default serialization stays byte-stable across hosts: no
     // timing fields.
     auto plain = result.toJson();
     EXPECT_EQ(plain.find("wall_time_ms"), nullptr);
+    EXPECT_EQ(plain.find("sim_time_ms"), nullptr);
     EXPECT_EQ(plain.find("sim_cycles_per_sec"), nullptr);
 
     auto timed = result.toJson(true);
     ASSERT_NE(timed.find("wall_time_ms"), nullptr);
     EXPECT_EQ(timed.find("wall_time_ms")->asDouble(), 2.5);
+    EXPECT_EQ(timed.find("sim_time_ms")->asDouble(), 2.0);
     EXPECT_EQ(timed.find("sim_cycles_per_sec")->asDouble(), 2e6);
 
     // Round trip through parse preserves the timing fields.
@@ -234,6 +237,7 @@ TEST(JsonTest, TimingFieldsAreOptIn)
     ASSERT_TRUE(exp::Json::parse(timed.dump(), parsed));
     auto rebuilt = exp::RunResult::fromJson(parsed);
     EXPECT_EQ(rebuilt.wall_time_ms, 2.5);
+    EXPECT_EQ(rebuilt.sim_time_ms, 2.0);
     EXPECT_EQ(rebuilt.sim_cycles_per_sec, 2e6);
     EXPECT_EQ(rebuilt.toJson(true).dump(), timed.dump());
 }
@@ -245,10 +249,13 @@ TEST(RunnerTest, MeasuresWallClockPerPoint)
     auto results = exp::runExperiment(spec, options);
     for (const auto &result : results) {
         EXPECT_GT(result.wall_time_ms, 0.0);
+        EXPECT_GT(result.sim_time_ms, 0.0);
+        // The sim loop is a slice of the whole point.
+        EXPECT_LE(result.sim_time_ms, result.wall_time_ms);
         EXPECT_GT(result.sim_cycles_per_sec, 0.0);
-        // rate * seconds == cycles (up to rounding).
+        // rate * sim seconds == cycles (up to rounding).
         EXPECT_NEAR(result.sim_cycles_per_sec *
-                        (result.wall_time_ms / 1000.0),
+                        (result.sim_time_ms / 1000.0),
                     static_cast<double>(result.cycles),
                     1.0);
     }

@@ -70,12 +70,16 @@ usage(std::ostream &os)
         "  --stats          dump all counters\n"
         "  --jobs N         experiment-engine worker threads (flat runs)\n"
         "  --json PATH      write structured results as JSON (flat runs)\n"
-        "  --timing         include wall_time_ms / sim_cycles_per_sec /\n"
-        "                   skipped_cycles / skip_fraction in the JSON\n"
+        "  --timing         include wall_time_ms / sim_time_ms /\n"
+        "                   sim_cycles_per_sec / skipped_cycles /\n"
+        "                   skip_fraction / snoop_visits in the JSON\n"
         "                   (host-dependent values)\n"
         "  --no-skip        disable quiescent-cycle skipping (A/B\n"
         "                   baseline; results are byte-identical, the\n"
         "                   run is just slower)\n"
+        "  --no-snoop-filter  disable the sharer-indexed snoop filter\n"
+        "                   (A/B baseline; results are byte-identical,\n"
+        "                   only snoop_visits moves)\n"
         "  --help           this text\n";
 }
 
