@@ -40,11 +40,22 @@ for bench in "$build_dir"/bench/*; do
     json_files+=("$json")
 done
 
+# One small traced + histogrammed point through the CLI, then check
+# the emitted Chrome trace is well-formed (sorted timestamps, balanced
+# span pairs) so a Perfetto regression is caught here, not at load
+# time.
+"$build_dir/tools/ddcsim" --workload producer_consumer --protocol RWB \
+    --pes 4 --refs 2000 --trace-out "$build_dir/sample_trace.json" \
+    --histograms --json "$build_dir/sample_trace_results.json" \
+    >> "$repo_root/bench_output.txt"
+python3 "$repo_root/scripts/validate_trace.py" \
+    "$build_dir/sample_trace.json"
+
 # Merge the per-bench result files into one top-level document:
-# {"schema": 4, "benches": {"<name>": <per-bench document>, ...}}
+# {"schema": 5, "benches": {"<name>": <per-bench document>, ...}}
 merged="$repo_root/BENCH_RESULTS.json"
 {
-    printf '{\n  "schema": 4,\n  "benches": {\n'
+    printf '{\n  "schema": 5,\n  "benches": {\n'
     first=1
     for json in "${json_files[@]}"; do
         name="$(basename "$json" .results.json)"

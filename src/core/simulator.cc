@@ -36,6 +36,14 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
         summary.per_bus_busy_cycles.push_back(
             system.busCounters(b).get("bus.busy_cycles"));
     }
+    if (auto *observability = system.observability()) {
+        if (auto *metrics = observability->metrics()) {
+            summary.has_histograms = true;
+            summary.histograms = *metrics;
+        }
+        if (auto *sampler = observability->sampler())
+            summary.samples = sampler->series();
+    }
 
     if (summary.total_refs > 0) {
         summary.bus_per_ref =

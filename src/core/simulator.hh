@@ -56,6 +56,12 @@ struct RunSummary
     stats::CounterSet counters;
     /** Per-bus bus.busy_cycles, indexed by bus (size = num_buses). */
     std::vector<std::uint64_t> per_bus_busy_cycles;
+    /** True when latency histograms were collected (--histograms). */
+    bool has_histograms = false;
+    /** The collected latency distributions (valid iff has_histograms). */
+    obs::RunMetrics histograms;
+    /** Counter time series (empty unless --sample-every). */
+    obs::SampleSeries samples;
 };
 
 /**

@@ -76,6 +76,72 @@ RunResult::toJson(bool include_timing) const
         counters_json[name] = Json(counters.get(name));
     json["counters"] = std::move(counters_json);
 
+    if (!histograms.isNull())
+        json["histograms"] = histograms;
+    if (!samples.isNull())
+        json["samples"] = samples;
+
+    return json;
+}
+
+Json
+histogramJson(const stats::Histogram &histogram)
+{
+    Json json = Json::object();
+    json["count"] = Json(histogram.count());
+    json["mean"] = Json(histogram.mean());
+    json["min"] = Json(histogram.min());
+    json["max"] = Json(histogram.max());
+    json["p50"] = Json(histogram.percentile(0.50));
+    json["p90"] = Json(histogram.percentile(0.90));
+    json["p99"] = Json(histogram.percentile(0.99));
+    json["bucket_width"] = Json(histogram.bucketWidth());
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < histogram.numBuckets(); i++) {
+        if (histogram.bucketCount(i) == 0)
+            continue;
+        Json bucket = Json::array();
+        bucket.push(Json(static_cast<std::uint64_t>(i) *
+                         histogram.bucketWidth()));
+        bucket.push(Json(histogram.bucketCount(i)));
+        buckets.push(std::move(bucket));
+    }
+    json["buckets"] = std::move(buckets);
+    return json;
+}
+
+Json
+histogramsJson(const obs::RunMetrics &metrics)
+{
+    Json json = Json::object();
+    json["miss_service"] = histogramJson(metrics.miss_service);
+    json["bus_wait"] = histogramJson(metrics.bus_wait);
+    json["miss_retries"] = histogramJson(metrics.miss_retries);
+    json["lock_acquire"] = histogramJson(metrics.lock_acquire);
+    json["lock_handoff"] = histogramJson(metrics.lock_handoff);
+    json["write_gap"] = histogramJson(metrics.write_gap);
+    return json;
+}
+
+Json
+samplesJson(const obs::SampleSeries &series)
+{
+    Json json = Json::object();
+    json["interval"] =
+        Json(static_cast<std::uint64_t>(series.interval));
+    Json columns = Json::array();
+    for (const auto &name : series.columns)
+        columns.push(Json(name));
+    json["columns"] = std::move(columns);
+    Json rows = Json::array();
+    for (const auto &row : series.rows) {
+        Json row_json = Json::array();
+        row_json.push(Json(static_cast<std::uint64_t>(row.cycle)));
+        for (std::uint64_t value : row.values)
+            row_json.push(Json(value));
+        rows.push(std::move(row_json));
+    }
+    json["rows"] = std::move(rows);
     return json;
 }
 
@@ -113,6 +179,10 @@ RunResult::fromJson(const Json &json)
     for (const auto &[name, value] : json.find("counters")->items())
         result.counters.add(name,
                             static_cast<std::uint64_t>(value.asInt()));
+    if (const Json *histograms = json.find("histograms"))
+        result.histograms = *histograms;
+    if (const Json *samples = json.find("samples"))
+        result.samples = *samples;
     return result;
 }
 

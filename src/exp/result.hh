@@ -19,8 +19,11 @@
 
 #include "base/types.hh"
 #include "exp/json.hh"
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
 #include "sim/system.hh"
 #include "stats/counter.hh"
+#include "stats/histogram.hh"
 
 namespace ddc {
 namespace exp {
@@ -85,6 +88,15 @@ struct RunResult
     /** Full merged counter set of the run. */
     stats::CounterSet counters;
     /**
+     * Latency-distribution summary (histogramsJson) when the run was
+     * collected with --histograms; Null otherwise and then omitted
+     * from the serialized object, so runs without the flag keep the
+     * pre-histogram byte-identical JSON.
+     */
+    Json histograms;
+    /** Counter time series (samplesJson); Null unless --sample-every. */
+    Json samples;
+    /**
      * Presentation text produced by custom points (scenario figures);
      * printed verbatim by the bench, not serialized to JSON.
      */
@@ -109,6 +121,22 @@ struct RunResult
     /** Rebuild a result from Json emitted by toJson(). */
     static RunResult fromJson(const Json &json);
 };
+
+/**
+ * Serialize one histogram as {count, mean, min, max, p50, p90, p99,
+ * bucket_width, buckets: [[lo, count], ...]} (non-empty buckets only;
+ * the overflow bucket's lo is num_buckets * bucket_width).
+ */
+Json histogramJson(const stats::Histogram &histogram);
+
+/** Serialize a RunMetrics bundle, one histogramJson per entry. */
+Json histogramsJson(const obs::RunMetrics &metrics);
+
+/**
+ * Serialize a sample series as {interval, columns: [...],
+ * rows: [[cycle, v0, v1, ...], ...]} (cumulative counter values).
+ */
+Json samplesJson(const obs::SampleSeries &series);
 
 } // namespace exp
 } // namespace ddc

@@ -27,6 +27,10 @@ executeTraceRun(const TraceRun &run)
     result.bus_transactions = summary.bus_transactions;
     result.consistent = summary.consistent;
     result.counters = summary.counters;
+    if (summary.has_histograms)
+        result.histograms = histogramsJson(summary.histograms);
+    if (!summary.samples.empty())
+        result.samples = samplesJson(summary.samples);
     result.setMetric("bus_per_ref", summary.bus_per_ref);
     result.setMetric("miss_ratio", summary.miss_ratio);
     if (summary.per_bus_busy_cycles.size() > 1) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "base/types.hh"
 #include "exp/experiment.hh"
 #include "exp/json.hh"
 #include "exp/runner.hh"
@@ -54,16 +55,43 @@ struct SessionOptions
      * construct their own Systems are covered too.
      */
     bool no_snoop_filter = false;
+    /**
+     * Chrome-trace output file ("" = tracing off).  The first System
+     * the process constructs claims it (obs::setTraceOutput), so a
+     * traced session should run a single point (--jobs 1) to keep the
+     * trace attributable.
+     */
+    std::string trace_out;
+    /** Comma-separated trace categories ("all", "bus,state,lock", ...). */
+    std::string trace_categories = "all";
+    /**
+     * Collect latency histograms (miss service, bus wait, lock
+     * acquisition, ...) in every System the process builds and emit
+     * them per run in the JSON.  Cycle-based and deterministic: the
+     * JSON stays byte-identical across job counts, it just grows the
+     * new "histograms" objects.
+     */
+    bool histograms = false;
+    /**
+     * Sample counters every N cycles into a per-run time series
+     * (0 = off).  Deterministic, like histograms.
+     */
+    Cycle sample_every = 0;
 };
 
 /**
- * Parse and remove `--jobs N` / `--json PATH` / `--timing` /
- * `--no-skip` / `--no-snoop-filter` from an argv vector.
+ * Parse and remove the engine flags (`--jobs N`, `--json PATH`,
+ * `--timing`, `--no-skip`, `--no-snoop-filter`, `--trace-out FILE`,
+ * `--trace-categories LIST`, `--histograms`, `--sample-every N`)
+ * from an argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed
- * values.  `--no-skip` and `--no-snoop-filter` take effect
- * immediately (process-wide).
+ * values.  Process-wide switches (skip/snoop-filter disables, the
+ * observability configuration) take effect before this returns, so
+ * custom experiment points that construct their own Systems are
+ * covered too.  The flag table lives in session.cc; adding a flag is
+ * one table entry plus its SessionOptions field.
  */
 SessionOptions parseSessionArgs(int &argc, char **argv);
 

@@ -47,6 +47,34 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
         }
     }
     agents.resize(static_cast<std::size_t>(numPes()));
+
+    // Bus track 0 is the global bus; cluster c's bus is track 1 + c.
+    recorder = obs::makeRecorder(config.histograms, 0);
+    if (recorder) {
+        globalBus->setObserver(recorder.get(), 0);
+        for (int c = 0; c < config.num_clusters; c++)
+            clusterBuses[static_cast<std::size_t>(c)]->setObserver(
+                recorder.get(), 1 + c);
+        for (auto &l1_cache : l1s)
+            l1_cache->setObserver(recorder.get());
+        obsQuiesce = recorder->trace(obs::Category::Quiesce);
+        sampler = recorder->sampler();
+    }
+    if (sampler) {
+        auto global_busy = globalStats.intern("bus.busy_cycles");
+        sampler->addColumn("global.busy_cycles",
+                           [this, global_busy](Cycle) {
+                               return globalStats.get(global_busy);
+                           });
+        for (int c = 0; c < config.num_clusters; c++) {
+            auto *cluster = clusterStats[static_cast<std::size_t>(c)]
+                                .get();
+            auto busy = cluster->intern("bus.busy_cycles");
+            sampler->addColumn(
+                "cluster" + std::to_string(c) + ".busy_cycles",
+                [cluster, busy](Cycle) { return cluster->get(busy); });
+        }
+    }
 }
 
 void
@@ -142,6 +170,16 @@ HierSystem::earliestNextEvent() const
 void
 HierSystem::skipQuiescent(Cycle count)
 {
+    if (obsQuiesce) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.dur = count;
+        event.name = "quiesce";
+        event.phase = 'X';
+        event.track = obs::kTrackSim;
+        event.tid = 0;
+        obsQuiesce->push(event);
+    }
     globalBus->skipCycles(count);
     for (auto &bus : clusterBuses)
         bus->skipCycles(count);
@@ -163,6 +201,8 @@ HierSystem::run(Cycle max_cycles)
     // guarantee covers this machine too.
     bool skipping = config.skip_quiescent && quiescentSkipEnabled();
     while (!allDone() && clock.now < end) {
+        if (sampler && sampler->due(clock.now))
+            sampler->sample(clock.now);
         if (skipping) {
             Cycle next = earliestNextEvent();
             if (next > clock.now) {

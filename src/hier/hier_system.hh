@@ -62,6 +62,12 @@ struct HierConfig
      * every cluster regardless.
      */
     bool snoop_filter = true;
+    /**
+     * Collect latency histograms; same contract as
+     * SystemConfig::histograms (ORed with the process --histograms
+     * flag, purely observational).
+     */
+    bool histograms = false;
 };
 
 /** A complete hierarchical shared-bus multiprocessor (RB recursive). */
@@ -148,6 +154,9 @@ class HierSystem
     /** Broadcast visits + supplier polls across every bus. */
     std::uint64_t snoopVisits() const;
 
+    /** This machine's observability state (null when all off). */
+    obs::Recorder *observability() const { return recorder.get(); }
+
   private:
     const Cache &l1(PeId pe) const;
 
@@ -184,6 +193,13 @@ class HierSystem
      * (tick order is preserved); see System::activeAgents.
      */
     std::vector<std::size_t> activeAgents;
+
+    /** Observability state (null when everything is off). */
+    std::unique_ptr<obs::Recorder> recorder;
+    /** Quiesce-category trace sink (null when not traced). */
+    obs::TraceSink *obsQuiesce = nullptr;
+    /** Counter sampler (null when --sample-every is off). */
+    obs::CounterSampler *sampler = nullptr;
 };
 
 /** Outcome of a hierarchical invariant check. */

@@ -1,0 +1,172 @@
+#include "obs/recorder.hh"
+
+#include <atomic>
+#include <mutex>
+
+namespace ddc {
+namespace obs {
+
+namespace {
+
+// Process-wide opt-in state, written only while parsing flags (or by
+// tests between runs); Systems read it once at construction.
+std::mutex configMutex;
+std::string tracePath;
+std::uint32_t traceMask = kAllCategories;
+bool traceClaimed = false;
+
+std::atomic<bool> histogramsFlag{false};
+std::atomic<Cycle> sampleEveryFlag{0};
+
+} // namespace
+
+void
+setTraceOutput(std::string path, std::uint32_t categories)
+{
+    std::lock_guard<std::mutex> lock(configMutex);
+    tracePath = std::move(path);
+    traceMask = categories;
+    traceClaimed = false;
+}
+
+void
+setHistogramsEnabled(bool enabled)
+{
+    histogramsFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+histogramsEnabled()
+{
+    return histogramsFlag.load(std::memory_order_relaxed);
+}
+
+void
+setSampleInterval(Cycle every)
+{
+    sampleEveryFlag.store(every, std::memory_order_relaxed);
+}
+
+Cycle
+sampleInterval()
+{
+    return sampleEveryFlag.load(std::memory_order_relaxed);
+}
+
+Recorder::Recorder(std::unique_ptr<TraceSink> trace_sink,
+                   bool histograms, Cycle sample_every)
+    : sink(std::move(trace_sink))
+{
+    if (histograms)
+        runMetrics = std::make_unique<RunMetrics>();
+    if (sample_every > 0)
+        counterSampler =
+            std::make_unique<CounterSampler>(sample_every);
+}
+
+void
+Recorder::lockAttempt(PeId pe, Addr addr, Cycle now, bool success)
+{
+    knownLocks.insert(addr);
+    TraceSink *lock_trace = trace(Category::Lock);
+    auto key = std::make_pair(pe, addr);
+    auto episode = spinning.find(key);
+
+    if (!success) {
+        if (episode == spinning.end()) {
+            spinning.emplace(key, now);
+            if (lock_trace) {
+                TraceEvent event;
+                event.ts = now;
+                event.name = "spin";
+                event.addr = addr;
+                event.has_addr = true;
+                event.phase = 'B';
+                event.track = kTrackLocks;
+                event.tid = pe;
+                lock_trace->push(event);
+            }
+        }
+        return;
+    }
+
+    Cycle waited = 0;
+    if (episode != spinning.end()) {
+        waited = now - episode->second;
+        spinning.erase(episode);
+        if (lock_trace) {
+            TraceEvent event;
+            event.ts = now;
+            event.name = "spin";
+            event.phase = 'E';
+            event.track = kTrackLocks;
+            event.tid = pe;
+            lock_trace->push(event);
+        }
+    }
+    if (runMetrics)
+        runMetrics->lock_acquire.sample(waited);
+
+    auto release = lastRelease.find(addr);
+    if (release != lastRelease.end()) {
+        if (runMetrics)
+            runMetrics->lock_handoff.sample(now - release->second);
+        lastRelease.erase(release);
+    }
+
+    if (lock_trace) {
+        TraceEvent event;
+        event.ts = now;
+        event.name = "acquire";
+        event.addr = addr;
+        event.has_addr = true;
+        event.value = static_cast<std::int64_t>(waited);
+        event.value_name = "spin_cycles";
+        event.track = kTrackLocks;
+        event.tid = pe;
+        lock_trace->push(event);
+    }
+}
+
+void
+Recorder::lockRelease(PeId pe, Addr addr, Cycle now)
+{
+    if (knownLocks.find(addr) == knownLocks.end())
+        return;
+    lastRelease[addr] = now;
+    if (TraceSink *lock_trace = trace(Category::Lock)) {
+        TraceEvent event;
+        event.ts = now;
+        event.name = "release";
+        event.addr = addr;
+        event.has_addr = true;
+        event.track = kTrackLocks;
+        event.tid = pe;
+        lock_trace->push(event);
+    }
+}
+
+std::unique_ptr<Recorder>
+makeRecorder(bool config_histograms, Cycle config_sample_every)
+{
+    std::unique_ptr<TraceSink> sink;
+    {
+        std::lock_guard<std::mutex> lock(configMutex);
+        if (!tracePath.empty() && !traceClaimed) {
+            traceClaimed = true;
+            sink = std::make_unique<TraceSink>(traceMask, tracePath);
+        }
+    }
+
+    bool histograms = config_histograms || histogramsEnabled();
+    Cycle sample_every = config_sample_every > 0 ? config_sample_every
+                                                 : sampleInterval();
+
+    if (!sink && !histograms && sample_every == 0)
+        return nullptr;
+    return std::make_unique<Recorder>(std::move(sink), histograms,
+                                      sample_every);
+}
+
+} // namespace obs
+} // namespace ddc

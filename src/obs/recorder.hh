@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-System observability recorder plus the process-wide opt-in
+ * configuration the session flags set (--trace-out,
+ * --trace-categories, --histograms, --sample-every).
+ *
+ * A System asks makeRecorder() for a Recorder at construction; the
+ * result is null when nothing is enabled, and components then cache
+ * null sink/metrics pointers — the zero-overhead-when-off contract.
+ * The trace output file is claimed by the first System that asks for
+ * it (one file, one run); parallel experiment workers therefore
+ * trace exactly one run instead of interleaving into one file.
+ */
+
+#ifndef DDC_OBS_RECORDER_HH
+#define DDC_OBS_RECORDER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+
+namespace ddc {
+namespace obs {
+
+/**
+ * Set the process-wide trace destination (--trace-out /
+ * --trace-categories).  Re-arms the first-System-wins claim, so
+ * tests can trace several successive Systems.  An empty @p path
+ * disables tracing.
+ */
+void setTraceOutput(std::string path,
+                    std::uint32_t categories = kAllCategories);
+
+/** Process-wide --histograms flag (ORed with SystemConfig's). */
+void setHistogramsEnabled(bool enabled);
+bool histogramsEnabled();
+
+/** Process-wide --sample-every interval; 0 disables sampling. */
+void setSampleInterval(Cycle every);
+Cycle sampleInterval();
+
+/**
+ * One System's observability state: the trace sink (if this System
+ * won the claim), the histogram bundle, the counter sampler, and the
+ * lock acquire/release/spin episode tracker fed by the Bus.
+ */
+class Recorder
+{
+  public:
+    Recorder(std::unique_ptr<TraceSink> trace_sink, bool histograms,
+             Cycle sample_every);
+
+    /** Sink for @p category, or null when not traced. */
+    TraceSink *
+    trace(Category category)
+    {
+        return sink && sink->enabled(category) ? sink.get()
+                                               : nullptr;
+    }
+
+    /** Histogram bundle, or null when --histograms is off. */
+    RunMetrics *metrics() { return runMetrics.get(); }
+
+    /** Counter sampler, or null when --sample-every is off. */
+    CounterSampler *sampler() { return counterSampler.get(); }
+
+    /** True when the Bus should report lock events at all. */
+    bool
+    wantsLockEvents()
+    {
+        return runMetrics != nullptr ||
+               trace(Category::Lock) != nullptr;
+    }
+
+    /**
+     * An RMW reached the bus for @p addr.  A failed attempt opens
+     * (or extends) a spin episode; a successful one closes it,
+     * samples lock_acquire, and — when a release was seen since the
+     * last acquire — samples lock_handoff.
+     */
+    void lockAttempt(PeId pe, Addr addr, Cycle now, bool success);
+
+    /**
+     * A write completed to @p addr.  Ignored unless @p addr has
+     * carried an RMW before (i.e. it behaves like a lock word).
+     */
+    void lockRelease(PeId pe, Addr addr, Cycle now);
+
+  private:
+    std::unique_ptr<TraceSink> sink;
+    std::unique_ptr<RunMetrics> runMetrics;
+    std::unique_ptr<CounterSampler> counterSampler;
+
+    /** Addresses that have carried an RMW (lock-word heuristic). */
+    std::unordered_set<Addr> knownLocks;
+    /** Open spin episodes: (pe, lock addr) -> first-failure cycle. */
+    std::map<std::pair<PeId, Addr>, Cycle> spinning;
+    /** Pending hand-offs: lock addr -> release cycle. */
+    std::unordered_map<Addr, Cycle> lastRelease;
+};
+
+/**
+ * Build the Recorder for a System given its per-config histogram
+ * flag and sampling interval (0 = use the process-wide interval).
+ * @return null when no observability feature is enabled.
+ */
+std::unique_ptr<Recorder> makeRecorder(bool config_histograms,
+                                       Cycle config_sample_every);
+
+} // namespace obs
+} // namespace ddc
+
+#endif // DDC_OBS_RECORDER_HH

@@ -388,6 +388,50 @@ Bus::HolderIndex::clear()
     used = 0;
 }
 
+void
+Bus::setObserver(obs::Recorder *recorder, int bus_id)
+{
+    busId = bus_id;
+    busTrace =
+        recorder ? recorder->trace(obs::Category::Bus) : nullptr;
+    lockRec =
+        recorder && recorder->wantsLockEvents() ? recorder : nullptr;
+}
+
+void
+Bus::traceComplete(std::string_view name, Addr addr, int issuer,
+                   std::size_t extra_cycles, const char *detail)
+{
+    obs::TraceEvent event;
+    event.ts = clock.now;
+    event.dur = 1 + static_cast<Cycle>(extra_cycles);
+    event.name = name;
+    event.detail = detail;
+    event.addr = addr;
+    event.has_addr = true;
+    event.value = issuer;
+    event.value_name = "issuer";
+    event.phase = 'X';
+    event.track = obs::kTrackBuses;
+    event.tid = busId;
+    busTrace->push(event);
+}
+
+void
+Bus::traceInstant(std::string_view name, Addr addr,
+                  const char *detail)
+{
+    obs::TraceEvent event;
+    event.ts = clock.now;
+    event.name = name;
+    event.detail = detail;
+    event.addr = addr;
+    event.has_addr = true;
+    event.track = obs::kTrackBuses;
+    event.tid = busId;
+    busTrace->push(event);
+}
+
 int
 Bus::findSupplier(int grant, Addr addr, Word &value)
 {
@@ -468,6 +512,15 @@ Bus::executeReadLike(int grant, const BusRequest &request)
         stats.add(statKill);
         stats.add(statSupplyWrite);
         stats.add(statOp[opIndex(BusOp::Write)]);
+        if (busTrace) {
+            traceInstant("kill", request.addr,
+                         toString(request.op).data());
+            traceComplete("supply_write", request.addr, supplier,
+                          blockSize > 1 ? blockCost() : wordCost());
+        }
+        // A killed lock RMW is deliberately not a lock release: the
+        // supplier is publishing the held value, not unlocking.
+        grantee->requestKilled();
 
         BusTransaction txn{BusOp::Write, request.addr, supplied_value,
                            supplier, {}};
@@ -498,6 +551,9 @@ Bus::executeReadLike(int grant, const BusRequest &request)
                 return;
             }
             stats.add(statOp[opIndex(request.op)]);
+            if (busTrace)
+                traceComplete(toString(request.op), request.addr,
+                              grant, blockCost(), "block");
             result.data =
                 result.block[static_cast<std::size_t>(request.addr -
                                                       base)];
@@ -513,6 +569,9 @@ Bus::executeReadLike(int grant, const BusRequest &request)
                 return;
             }
             stats.add(statOp[opIndex(request.op)]);
+            if (busTrace)
+                traceComplete(toString(request.op), request.addr,
+                              grant, wordCost());
             occupy(wordCost());
             broadcast({BusOp::Read, request.addr, data, grant, {}},
                       grant);
@@ -527,6 +586,11 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             return;
         }
         stats.add(statOp[opIndex(request.op)]);
+        if (busTrace)
+            traceComplete(toString(request.op), request.addr, grant,
+                          wordCost());
+        if (lockRec)
+            lockRec->lockAttempt(pe, request.addr, clock.now, true);
         occupy(wordCost());
         broadcast({BusOp::Read, request.addr, data, grant, {}}, grant);
         grantee->requestComplete({data, false, {}});
@@ -540,6 +604,11 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             return;
         }
         stats.add(statOp[opIndex(request.op)]);
+        if (busTrace)
+            traceComplete(toString(request.op), request.addr, grant,
+                          wordCost(), success ? "success" : "fail");
+        if (lockRec)
+            lockRec->lockAttempt(pe, request.addr, clock.now, success);
         occupy(wordCost());
         if (success) {
             stats.add(statRmwSuccess);
@@ -608,6 +677,12 @@ Bus::executeWriteLike(int grant, const BusRequest &request)
     }
 
     stats.add(statOp[opIndex(request.op)]);
+    if (busTrace)
+        traceComplete(toString(request.op), request.addr, grant,
+                      request.block_transfer && blockSize > 1
+                          ? blockCost()
+                          : wordCost(),
+                      request.block_transfer ? "block" : nullptr);
     broadcast(txn, grant);
     grantee->requestComplete({request.data, false, {}});
 }
@@ -643,6 +718,16 @@ Bus::nack(int grant, const BusRequest &request)
 {
     stats.add(statNack);
     stats.add(statNackOp[opIndex(request.op)]);
+    if (busTrace)
+        traceInstant("nack", request.addr,
+                     toString(request.op).data());
+    // A NACKed lock primitive is a failed acquisition attempt (the
+    // word is locked by another PE's two-phase RMW).
+    if (lockRec &&
+        (request.op == BusOp::Rmw || request.op == BusOp::ReadLock))
+        lockRec->lockAttempt(clients[static_cast<std::size_t>(grant)]
+                                 ->peId(),
+                             request.addr, clock.now, false);
     clients[static_cast<std::size_t>(grant)]->requestNacked();
 }
 

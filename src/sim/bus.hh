@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/recorder.hh"
 #include "sim/arbiter.hh"
 #include "sim/clock.hh"
 #include "sim/memory_side.hh"
@@ -128,6 +129,14 @@ class BusClient
      * blocked operation cannot starve the one that would unblock it.
      */
     virtual void requestNacked() {}
+
+    /**
+     * The client's granted read-like request was killed by an owning
+     * cache's supply write and will retry (the paper's L-interrupt).
+     * Purely informational — the request stays pending exactly as
+     * before this hook existed.
+     */
+    virtual void requestKilled() {}
 
     /** Owning PE, for memory-lock bookkeeping. */
     virtual PeId peId() const = 0;
@@ -234,6 +243,14 @@ class Bus
     /** Test introspection: indexed holders of @p addr's block. */
     std::vector<int> indexHolders(Addr addr) const;
 
+    /**
+     * Attach observability (trace events on the "bus @p bus_id"
+     * track, lock acquire/release episodes).  @p recorder may be
+     * null; the cached per-category pointers keep the disabled path
+     * at one null test per emission site.
+     */
+    void setObserver(obs::Recorder *recorder, int bus_id);
+
     /** Advance one cycle (at most one new transaction begins). */
     void tick();
 
@@ -337,6 +354,15 @@ class Bus
     /** Record a retry due to a locked word / not-ready memory side. */
     void nack(int grant, const BusRequest &request);
 
+    /** Emit a completed-transaction trace event (phase 'X'). */
+    void traceComplete(std::string_view name, Addr addr, int issuer,
+                       std::size_t extra_cycles,
+                       const char *detail = nullptr);
+
+    /** Emit an instant trace event on this bus's track. */
+    void traceInstant(std::string_view name, Addr addr,
+                      const char *detail);
+
     /** Hold the bus for a transaction's extra cycles. */
     void occupy(std::size_t extra_cycles);
 
@@ -436,6 +462,13 @@ class Bus
     HolderIndex holders;
     /** Broadcast visits + supplier polls (see snoopVisits()). */
     std::uint64_t snoopVisitCount = 0;
+
+    /** Bus-category trace sink (null when not traced). */
+    obs::TraceSink *busTrace = nullptr;
+    /** Lock-episode recorder (null when lock events are off). */
+    obs::Recorder *lockRec = nullptr;
+    /** Trace track id (bus index within the System). */
+    std::int32_t busId = 0;
 
     // Handles interned once at construction; every per-event
     // statistic is a plain array increment.

@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include <array>
 #include <string>
 
 #include "base/logging.hh"
@@ -7,6 +8,44 @@
 namespace ddc {
 
 namespace {
+
+/**
+ * "NP->R"-style tag-transition labels with static storage (the trace
+ * sink keeps the pointers), built once on first traced transition.
+ */
+std::string_view
+transitionName(LineTag from, LineTag to)
+{
+    constexpr std::size_t kTags = 8;
+    static const auto table = [] {
+        std::array<std::array<std::string, kTags>, kTags> names;
+        for (std::size_t f = 0; f < kTags; f++) {
+            for (std::size_t t = 0; t < kTags; t++) {
+                names[f][t] =
+                    std::string(toString(static_cast<LineTag>(f))) +
+                    "->" +
+                    std::string(toString(static_cast<LineTag>(t)));
+            }
+        }
+        return names;
+    }();
+    return table[static_cast<std::size_t>(from)]
+                [static_cast<std::size_t>(to)];
+}
+
+/** Miss-span names per CpuOp (static storage for the sink). */
+std::string_view
+missName(CpuOp op)
+{
+    switch (op) {
+      case CpuOp::Read:        return "read_miss";
+      case CpuOp::Write:       return "write_miss";
+      case CpuOp::TestAndSet:  return "ts_miss";
+      case CpuOp::ReadLock:    return "readlock_miss";
+      case CpuOp::WriteUnlock: return "writeunlock_miss";
+    }
+    return "miss";
+}
 
 std::string
 refStatName(const MemRef &ref, bool miss)
@@ -104,6 +143,53 @@ void
 Cache::setArmed(bool is_armed)
 {
     bus->setRequestArmed(clientIndex, is_armed);
+}
+
+void
+Cache::setObserver(obs::Recorder *recorder)
+{
+    stateTrace =
+        recorder ? recorder->trace(obs::Category::State) : nullptr;
+    missTrace =
+        recorder ? recorder->trace(obs::Category::Miss) : nullptr;
+    metrics = recorder ? recorder->metrics() : nullptr;
+    lockRec = recorder && recorder->wantsLockEvents() ? recorder
+                                                      : nullptr;
+    if (stateTrace)
+        stateCause = "cpu";
+}
+
+void
+Cache::addTagCensus(std::uint64_t *counts) const
+{
+    for (const Line &line : lines)
+        counts[static_cast<std::size_t>(line.state.tag)]++;
+}
+
+void
+Cache::traceStateChange(LineTag from, LineTag to, Addr base)
+{
+    obs::TraceEvent event;
+    event.ts = clock.now;
+    event.name = transitionName(from, to);
+    event.detail = stateCause;
+    event.addr = base;
+    event.has_addr = true;
+    event.track = obs::kTrackPes;
+    event.tid = pe;
+    stateTrace->push(event);
+}
+
+void
+Cache::requestNacked()
+{
+    pending.retries++;
+}
+
+void
+Cache::requestKilled()
+{
+    pending.retries++;
 }
 
 Addr
@@ -249,6 +335,11 @@ Cache::setLineState(Line &line, LineState next)
         else
             bus->noteBlockAbsent(clientIndex, line.base);
     }
+    // Every state change funnels through here, so this one site (plus
+    // the cause label set at each entry point) traces the full
+    // NP/I/R/L/F transition diagram.
+    if (stateTrace && line.state.tag != next.tag)
+        traceStateChange(line.state.tag, next.tag, line.base);
     line.state = next;
 }
 
@@ -275,6 +366,21 @@ Cache::cpuAccess(const MemRef &ref)
     Line &line = victimLine(ref.addr);
     LineState state = stateFor(line, ref.addr);
     CpuReaction reaction = cpuReaction(state, ref.op, ref.cls);
+
+    if (stateTrace)
+        stateCause = "cpu";
+    // A program store to a known lock word is its release — reported
+    // at issue so it is seen even when the store completes in-cache
+    // (a Local line under a write-back scheme never hits the bus).
+    if (lockRec &&
+        (ref.op == CpuOp::Write || ref.op == CpuOp::WriteUnlock))
+        lockRec->lockRelease(pe, ref.addr, clock.now);
+    if (metrics && ref.op == CpuOp::Write &&
+        holdsBlock(line, ref.addr)) {
+        if (line.last_write != kNever)
+            metrics->write_gap.sample(clock.now - line.last_write);
+        line.last_write = clock.now;
+    }
 
     stats.add(statRefs);
     stats.add(refStat[static_cast<std::size_t>(ref.op)]
@@ -304,6 +410,20 @@ Cache::cpuAccess(const MemRef &ref)
     pending.way_index = static_cast<std::size_t>(&line - lines.data());
     pending.phase = computePhase();
     pending.stale = false;
+    pending.issue_cycle = clock.now;
+    pending.phase_start = clock.now;
+    pending.retries = 0;
+    if (missTrace) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.name = missName(ref.op);
+        event.addr = ref.addr;
+        event.has_addr = true;
+        event.phase = 'B';
+        event.track = obs::kTrackPes;
+        event.tid = pe;
+        missTrace->push(event);
+    }
     setArmed(true);
     return {};
 }
@@ -427,6 +547,19 @@ Cache::requestComplete(const BusResult &result)
     Addr base = blockBase(pending.ref.addr);
     std::size_t offset = static_cast<std::size_t>(pending.ref.addr - base);
 
+    if (metrics) {
+        metrics->bus_wait.sample(clock.now - pending.phase_start);
+        pending.phase_start = clock.now;
+    }
+    if (stateTrace) {
+        switch (pending.phase) {
+          case Phase::Writeback: stateCause = "writeback"; break;
+          case Phase::Fill:      stateCause = "fill"; break;
+          case Phase::Flush:     stateCause = "flush"; break;
+          case Phase::Main:      stateCause = "bus_complete"; break;
+        }
+    }
+
     switch (pending.phase) {
       case Phase::Writeback:
         stats.add(statWriteback);
@@ -546,6 +679,12 @@ Cache::observe(const BusTransaction &txn)
     ddc_assert(!reaction.supply,
                "supply decision must be resolved before broadcast");
 
+    if (stateTrace) {
+        stateCause = txn.op == BusOp::Read ? "snoop_read"
+                     : txn.op == BusOp::Invalidate ? "snoop_bi"
+                                                   : "snoop_write";
+    }
+
     // A snoop that neither moves the state nor captures data is a
     // no-op; skipping it keeps the pending re-derivation lazy (a
     // spinning cache is not re-evaluated for every failed broadcast
@@ -592,6 +731,8 @@ Cache::supplied(Addr addr)
     ddc_assert(line != nullptr,
                "supplied() for an address this cache does not hold");
     stats.add(statSupply);
+    if (stateTrace)
+        stateCause = "supply";
     setLineState(*line, protocol.afterSupply(line->state));
     pending.stale = true;
 }
@@ -614,6 +755,8 @@ Cache::revalidatePending()
                                        pending.ref.cls);
     if (!reaction.needs_bus) {
         stats.add(statBroadcastFill);
+        if (stateTrace)
+            stateCause = "broadcast_fill";
         setLineState(line, reaction.next);
         if (reaction.update_value) {
             line.data[static_cast<std::size_t>(
@@ -636,6 +779,21 @@ Cache::revalidatePending()
 void
 Cache::finish(const AccessResult &result)
 {
+    if (metrics) {
+        metrics->miss_service.sample(clock.now - pending.issue_cycle);
+        metrics->miss_retries.sample(pending.retries);
+    }
+    if (missTrace) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.name = missName(pending.ref.op);
+        event.value = static_cast<std::int64_t>(pending.retries);
+        event.value_name = "retries";
+        event.phase = 'E';
+        event.track = obs::kTrackPes;
+        event.tid = pe;
+        missTrace->push(event);
+    }
     logCommit(pending.ref, result);
     pending.active = false;
     setArmed(false);

@@ -74,6 +74,21 @@ class Cache : public BusClient
     void connectBus(Bus &bus);
 
     /**
+     * Attach observability (state-transition instants, miss-service
+     * spans, latency histograms).  @p recorder may be null; the
+     * cached per-category pointers keep the disabled path at one
+     * null test per emission site.
+     */
+    void setObserver(obs::Recorder *recorder);
+
+    /**
+     * Add this cache's per-tag line population into @p counts
+     * (indexed by LineTag; at least kNumTags entries) — the
+     * state-population census column set of the counter sampler.
+     */
+    void addTagCensus(std::uint64_t *counts) const;
+
+    /**
      * Issue a CPU access.  Returns complete=true for hits; otherwise
      * the access is pending (at most one at a time) and the caller
      * polls takeCompletion() on subsequent cycles.
@@ -128,7 +143,12 @@ class Cache : public BusClient
     std::vector<Word> supplyBlock(Addr addr) override;
     void observe(const BusTransaction &txn) override;
     void supplied(Addr addr) override;
+    void requestNacked() override;
+    void requestKilled() override;
     PeId peId() const override { return pe; }
+
+    /** Number of LineTag enumerators (snoop memo / census tables). */
+    static constexpr std::size_t kNumTags = 8;
 
   private:
     /** Storage for one line (one block). */
@@ -140,6 +160,13 @@ class Cache : public BusClient
         LineState state{};
         /** LRU stamp (updated on CPU use and install). */
         std::uint64_t last_use = 0;
+        /**
+         * Issue cycle of the last CPU write to this block (kNever =
+         * none yet).  Maintained only while histograms are enabled;
+         * feeds the inter-write-distance histogram behind RWB's
+         * k-consecutive-writes rule.
+         */
+        Cycle last_write = kNever;
     };
 
     /** Phases of a pending access. */
@@ -174,6 +201,12 @@ class Cache : public BusClient
          * poll of every cycle.
          */
         bool stale = false;
+        /** Cycle cpuAccess() issued this access (observability). */
+        Cycle issue_cycle = 0;
+        /** Start of the current bus wait (reset per transaction). */
+        Cycle phase_start = 0;
+        /** NACK + kill restarts absorbed so far (observability). */
+        std::uint64_t retries = 0;
     };
 
     Addr blockBase(Addr addr) const;
@@ -249,11 +282,12 @@ class Cache : public BusClient
     /** Tell the bus whether this cache needs polling (fast path). */
     void setArmed(bool is_armed);
 
+    /** Emit a tag-transition instant (stateTrace known non-null). */
+    void traceStateChange(LineTag from, LineTag to, Addr base);
+
     /** Number of CpuOp / DataClass enumerators (handle table). */
     static constexpr std::size_t kNumCpuOps = 5;
     static constexpr std::size_t kNumClasses = 3;
-    /** Number of LineTag enumerators (snoop memo table). */
-    static constexpr std::size_t kNumTags = 8;
     /**
      * Snooped bus ops are the contiguous enum prefix Read, Write,
      * Invalidate (the bus resolves Rmw / ReadLock / WriteUnlock to an
@@ -314,6 +348,26 @@ class Cache : public BusClient
     /** CPU reactions for streak-free states, filled lazily. */
     mutable CpuReaction cpuMemo[kNumTags][kNumCpuOps][kNumClasses];
     mutable bool cpuMemoValid[kNumTags][kNumCpuOps][kNumClasses] = {};
+
+    /** State-category trace sink (null when not traced). */
+    obs::TraceSink *stateTrace = nullptr;
+    /** Miss-category trace sink (null when not traced). */
+    obs::TraceSink *missTrace = nullptr;
+    /** Latency histogram bundle (null when --histograms is off). */
+    obs::RunMetrics *metrics = nullptr;
+    /**
+     * Lock-episode tracker (null unless lock events are wanted).
+     * Releases are reported here, at the program-store level: under
+     * write-back schemes the releasing store can complete in-cache
+     * (line Local) and never reach the bus, so the bus cannot see it.
+     */
+    obs::Recorder *lockRec = nullptr;
+    /**
+     * Cause label for the next traced state transition, set at each
+     * entry point (cpu / snoop / fill / supply / ...) only while
+     * stateTrace is non-null.  Static-storage strings only.
+     */
+    const char *stateCause = nullptr;
 
     std::vector<Line> lines;
     PendingOp pending;

@@ -1,7 +1,9 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <string>
 
 #include "base/logging.hh"
 #include "sim/trace_agent.hh"
@@ -84,6 +86,56 @@ System::System(const SystemConfig &config) : config(config)
         for (auto cls : kClasses) {
             missStats.push_back(cacheStats.intern(std::string(prefix) +
                                                   std::string(cls)));
+        }
+    }
+
+    recorder = obs::makeRecorder(config.histograms, config.sample_every);
+    if (recorder) {
+        for (int b = 0; b < config.num_buses; b++)
+            buses[static_cast<std::size_t>(b)]->setObserver(
+                recorder.get(), b);
+        for (auto &cache : caches)
+            cache->setObserver(recorder.get());
+        obsQuiesce = recorder->trace(obs::Category::Quiesce);
+        sampler = recorder->sampler();
+    }
+    if (sampler) {
+        for (int b = 0; b < config.num_buses; b++) {
+            auto *bus_stats = busStats[static_cast<std::size_t>(b)].get();
+            auto busy = bus_stats->intern("bus.busy_cycles");
+            sampler->addColumn(
+                "bus" + std::to_string(b) + ".busy_cycles",
+                [bus_stats, busy](Cycle) {
+                    return bus_stats->get(busy);
+                });
+        }
+        auto refs = cacheStats.intern("cache.refs");
+        sampler->addColumn("refs", [this, refs](Cycle) {
+            return cacheStats.get(refs);
+        });
+        sampler->addColumn("miss_refs",
+                           [this](Cycle) { return missRefs(); });
+        // One census scan per sample, shared by the eight per-tag
+        // columns through a cycle-stamped buffer.
+        struct Census
+        {
+            Cycle at = kNever;
+            std::array<std::uint64_t, Cache::kNumTags> counts{};
+        };
+        auto census = std::make_shared<Census>();
+        for (std::size_t t = 0; t < Cache::kNumTags; t++) {
+            sampler->addColumn(
+                "tags." +
+                    std::string(toString(static_cast<LineTag>(t))),
+                [this, census, t](Cycle at) {
+                    if (census->at != at) {
+                        census->counts.fill(0);
+                        for (auto &cache : caches)
+                            cache->addTagCensus(census->counts.data());
+                        census->at = at;
+                    }
+                    return census->counts[t];
+                });
         }
     }
 }
@@ -223,6 +275,16 @@ System::earliestNextEvent() const
 void
 System::skipQuiescent(Cycle count)
 {
+    if (obsQuiesce) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.dur = count;
+        event.name = "quiesce";
+        event.phase = 'X';
+        event.track = obs::kTrackSim;
+        event.tid = 0;
+        obsQuiesce->push(event);
+    }
     for (auto &bus : buses)
         bus->skipCycles(count);
     for (std::size_t index : activeAgents)
@@ -245,6 +307,8 @@ System::run(Cycle max_cycles)
     // skipping on or off.
     bool skipping = config.skip_quiescent && quiescentSkipEnabled();
     while (!allDone() && clock.now < end) {
+        if (sampler && sampler->due(clock.now))
+            sampler->sample(clock.now);
         if (skipping) {
             Cycle next = earliestNextEvent();
             if (next > clock.now) {

@@ -73,6 +73,22 @@ struct SystemConfig
      * --no-snoop-filter flag).
      */
     bool snoop_filter = true;
+    /**
+     * Collect latency histograms (miss service, bus wait, retries,
+     * lock acquisition, inter-write distance) for this System.  ORed
+     * with the process-wide --histograms flag, so a bench can enable
+     * them per-point without racing parallel workers on the process
+     * switch.  All inputs are cycle counts: the recorded
+     * distributions never perturb (and are never perturbed by)
+     * simulation results.
+     */
+    bool histograms = false;
+    /**
+     * Snapshot selected counters every N cycles into a per-run time
+     * series (0 = fall back to the process-wide --sample-every
+     * interval, itself 0 = off).
+     */
+    Cycle sample_every = 0;
 };
 
 /**
@@ -206,6 +222,13 @@ class System
      */
     std::uint64_t missRefs() const;
 
+    /**
+     * This System's observability state (null when every obs feature
+     * is off — the common case).  The trace file, when this System
+     * claimed one, is written when the System is destroyed.
+     */
+    obs::Recorder *observability() const { return recorder.get(); }
+
   private:
     const Cache &cacheBank(PeId pe, Addr addr) const;
     CacheSet cacheSetFor(PeId pe);
@@ -274,6 +297,13 @@ class System
 
     /** Handles of the miss-class cache counters (see missRefs()). */
     std::vector<stats::CounterId> missStats;
+
+    /** Observability state (null when everything is off). */
+    std::unique_ptr<obs::Recorder> recorder;
+    /** Quiesce-category trace sink (null when not traced). */
+    obs::TraceSink *obsQuiesce = nullptr;
+    /** Counter sampler (null when --sample-every is off). */
+    obs::CounterSampler *sampler = nullptr;
 };
 
 } // namespace ddc

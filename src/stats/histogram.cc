@@ -54,16 +54,28 @@ Histogram::percentile(double fraction) const
 {
     if (sampleCount == 0)
         return 0;
-    fraction = std::clamp(fraction, 0.0, 1.0);
+    if (fraction <= 0.0)
+        return sampleMin;
+    fraction = std::min(fraction, 1.0);
+    // Nearest-rank at bucket granularity: find the bucket holding the
+    // target-th sample.  The rank rounds to nearest but is at least 1
+    // so tiny fractions still resolve to a populated bucket instead of
+    // falling through an empty bucket 0.
     std::uint64_t target = static_cast<std::uint64_t>(
         fraction * static_cast<double>(sampleCount) + 0.5);
+    target = std::max<std::uint64_t>(target, 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets.size(); i++) {
         seen += buckets[i];
         if (seen >= target) {
             if (i == buckets.size() - 1)
                 return sampleMax;
-            return (i + 1) * width - 1;
+            // Upper edge of the bucket, clamped to the observed range
+            // so the answer is always a value that could have been
+            // sampled (e.g. one sample of 5 with width 4 reports 5,
+            // not the bucket edge 7).
+            return std::clamp((i + 1) * width - 1, sampleMin,
+                              sampleMax);
         }
     }
     return sampleMax;

@@ -51,9 +51,23 @@ class Histogram
     /** Number of buckets including the overflow bucket. */
     std::size_t numBuckets() const { return buckets.size(); }
 
+    /** Width of each uniform bucket. */
+    std::uint64_t bucketWidth() const { return width; }
+
     /**
      * Smallest sample value v such that at least @p fraction of samples
-     * are <= v, resolved at bucket granularity (upper bucket edge).
+     * are <= v, resolved at bucket granularity.
+     *
+     * Edge behavior (all deterministic, all within [min(), max()]):
+     *  - empty histogram: 0 for any fraction;
+     *  - fraction <= 0: min() (the 0th percentile is the smallest
+     *    sample, not a bucket edge);
+     *  - fraction >= 1: clamped to 1, which resolves to max() when the
+     *    top-ranked sample lives in the last populated bucket;
+     *  - overflow bucket: max() (the bucket has no finite upper edge);
+     *  - interior buckets: the bucket's upper edge
+     *    ((i + 1) * width - 1), clamped to [min(), max()] so a sparse
+     *    histogram never reports a value outside the observed range.
      */
     std::uint64_t percentile(double fraction) const;
 

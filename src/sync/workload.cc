@@ -27,6 +27,7 @@ runLockExperiment(const LockExperimentConfig &config,
     system_config.protocol = config.protocol;
     system_config.memory_latency = config.memory_latency;
     system_config.record_log = config.record_log;
+    system_config.histograms = config.histograms;
 
     auto system = std::make_unique<System>(system_config);
     for (PeId pe = 0; pe < config.num_pes; pe++) {
@@ -64,6 +65,13 @@ runLockExperiment(const LockExperimentConfig &config,
         result.bus_per_acquisition =
             static_cast<double>(result.bus_transactions) /
             static_cast<double>(acquisitions);
+    }
+
+    if (auto *observability = system->observability()) {
+        if (auto *metrics = observability->metrics()) {
+            result.has_metrics = true;
+            result.metrics = *metrics;
+        }
     }
 
     if (out_system != nullptr)

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "core/factory.hh"
+#include "obs/metrics.hh"
 #include "sim/system.hh"
 #include "sync/programs.hh"
 
@@ -34,6 +35,12 @@ struct LockExperimentConfig
      */
     std::size_t memory_latency = 0;
     bool record_log = false;
+    /**
+     * Collect latency histograms for this run (lock acquisition,
+     * handoff, miss service, ...); surfaced in
+     * LockExperimentResult::metrics.
+     */
+    bool histograms = false;
 };
 
 /** Measured outcome of a lock-contention experiment. */
@@ -52,6 +59,10 @@ struct LockExperimentResult
     /** Bus transactions per successful acquisition. */
     double bus_per_acquisition = 0.0;
     bool completed = false;
+    /** True when the run collected latency histograms. */
+    bool has_metrics = false;
+    /** Latency histograms (valid when has_metrics). */
+    obs::RunMetrics metrics;
 };
 
 /** Word address of the lock used by runLockExperiment. */

@@ -191,6 +191,82 @@ TEST(Histogram, EmptyIsSafe)
     EXPECT_EQ(histogram.max(), 0u);
     EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
     EXPECT_EQ(histogram.percentile(0.5), 0u);
+    EXPECT_EQ(histogram.percentile(0.0), 0u);
+    EXPECT_EQ(histogram.percentile(1.0), 0u);
+}
+
+TEST(Histogram, PercentileFractionBounds)
+{
+    Histogram histogram(10, 10);
+    for (int i = 0; i < 100; i++)
+        histogram.sample(static_cast<std::uint64_t>(i));
+    // fraction <= 0 is the smallest sample, not a bucket edge.
+    EXPECT_EQ(histogram.percentile(0.0), 0u);
+    EXPECT_EQ(histogram.percentile(-3.0), 0u);
+    // fraction >= 1 clamps to 1 and resolves to the largest sample.
+    EXPECT_EQ(histogram.percentile(1.0), 99u);
+    EXPECT_EQ(histogram.percentile(7.0), 99u);
+    // Interior percentiles report the holding bucket's upper edge:
+    // the 50th sample (value 49) lives in [40, 50), upper edge 49.
+    EXPECT_EQ(histogram.percentile(0.5), 49u);
+    EXPECT_EQ(histogram.percentile(0.9), 89u);
+}
+
+TEST(Histogram, PercentileSingleSampleClampsToObservedRange)
+{
+    // One sample of 5 with width 4 lands in bucket [4, 8); every
+    // percentile must report 5 (the sample), not the bucket edge 7.
+    Histogram histogram(4, 4);
+    histogram.sample(5);
+    EXPECT_EQ(histogram.percentile(0.0), 5u);
+    EXPECT_EQ(histogram.percentile(0.001), 5u);
+    EXPECT_EQ(histogram.percentile(0.5), 5u);
+    EXPECT_EQ(histogram.percentile(1.0), 5u);
+}
+
+TEST(Histogram, PercentileBucketBoundaries)
+{
+    // Samples exactly on bucket edges: 10 is the first value of
+    // bucket [10, 20), so every percentile of an all-10 histogram is
+    // the clamped upper edge 10 — never 19 and never bucket 0's edge.
+    Histogram histogram(4, 10);
+    for (int i = 0; i < 8; i++)
+        histogram.sample(10);
+    EXPECT_EQ(histogram.percentile(0.5), 10u);
+    EXPECT_EQ(histogram.percentile(1.0), 10u);
+    // Mixed edges: four 9s (bucket 0) and four 10s (bucket 1).  The
+    // median rank (4) resolves within bucket 0, whose upper edge is
+    // exactly 9; anything above resolves to bucket 1, clamped to 10.
+    Histogram edges(4, 10);
+    for (int i = 0; i < 4; i++) {
+        edges.sample(9);
+        edges.sample(10);
+    }
+    EXPECT_EQ(edges.percentile(0.5), 9u);
+    EXPECT_EQ(edges.percentile(0.75), 10u);
+}
+
+TEST(Histogram, PercentileOverflowHeavy)
+{
+    // Overflow bucket has no finite upper edge, so percentiles that
+    // land there report max().  One in-range sample keeps the low
+    // percentiles finite and bucket-resolved.
+    Histogram histogram(2, 10); // [0,10) [10,20) + overflow
+    histogram.sample(3);
+    for (int i = 0; i < 9; i++)
+        histogram.sample(500 + i);
+    EXPECT_EQ(histogram.percentile(0.05), 9u); // bucket 0 upper edge
+    EXPECT_EQ(histogram.percentile(0.5), 508u);
+    EXPECT_EQ(histogram.percentile(0.99), 508u);
+    EXPECT_EQ(histogram.percentile(1.0), 508u);
+    EXPECT_EQ(histogram.max(), 508u);
+}
+
+TEST(Histogram, BucketWidthAccessor)
+{
+    Histogram histogram(8, 10);
+    EXPECT_EQ(histogram.bucketWidth(), 10u);
+    EXPECT_EQ(Histogram().bucketWidth(), 1u);
 }
 
 TEST(Histogram, ClearResets)

@@ -80,6 +80,18 @@ usage(std::ostream &os)
         "  --no-snoop-filter  disable the sharer-indexed snoop filter\n"
         "                   (A/B baseline; results are byte-identical,\n"
         "                   only snoop_visits moves)\n"
+        "\n"
+        "observability options:\n"
+        "  --trace-out FILE  write a Chrome trace-event JSON of the run\n"
+        "                   (load in Perfetto / chrome://tracing)\n"
+        "  --trace-categories LIST\n"
+        "                   comma-separated: bus,state,lock,miss,quiesce\n"
+        "                   or \"all\" (default all; needs --trace-out)\n"
+        "  --histograms     collect latency histograms (miss service,\n"
+        "                   bus wait, lock acquisition, ...) and emit\n"
+        "                   them in the --json output\n"
+        "  --sample-every N  sample counters every N cycles into a\n"
+        "                   per-run time series in the --json output\n"
         "  --help           this text\n";
 }
 
@@ -304,6 +316,7 @@ main(int argc, char **argv)
         config.rwb_writes_to_local = options.config.rwb_writes_to_local;
         config.arbiter = options.config.arbiter;
         config.record_log = options.check;
+        config.histograms = session_options.histograms;
 
         hier::HierSystem system(config);
         system.loadTrace(trace);
