@@ -92,6 +92,16 @@ const FlagSpec kFlags[] = {
          obs::setSampleInterval(options.sample_every);
          return kOk;
      }},
+    {"--shards", true,
+     [](SessionOptions &options, const char *value) -> std::string {
+         options.shards = std::atoi(value);
+         if (options.shards < 1) {
+             return "needs a positive integer, got " +
+                    std::string(value);
+         }
+         setDefaultShards(options.shards);
+         return kOk;
+     }},
 };
 
 } // namespace

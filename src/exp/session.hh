@@ -77,13 +77,21 @@ struct SessionOptions
      * (0 = off).  Deterministic, like histograms.
      */
     Cycle sample_every = 0;
+    /**
+     * Worker lanes each hierarchical machine ticks its clusters on
+     * (the kernel's parallel shard group).  Applied process-wide via
+     * setDefaultShards() so custom experiment points that construct
+     * their own HierSystems are covered too.  Purely a host-
+     * performance knob: results are byte-identical for every value.
+     */
+    int shards = 1;
 };
 
 /**
  * Parse and remove the engine flags (`--jobs N`, `--json PATH`,
  * `--timing`, `--no-skip`, `--no-snoop-filter`, `--trace-out FILE`,
- * `--trace-categories LIST`, `--histograms`, `--sample-every N`)
- * from an argv vector.
+ * `--trace-categories LIST`, `--histograms`, `--sample-every N`,
+ * `--shards N`) from an argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed

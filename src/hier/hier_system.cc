@@ -9,7 +9,13 @@
 namespace ddc {
 namespace hier {
 
-HierSystem::HierSystem(const HierConfig &config) : config(config)
+HierSystem::HierSystem(const HierConfig &config)
+    : config(config),
+      kernel(clock,
+             KernelConfig{config.shards > 0 ? config.shards
+                                            : defaultShards(),
+                          config.deterministic_shards,
+                          config.skip_quiescent})
 {
     ddc_assert(config.num_clusters >= 1, "need at least one cluster");
     ddc_assert(config.pes_per_cluster >= 1,
@@ -24,10 +30,18 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
     globalBus = std::make_unique<Bus>(*memory, config.arbiter, clock,
                                       globalStats, config.arbiter_seed,
                                       1, 0, config.snoop_filter);
+    globalShard = &kernel.makeSerialShard(config.arbiter_seed, 0);
+    globalShard->addBus(globalBus.get());
 
+    // The serial execution log is one shared stream; recording
+    // pins the run to the calling thread (results are identical —
+    // lanes are a host-performance knob only).
     ExecutionLog *log = config.record_log ? &execLog : nullptr;
+    if (log)
+        kernel.forceSequential();
     for (int c = 0; c < config.num_clusters; c++) {
         clusterStats.push_back(std::make_unique<stats::CounterSet>());
+        l1Stats.push_back(std::make_unique<stats::CounterSet>());
         clusterCaches.push_back(
             std::make_unique<ClusterCache>(c, *clusterStats.back()));
         clusterCaches.back()->connectGlobalBus(*globalBus);
@@ -36,13 +50,20 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
             *clusterStats.back(),
             config.arbiter_seed + static_cast<std::uint64_t>(c) + 1,
             1, 0, config.snoop_filter));
+        Shard &shard = kernel.makeShard(
+            config.arbiter_seed,
+            static_cast<std::size_t>(config.pes_per_cluster));
+        clusterShards.push_back(&shard);
+        shard.addBus(clusterBuses.back().get());
 
         for (int p = 0; p < config.pes_per_cluster; p++) {
             PeId pe = c * config.pes_per_cluster + p;
             l1s.push_back(std::make_unique<Cache>(
-                pe, config.cache_lines, *protocol, clock, cacheStats,
-                log));
+                pe, config.cache_lines, *protocol, clock,
+                *l1Stats.back(), log));
             l1s.back()->connectBus(*clusterBuses.back());
+            l1s.back()->setWakeFlag(
+                shard.wakeFlag(static_cast<std::size_t>(p)));
             clusterCaches.back()->addChild(l1s.back().get());
         }
     }
@@ -50,15 +71,20 @@ HierSystem::HierSystem(const HierConfig &config) : config(config)
 
     // Bus track 0 is the global bus; cluster c's bus is track 1 + c.
     recorder = obs::makeRecorder(config.histograms, 0);
+    obs::CounterSampler *sampler = nullptr;
     if (recorder) {
+        // One recorder collects from every cluster; keep its feed
+        // single-threaded.
+        kernel.forceSequential();
         globalBus->setObserver(recorder.get(), 0);
         for (int c = 0; c < config.num_clusters; c++)
             clusterBuses[static_cast<std::size_t>(c)]->setObserver(
                 recorder.get(), 1 + c);
         for (auto &l1_cache : l1s)
             l1_cache->setObserver(recorder.get());
-        obsQuiesce = recorder->trace(obs::Category::Quiesce);
+        kernel.setQuiesceSink(recorder->trace(obs::Category::Quiesce));
         sampler = recorder->sampler();
+        kernel.setSampler(sampler);
     }
     if (sampler) {
         auto global_busy = globalStats.intern("bus.busy_cycles");
@@ -86,31 +112,31 @@ HierSystem::loadTrace(const Trace &trace)
         std::vector<MemRef> stream;
         if (pe < trace.numPes())
             stream = trace.stream(pe);
+        int cluster = clusterOf(pe);
         agents[static_cast<std::size_t>(pe)] = std::make_unique<TraceAgent>(
             pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
-            std::move(stream), cacheStats);
+            std::move(stream),
+            *l1Stats[static_cast<std::size_t>(cluster)]);
+        clusterShards[static_cast<std::size_t>(cluster)]->setAgent(
+            static_cast<std::size_t>(pe % config.pes_per_cluster),
+            agents[static_cast<std::size_t>(pe)].get());
     }
-    rebuildActiveAgents();
+    for (Shard *shard : clusterShards)
+        shard->rebuild();
 }
 
 void
 HierSystem::setProgram(PeId pe, Program program)
 {
     ddc_assert(pe >= 0 && pe < numPes(), "PE id out of range");
+    int cluster = clusterOf(pe);
     agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
         pe, CacheSet({l1s[static_cast<std::size_t>(pe)].get()}),
-        std::move(program), cacheStats);
-    rebuildActiveAgents();
-}
-
-void
-HierSystem::rebuildActiveAgents()
-{
-    activeAgents.clear();
-    for (std::size_t i = 0; i < agents.size(); i++) {
-        if (agents[i] && !agents[i]->done())
-            activeAgents.push_back(i);
-    }
+        std::move(program), *l1Stats[static_cast<std::size_t>(cluster)]);
+    Shard *shard = clusterShards[static_cast<std::size_t>(cluster)];
+    shard->setAgent(static_cast<std::size_t>(pe % config.pes_per_cluster),
+                    agents[static_cast<std::size_t>(pe)].get());
+    shard->rebuild();
 }
 
 Processor &
@@ -129,90 +155,23 @@ void
 HierSystem::tick()
 {
     // Global commits first: a cluster's forwarded completion lands
-    // before the cluster bus (and the PEs) run this cycle.
-    globalBus->tick();
-    for (auto &bus : clusterBuses)
-        bus->tick();
-    // Tick the still-running agents in PE order and drop the ones
-    // that finished; compaction is stable so the tick (and execution
-    // log commit) order never changes.
-    std::size_t out = 0;
-    for (std::size_t index : activeAgents) {
-        agents[index]->tick();
-        if (!agents[index]->done())
-            activeAgents[out++] = index;
-    }
-    activeAgents.resize(out);
-    clock.now++;
-}
-
-Cycle
-HierSystem::earliestNextEvent() const
-{
-    Cycle earliest = globalBus->nextEventCycle(clock.now);
-    if (earliest <= clock.now)
-        return clock.now;
-    for (const auto &bus : clusterBuses) {
-        Cycle next = bus->nextEventCycle(clock.now);
-        if (next <= clock.now)
-            return clock.now;
-        earliest = std::min(earliest, next);
-    }
-    for (std::size_t index : activeAgents) {
-        Cycle next = agents[index]->nextEventCycle(clock.now);
-        if (next <= clock.now)
-            return clock.now;
-        earliest = std::min(earliest, next);
-    }
-    return earliest;
-}
-
-void
-HierSystem::skipQuiescent(Cycle count)
-{
-    if (obsQuiesce) {
-        obs::TraceEvent event;
-        event.ts = clock.now;
-        event.dur = count;
-        event.name = "quiesce";
-        event.phase = 'X';
-        event.track = obs::kTrackSim;
-        event.tid = 0;
-        obsQuiesce->push(event);
-    }
-    globalBus->skipCycles(count);
-    for (auto &bus : clusterBuses)
-        bus->skipCycles(count);
-    for (std::size_t index : activeAgents)
-        agents[index]->skipCycles(count);
-    clock.now += count;
-    skipped += count;
+    // before the cluster bus (and the PEs) run this cycle.  The
+    // kernel preserves that order — serial (global) shard, then the
+    // cluster shards.
+    kernel.tickOnce();
 }
 
 Cycle
 HierSystem::run(Cycle max_cycles)
 {
+    // Next-event time advance and shard scheduling live in the
+    // kernel; see Kernel::run.  The hierarchy's buses run at the
+    // unified (zero extra latency) cycle, so skips engage only when
+    // every level is simultaneously blocked — but the engine is wired
+    // identically so the on/off equivalence guarantee covers this
+    // machine too.
     Cycle start = clock.now;
-    Cycle end = start + max_cycles;
-    // Next-event time advance; see System::run.  The hierarchy's
-    // buses run at the unified (zero extra latency) cycle, so skips
-    // engage only when every level is simultaneously blocked — but
-    // the engine is wired identically so the on/off equivalence
-    // guarantee covers this machine too.
-    bool skipping = config.skip_quiescent && quiescentSkipEnabled();
-    while (!allDone() && clock.now < end) {
-        if (sampler && sampler->due(clock.now))
-            sampler->sample(clock.now);
-        if (skipping) {
-            Cycle next = earliestNextEvent();
-            if (next > clock.now) {
-                skipQuiescent(std::min(next, end) - clock.now);
-                continue;
-            }
-        }
-        tick();
-    }
-    run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+    run_status = kernel.run(max_cycles);
     if (run_status == RunStatus::TimedOut) {
         ddc_warn("HierSystem::run hit its cycle budget (", max_cycles,
                  " cycles) with agents still busy; reporting timed_out");
@@ -223,7 +182,7 @@ HierSystem::run(Cycle max_cycles)
 bool
 HierSystem::allDone() const
 {
-    return activeAgents.empty();
+    return kernel.allDone();
 }
 
 const Cache &
@@ -272,9 +231,11 @@ HierSystem::clusterCache(int cluster) const
 stats::CounterSet
 HierSystem::counters() const
 {
+    kernel.flushStalls();
     stats::CounterSet merged;
     merged.merge(globalStats);
-    merged.merge(cacheStats);
+    for (const auto &l1 : l1Stats)
+        merged.merge(*l1);
     for (const auto &cluster : clusterStats)
         merged.merge(*cluster);
     return merged;

@@ -20,8 +20,10 @@
 #include "sim/clock.hh"
 #include "sim/exec_log.hh"
 #include "sim/isa.hh"
+#include "sim/kernel.hh"
 #include "sim/memory.hh"
 #include "sim/processor.hh"
+#include "sim/shard.hh"
 #include "sim/system.hh"
 #include "stats/counter.hh"
 #include "trace/trace.hh"
@@ -68,6 +70,22 @@ struct HierConfig
      * flag, purely observational).
      */
     bool histograms = false;
+    /**
+     * Host worker lanes run() ticks the clusters on (each cluster —
+     * local bus + its L1s + its PEs — is one kernel shard).  0 = the
+     * process-wide default (the --shards flag, itself defaulting to
+     * 1).  Purely a host-performance knob: in deterministic mode
+     * (the default) results are byte-identical for every value.
+     * Machines that must run on the calling thread (record_log, an
+     * attached observability recorder) clamp to one lane.
+     */
+    int shards = 0;
+    /**
+     * Static shard-to-lane schedule with guaranteed byte-identical
+     * output (see KernelConfig::deterministic).  False opts into
+     * dynamic load-balanced claiming.
+     */
+    bool deterministic_shards = true;
 };
 
 /** A complete hierarchical shared-bus multiprocessor (RB recursive). */
@@ -110,7 +128,7 @@ class HierSystem
     bool timedOut() const { return run_status == RunStatus::TimedOut; }
 
     /** Cycles run() fast-forwarded instead of ticking. */
-    Cycle skippedCycles() const { return skipped; }
+    Cycle skippedCycles() const { return kernel.skippedCycles(); }
 
     bool allDone() const;
     Cycle now() const { return clock.now; }
@@ -160,26 +178,30 @@ class HierSystem
   private:
     const Cache &l1(PeId pe) const;
 
-    /** Recompute the not-yet-done agent list after (re)installs. */
-    void rebuildActiveAgents();
-
-    /** Earliest next event across all buses and active agents. */
-    Cycle earliestNextEvent() const;
-
-    /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
-    void skipQuiescent(Cycle count);
-
     HierConfig config;
     Clock clock;
+    /**
+     * The shared run-loop driver.  The global bus is the serial
+     * shard (ticked first each cycle by the coordinating thread —
+     * all cross-cluster traffic commits there); each cluster is one
+     * parallel shard, tickable concurrently because within a cycle a
+     * cluster's bus, cluster cache, L1s, and PEs touch only cluster-
+     * local state plus the global bus's atomic request arming.
+     */
+    Kernel kernel;
     RunStatus run_status = RunStatus::Finished;
-    /** Cycles fast-forwarded by skipQuiescent() so far. */
-    Cycle skipped = 0;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> protocol;
 
     stats::CounterSet globalStats;
-    stats::CounterSet cacheStats;
     std::vector<std::unique_ptr<stats::CounterSet>> clusterStats;
+    /**
+     * Per-cluster L1 + PE counter sets (cacheStats was one shared set
+     * before sharding; CounterSet::merge sums by name, so counters()
+     * is byte-identical to the shared-set scheme while letting each
+     * shard count without cross-thread contention).
+     */
+    std::vector<std::unique_ptr<stats::CounterSet>> l1Stats;
 
     std::unique_ptr<Memory> memory;
     std::unique_ptr<Bus> globalBus;
@@ -188,18 +210,13 @@ class HierSystem
     /** l1s[pe]. */
     std::vector<std::unique_ptr<Cache>> l1s;
     std::vector<std::unique_ptr<Agent>> agents;
-    /**
-     * Indices of installed agents that have not finished, in PE order
-     * (tick order is preserved); see System::activeAgents.
-     */
-    std::vector<std::size_t> activeAgents;
+    /** The serial (global-bus) shard, owned by the kernel. */
+    Shard *globalShard = nullptr;
+    /** clusterShards[cluster], owned by the kernel. */
+    std::vector<Shard *> clusterShards;
 
     /** Observability state (null when everything is off). */
     std::unique_ptr<obs::Recorder> recorder;
-    /** Quiesce-category trace sink (null when not traced). */
-    obs::TraceSink *obsQuiesce = nullptr;
-    /** Counter sampler (null when --sample-every is off). */
-    obs::CounterSampler *sampler = nullptr;
 };
 
 /** Outcome of a hierarchical invariant check. */

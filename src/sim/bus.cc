@@ -110,7 +110,7 @@ Bus::attach(BusClient *client)
     ddc_assert(client != nullptr, "null bus client");
     clients.push_back(client);
     armed.push_back(1);
-    armedCount++;
+    armedCount.fetch_add(1, std::memory_order_relaxed);
     suppliers.push_back(1);
     supplierCount++;
     indexed.push_back(0);
@@ -204,16 +204,16 @@ Bus::setRequestArmed(int client, bool is_armed)
         return;
     armed[index] = flag;
     if (is_armed)
-        armedCount++;
+        armedCount.fetch_add(1, std::memory_order_relaxed);
     else
-        armedCount--;
+        armedCount.fetch_sub(1, std::memory_order_relaxed);
 }
 
 const std::vector<int> &
 Bus::collectRequesters()
 {
     requesters.clear();
-    if (armedCount == 0)
+    if (armedClients() == 0)
         return requesters;
     for (std::size_t i = 0; i < clients.size(); i++) {
         if (armed[i] && clients[i]->hasRequest())
@@ -242,7 +242,7 @@ Bus::skipCycles(Cycle count)
     // Streaming past the end of the in-flight transfer is only legal
     // when no client could have requested the freed bus.
     ddc_assert(count <= static_cast<Cycle>(transferCyclesLeft) ||
-                   armedCount == 0,
+                   armedClients() == 0,
                "skipped across a bus grant opportunity");
     auto streamed = std::min(count,
                              static_cast<Cycle>(transferCyclesLeft));

@@ -28,6 +28,7 @@
 #define DDC_SIM_BUS_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -196,7 +197,11 @@ class Bus
     void setRequestArmed(int client, bool is_armed);
 
     /** Number of currently armed clients. */
-    std::size_t armedClients() const { return armedCount; }
+    std::size_t
+    armedClients() const
+    {
+        return armedCount.load(std::memory_order_relaxed);
+    }
 
     /**
      * Declare whether @p client could supply data for a snooped read
@@ -270,7 +275,7 @@ class Bus
     {
         Cycle own = transferCyclesLeft > 0
                         ? now + static_cast<Cycle>(transferCyclesLeft)
-                        : (armedCount > 0 ? now : kNever);
+                        : (armedClients() > 0 ? now : kNever);
         return std::min(own, memory.nextEventCycle(now));
     }
 
@@ -383,10 +388,21 @@ class Bus
     std::size_t blockSize;
     std::size_t memoryLatency;
     std::vector<BusClient *> clients;
-    /** Per-client armed flag (1 = poll; parallel to clients). */
+    /**
+     * Per-client armed flag (1 = poll; parallel to clients).  Each
+     * entry is written only by its owning client — on the global bus
+     * of a sharded hierarchical run that means one shard thread per
+     * entry, so the plain chars are race-free.
+     */
     std::vector<char> armed;
-    /** Count of set entries in armed. */
-    std::size_t armedCount = 0;
+    /**
+     * Count of set entries in armed.  Atomic (relaxed) because
+     * cluster shards arm/disarm their global-bus request slots
+     * concurrently during the parallel phase; a count is
+     * order-insensitive, so the final value — and every simulation
+     * byte — is independent of the interleaving.
+     */
+    std::atomic<std::size_t> armedCount{0};
     /** Per-client potential-supplier flag (parallel to clients). */
     std::vector<char> suppliers;
     /** Count of set entries in suppliers. */

@@ -1,0 +1,299 @@
+#include "sim/kernel.hh"
+
+#include <algorithm>
+#include <atomic>
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+std::string_view
+toString(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Finished: return "finished";
+      case RunStatus::TimedOut: return "timed_out";
+    }
+    return "?";
+}
+
+namespace {
+
+// Atomic so parallel sweeps (exp runner worker threads) may read them
+// while the main thread parses flags; flipped only before any machine
+// runs in practice.
+std::atomic<bool> quiescentSkip{true};
+std::atomic<int> defaultShardLanes{1};
+
+} // namespace
+
+void
+setQuiescentSkipEnabled(bool enabled)
+{
+    quiescentSkip.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+quiescentSkipEnabled()
+{
+    return quiescentSkip.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultShards(int shards)
+{
+    ddc_assert(shards >= 1, "shard count must be positive");
+    defaultShardLanes.store(shards, std::memory_order_relaxed);
+}
+
+int
+defaultShards()
+{
+    return defaultShardLanes.load(std::memory_order_relaxed);
+}
+
+Kernel::Kernel(Clock &clock, const KernelConfig &config)
+    : clock(clock), config(config)
+{
+    ddc_assert(config.shards >= 1, "kernel needs at least one lane");
+}
+
+Kernel::~Kernel()
+{
+    stopWorkers();
+}
+
+Shard &
+Kernel::makeSerialShard(std::uint64_t seed, std::size_t agent_slots)
+{
+    ddc_assert(!serial, "a kernel has at most one serial shard");
+    serial = std::make_unique<Shard>(nextShardId++, seed, agent_slots);
+    return *serial;
+}
+
+Shard &
+Kernel::makeShard(std::uint64_t seed, std::size_t agent_slots)
+{
+    ddc_assert(laneCount == 0, "shards must be created before running");
+    group.push_back(
+        std::make_unique<Shard>(nextShardId++, seed, agent_slots));
+    return *group.back();
+}
+
+int
+Kernel::workerLanes() const
+{
+    if (sequentialOnly || group.size() <= 1)
+        return 1;
+    return std::min<int>(config.shards,
+                         static_cast<int>(group.size()));
+}
+
+void
+Kernel::tickOnce()
+{
+    if (serial)
+        serial->tick();
+    for (auto &shard : group)
+        shard->tick();
+    clock.now++;
+}
+
+bool
+Kernel::allDone() const
+{
+    if (serial && !serial->done())
+        return false;
+    for (const auto &shard : group) {
+        if (!shard->done())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Kernel::earliestNextEvent() const
+{
+    Cycle earliest = kNever;
+    if (serial) {
+        earliest = serial->nextEventCycle(clock.now);
+        if (earliest <= clock.now)
+            return clock.now;
+    }
+    for (const auto &shard : group) {
+        Cycle next = shard->nextEventCycle(clock.now);
+        if (next <= clock.now)
+            return clock.now;
+        earliest = std::min(earliest, next);
+    }
+    return earliest;
+}
+
+void
+Kernel::skipQuiescent(Cycle count)
+{
+    if (quiesce) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.dur = count;
+        event.name = "quiesce";
+        event.phase = 'X';
+        event.track = obs::kTrackSim;
+        event.tid = 0;
+        quiesce->push(event);
+    }
+    if (serial)
+        serial->skipCycles(count);
+    for (auto &shard : group)
+        shard->skipCycles(count);
+    clock.now += count;
+    skipped += count;
+}
+
+void
+Kernel::flushStalls() const
+{
+    if (serial)
+        serial->flushStalls();
+    for (const auto &shard : group)
+        shard->flushStalls();
+}
+
+RunStatus
+Kernel::run(Cycle max_cycles)
+{
+    Cycle end = clock.now + max_cycles;
+    // Next-event time advance: when no bus can grant and no agent can
+    // act this cycle, jump the clock to the earliest future event
+    // (typically the end of a memory-latency transfer) instead of
+    // ticking through the quiescent interval.  Every skipped cycle is
+    // bulk-accounted exactly as a tick would have, so counters, the
+    // execution log, and arbiter RNG streams are byte-identical with
+    // skipping on or off.
+    bool skipping = config.skip_quiescent && quiescentSkipEnabled();
+    int lanes = workerLanes();
+    if (lanes > 1)
+        startWorkers(lanes);
+    while (!allDone() && clock.now < end) {
+        if (sampler && sampler->due(clock.now))
+            sampler->sample(clock.now);
+        if (skipping) {
+            Cycle next = earliestNextEvent();
+            if (next > clock.now) {
+                // kNever (all components blocked on each other) fast-
+                // forwards to the budget, reported as timed_out by the
+                // caller.
+                skipQuiescent(std::min(next, end) - clock.now);
+                continue;
+            }
+        }
+        if (lanes > 1) {
+            if (serial)
+                serial->tick();
+            tickShardsParallel();
+            clock.now++;
+        } else {
+            tickOnce();
+        }
+    }
+    // Agents still stalled (timeout) carry unflushed skipped-stall
+    // cycles; account them before anyone reads counters.
+    flushStalls();
+    return allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+}
+
+void
+Kernel::runLane(int lane)
+{
+    if (config.deterministic) {
+        // Static schedule: shard i always ticks on lane i % lanes, so
+        // the partition — and with it every observable byte — is a
+        // pure function of (shard count, lane count).
+        for (std::size_t i = static_cast<std::size_t>(lane);
+             i < group.size();
+             i += static_cast<std::size_t>(laneCount)) {
+            group[i]->tick();
+        }
+    } else {
+        // Dynamic schedule: lanes claim the next unticked shard.
+        // Every shard still ticks exactly once per cycle and shards
+        // are independent within a cycle, so results do not change —
+        // but the assignment is load-balanced, not reproducible.
+        for (std::size_t i = claim.fetch_add(1, std::memory_order_relaxed);
+             i < group.size();
+             i = claim.fetch_add(1, std::memory_order_relaxed)) {
+            group[i]->tick();
+        }
+    }
+}
+
+void
+Kernel::tickShardsParallel()
+{
+    if (!config.deterministic)
+        claim.store(0, std::memory_order_relaxed);
+    arrivalsPending.store(laneCount - 1, std::memory_order_relaxed);
+    // The release publish of the new epoch orders the claim/arrival
+    // resets (and last cycle's serial-phase writes) before any worker
+    // starts ticking.
+    epoch.fetch_add(1, std::memory_order_release);
+    epoch.notify_all();
+    runLane(0);
+    // Barrier: wait for every worker lane's arrival; the acquire
+    // loads pair with the workers' release decrements so all shard
+    // writes are visible to the next serial phase.
+    for (int left = arrivalsPending.load(std::memory_order_acquire);
+         left != 0;
+         left = arrivalsPending.load(std::memory_order_acquire)) {
+        arrivalsPending.wait(left, std::memory_order_acquire);
+    }
+}
+
+void
+Kernel::workerMain(int lane, std::uint64_t seen)
+{
+    for (;;) {
+        epoch.wait(seen, std::memory_order_acquire);
+        seen = epoch.load(std::memory_order_acquire);
+        if (quitting.load(std::memory_order_acquire))
+            return;
+        runLane(lane);
+        if (arrivalsPending.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            arrivalsPending.notify_all();
+    }
+}
+
+void
+Kernel::startWorkers(int lanes)
+{
+    if (laneCount == lanes)
+        return;
+    stopWorkers();
+    laneCount = lanes;
+    workers.reserve(static_cast<std::size_t>(lanes - 1));
+    // Capture the epoch on this thread: a worker that read it itself
+    // could miss a bump published between spawn and its first load and
+    // deadlock the first barrier.
+    std::uint64_t seen = epoch.load(std::memory_order_relaxed);
+    for (int lane = 1; lane < lanes; lane++)
+        workers.emplace_back([this, lane, seen] { workerMain(lane, seen); });
+}
+
+void
+Kernel::stopWorkers()
+{
+    if (workers.empty()) {
+        laneCount = 0;
+        return;
+    }
+    quitting.store(true, std::memory_order_release);
+    epoch.fetch_add(1, std::memory_order_release);
+    epoch.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+    workers.clear();
+    quitting.store(false, std::memory_order_relaxed);
+    laneCount = 0;
+}
+
+} // namespace ddc

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * One shard of a simulated machine: the buses and agents that tick
+ * together on one host thread.
+ *
+ * A shard is the kernel's unit of parallel work (see DESIGN.md, "The
+ * kernel and shard contract").  On the flat machine the whole system
+ * is one shard; on the hierarchical machine the global bus forms the
+ * serial shard and each cluster (cluster bus + its L1 caches + its
+ * PEs) is one parallel shard.  Within a cycle a shard's tick touches
+ * only shard-local state — the single cross-shard exception is arming
+ * a request slot on the global bus, which is per-client storage plus
+ * an atomic count and therefore both race-free and order-insensitive.
+ *
+ * The shard owns the stall-skip machinery extracted from the old
+ * System::tick: an agent whose tick reported stalledOnCompletion() is
+ * skipped (one accrued stall cycle per skipped tick, flushed in bulk)
+ * until its cache raises the per-slot wake flag.
+ */
+
+#ifndef DDC_SIM_SHARD_HH
+#define DDC_SIM_SHARD_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/agent.hh"
+#include "sim/bus.hh"
+#include "sim/clock.hh"
+#include "trace/rng.hh"
+
+namespace ddc {
+
+/** The buses and agents one host thread ticks as a unit. */
+class Shard
+{
+  public:
+    /**
+     * @param id Kernel-assigned shard id (creation order); fixes the
+     *        cross-shard event ordering key (cycle, shard id, agent
+     *        slot) and seeds the shard's random stream.
+     * @param seed Machine seed; the shard's stream is seed ^ id.
+     * @param agent_slots Number of agent slots (fixed up front so
+     *        wake-flag pointers handed to caches stay stable).
+     */
+    Shard(int id, std::uint64_t seed, std::size_t agent_slots);
+
+    int id() const { return shardId; }
+
+    /**
+     * This shard's counter-based random stream.  Any stochastic
+     * behaviour a shard-resident component introduces must draw from
+     * here (or from its own fixed-seed Rng): draw i is a pure
+     * function of (machine seed ^ shard id, i), so shard count and
+     * host-thread interleaving can never perturb the values drawn.
+     */
+    StreamRng &rng() { return stream; }
+
+    /** Attach a bus ticked (and skipped) by this shard, in order. */
+    void addBus(Bus *bus);
+
+    /**
+     * Wake flag of agent slot @p slot, for Cache::setWakeFlag (stable
+     * for the shard's lifetime).
+     */
+    char *wakeFlag(std::size_t slot);
+
+    /** Install (or replace) the agent in @p slot; then rebuild(). */
+    void setAgent(std::size_t slot, Agent *agent);
+
+    /**
+     * Recompute the not-yet-done agent list after (re)installs and
+     * reset the stall/wake machinery (accrued stalls are flushed
+     * first so no owed cycles are dropped).
+     */
+    void rebuild();
+
+    /**
+     * Advance one cycle: buses in attach order, then the still-running
+     * agents in slot order.  Agents that finished are dropped;
+     * compaction is stable so the tick (and execution-log commit)
+     * order never changes.  An agent stalled on a miss is skipped
+     * without even the virtual call until its cache raises the wake
+     * flag; each skipped tick would only have accrued one stall
+     * cycle, added in bulk at wake (or by flushStalls()).
+     */
+    void tick();
+
+    /** True when every installed agent has finished. */
+    bool done() const { return active.empty(); }
+
+    /**
+     * Earliest cycle at which any of this shard's buses or active
+     * agents can change state: @p now when some component is runnable
+     * this cycle, a future cycle during a quiescent interval, kNever
+     * when every component is blocked.  Side-effect free.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
+    void skipCycles(Cycle count);
+
+    /**
+     * Push stall cycles accrued while skipping stalled agents' ticks
+     * into the owning agents' counters; called at wake, at the end of
+     * a run, and before any counter read, so observed statistics
+     * always match the tick-every-cycle baseline.
+     */
+    void flushStalls() const;
+
+  private:
+    int shardId;
+    StreamRng stream;
+    std::vector<Bus *> buses;
+    /** Installed agents by slot (non-owning; null = empty slot). */
+    std::vector<Agent *> agents;
+    /** Slots of installed agents that have not finished, in order. */
+    std::vector<std::size_t> active;
+    /** Per-slot stalled-on-miss flag (see tick()). */
+    std::vector<char> stalled;
+    /** Per-slot wake flag, raised by Cache::finish() on completion. */
+    std::vector<char> wake;
+    /**
+     * Stall cycles accrued per slot while its ticks were skipped
+     * (mutable: counter reads are const but must observe the flushed
+     * totals).
+     */
+    mutable std::vector<Cycle> accrued;
+};
+
+} // namespace ddc
+
+#endif // DDC_SIM_SHARD_HH

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <string>
 
 #include "base/logging.hh"
@@ -10,38 +9,9 @@
 
 namespace ddc {
 
-std::string_view
-toString(RunStatus status)
-{
-    switch (status) {
-      case RunStatus::Finished: return "finished";
-      case RunStatus::TimedOut: return "timed_out";
-    }
-    return "?";
-}
-
-namespace {
-
-// Atomic so parallel sweeps (exp runner worker threads) may read it
-// while the main thread parses flags; flipped only before any System
-// runs in practice.
-std::atomic<bool> quiescentSkip{true};
-
-} // namespace
-
-void
-setQuiescentSkipEnabled(bool enabled)
-{
-    quiescentSkip.store(enabled, std::memory_order_relaxed);
-}
-
-bool
-quiescentSkipEnabled()
-{
-    return quiescentSkip.load(std::memory_order_relaxed);
-}
-
-System::System(const SystemConfig &config) : config(config)
+System::System(const SystemConfig &config)
+    : config(config),
+      kernel(clock, KernelConfig{1, true, config.skip_quiescent})
 {
     ddc_assert(config.num_pes >= 1, "need at least one PE");
     ddc_assert(config.num_buses >= 1, "need at least one bus");
@@ -49,6 +19,9 @@ System::System(const SystemConfig &config) : config(config)
     ddc_assert(config.block_words >= 1, "need at least one word per block");
 
     proto = makeProtocol(config.protocol, config.rwb_writes_to_local);
+
+    auto num_pes = static_cast<std::size_t>(config.num_pes);
+    shard = &kernel.makeShard(config.arbiter_seed, num_pes);
 
     for (int b = 0; b < config.num_buses; b++) {
         busStats.push_back(std::make_unique<stats::CounterSet>());
@@ -58,13 +31,10 @@ System::System(const SystemConfig &config) : config(config)
             config.arbiter_seed + static_cast<std::uint64_t>(b),
             config.block_words, config.memory_latency,
             config.snoop_filter));
+        shard->addBus(buses.back().get());
     }
 
     ExecutionLog *log = config.record_log ? &execLog : nullptr;
-    auto num_pes = static_cast<std::size_t>(config.num_pes);
-    agentStalled.assign(num_pes, 0);
-    agentWake.assign(num_pes, 0);
-    stallAccrued.assign(num_pes, 0);
     for (PeId pe = 0; pe < config.num_pes; pe++) {
         for (int b = 0; b < config.num_buses; b++) {
             caches.push_back(std::make_unique<Cache>(
@@ -72,7 +42,7 @@ System::System(const SystemConfig &config) : config(config)
                 config.block_words, config.ways));
             caches.back()->connectBus(*buses[static_cast<std::size_t>(b)]);
             caches.back()->setWakeFlag(
-                &agentWake[static_cast<std::size_t>(pe)]);
+                shard->wakeFlag(static_cast<std::size_t>(pe)));
         }
     }
     agents.resize(num_pes);
@@ -90,14 +60,16 @@ System::System(const SystemConfig &config) : config(config)
     }
 
     recorder = obs::makeRecorder(config.histograms, config.sample_every);
+    obs::CounterSampler *sampler = nullptr;
     if (recorder) {
         for (int b = 0; b < config.num_buses; b++)
             buses[static_cast<std::size_t>(b)]->setObserver(
                 recorder.get(), b);
         for (auto &cache : caches)
             cache->setObserver(recorder.get());
-        obsQuiesce = recorder->trace(obs::Category::Quiesce);
+        kernel.setQuiesceSink(recorder->trace(obs::Category::Quiesce));
         sampler = recorder->sampler();
+        kernel.setSampler(sampler);
     }
     if (sampler) {
         for (int b = 0; b < config.num_buses; b++) {
@@ -163,8 +135,10 @@ System::loadTrace(const Trace &trace)
             stream = trace.stream(pe);
         agents[static_cast<std::size_t>(pe)] = std::make_unique<TraceAgent>(
             pe, cacheSetFor(pe), std::move(stream), cacheStats);
+        shard->setAgent(static_cast<std::size_t>(pe),
+                        agents[static_cast<std::size_t>(pe)].get());
     }
-    rebuildActiveAgents();
+    shard->rebuild();
 }
 
 void
@@ -173,31 +147,9 @@ System::setProgram(PeId pe, Program program)
     ddc_assert(pe >= 0 && pe < config.num_pes, "PE id out of range");
     agents[static_cast<std::size_t>(pe)] = std::make_unique<Processor>(
         pe, cacheSetFor(pe), std::move(program), cacheStats);
-    rebuildActiveAgents();
-}
-
-void
-System::rebuildActiveAgents()
-{
-    flushStalls();
-    std::fill(agentStalled.begin(), agentStalled.end(), 0);
-    std::fill(agentWake.begin(), agentWake.end(), 0);
-    activeAgents.clear();
-    for (std::size_t i = 0; i < agents.size(); i++) {
-        if (agents[i] && !agents[i]->done())
-            activeAgents.push_back(i);
-    }
-}
-
-void
-System::flushStalls() const
-{
-    for (std::size_t i = 0; i < stallAccrued.size(); i++) {
-        if (stallAccrued[i] > 0 && agents[i]) {
-            agents[i]->addStallCycles(stallAccrued[i]);
-            stallAccrued[i] = 0;
-        }
-    }
+    shard->setAgent(static_cast<std::size_t>(pe),
+                    agents[static_cast<std::size_t>(pe)].get());
+    shard->rebuild();
 }
 
 Processor &
@@ -214,116 +166,14 @@ System::processor(PeId pe)
 void
 System::tick()
 {
-    for (auto &bus : buses)
-        bus->tick();
-    // Tick the still-running agents in PE order and drop the ones
-    // that finished; compaction is stable so the tick (and execution
-    // log commit) order never changes.  An agent stalled on a miss is
-    // skipped without even the virtual call until its cache raises
-    // the wake flag; each skipped tick would only have accrued one
-    // stall cycle, added in bulk at wake (or by flushStalls()).
-    std::size_t out = 0;
-    for (std::size_t index : activeAgents) {
-        if (agentStalled[index]) {
-            if (!agentWake[index]) {
-                stallAccrued[index]++;
-                activeAgents[out++] = index;
-                continue;
-            }
-            agentStalled[index] = 0;
-            agentWake[index] = 0;
-            if (stallAccrued[index] > 0) {
-                agents[index]->addStallCycles(stallAccrued[index]);
-                stallAccrued[index] = 0;
-            }
-        }
-        agents[index]->tick();
-        if (agents[index]->stalledOnCompletion()) {
-            agentStalled[index] = 1;
-            agentWake[index] = 0;
-        }
-        if (!agents[index]->done())
-            activeAgents[out++] = index;
-    }
-    activeAgents.resize(out);
-    clock.now++;
-}
-
-Cycle
-System::earliestNextEvent() const
-{
-    Cycle earliest = kNever;
-    for (const auto &bus : buses) {
-        Cycle next = bus->nextEventCycle(clock.now);
-        if (next <= clock.now)
-            return clock.now;
-        earliest = std::min(earliest, next);
-    }
-    for (std::size_t index : activeAgents) {
-        // A stalled agent with no wake pending can only be woken by
-        // its cache's completion: kNever, without the virtual call.
-        if (agentStalled[index] && !agentWake[index])
-            continue;
-        Cycle next = agents[index]->nextEventCycle(clock.now);
-        if (next <= clock.now)
-            return clock.now;
-        earliest = std::min(earliest, next);
-    }
-    return earliest;
-}
-
-void
-System::skipQuiescent(Cycle count)
-{
-    if (obsQuiesce) {
-        obs::TraceEvent event;
-        event.ts = clock.now;
-        event.dur = count;
-        event.name = "quiesce";
-        event.phase = 'X';
-        event.track = obs::kTrackSim;
-        event.tid = 0;
-        obsQuiesce->push(event);
-    }
-    for (auto &bus : buses)
-        bus->skipCycles(count);
-    for (std::size_t index : activeAgents)
-        agents[index]->skipCycles(count);
-    clock.now += count;
-    skipped += count;
+    kernel.tickOnce();
 }
 
 Cycle
 System::run(Cycle max_cycles)
 {
     Cycle start = clock.now;
-    Cycle end = start + max_cycles;
-    // Next-event time advance: when no bus can grant and no agent can
-    // act this cycle, jump the clock to the earliest future event
-    // (typically the end of a memory-latency transfer) instead of
-    // ticking through the quiescent interval.  Every skipped cycle is
-    // bulk-accounted exactly as a tick would have, so counters, the
-    // execution log, and arbiter RNG streams are byte-identical with
-    // skipping on or off.
-    bool skipping = config.skip_quiescent && quiescentSkipEnabled();
-    while (!allDone() && clock.now < end) {
-        if (sampler && sampler->due(clock.now))
-            sampler->sample(clock.now);
-        if (skipping) {
-            Cycle next = earliestNextEvent();
-            if (next > clock.now) {
-                // kNever (all components blocked on each other) fast-
-                // forwards to the budget, reported as timed_out below.
-                skipQuiescent(std::min(next, end) - clock.now);
-                continue;
-            }
-        }
-        tick();
-    }
-    // Agents still stalled (timeout) carry unflushed skipped-stall
-    // cycles; account them before anyone reads counters.
-    flushStalls();
-    run_status = allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+    run_status = kernel.run(max_cycles);
     if (run_status == RunStatus::TimedOut) {
         ddc_warn("System::run hit its cycle budget (", max_cycles,
                  " cycles) with agents still busy; reporting timed_out");
@@ -334,7 +184,7 @@ System::run(Cycle max_cycles)
 bool
 System::allDone() const
 {
-    return activeAgents.empty();
+    return kernel.allDone();
 }
 
 const Cache &

@@ -25,8 +25,10 @@
 #include "sim/clock.hh"
 #include "sim/exec_log.hh"
 #include "sim/isa.hh"
+#include "sim/kernel.hh"
 #include "sim/memory.hh"
 #include "sim/processor.hh"
+#include "sim/shard.hh"
 #include "stats/counter.hh"
 #include "trace/trace.hh"
 
@@ -91,26 +93,9 @@ struct SystemConfig
     Cycle sample_every = 0;
 };
 
-/**
- * Process-wide quiescent-skip switch, default on.  The --no-skip flag
- * clears it so every System built afterwards — including ones buried
- * inside custom experiment points — runs cycle by cycle, without
- * threading a flag through each construction site.
- */
-void setQuiescentSkipEnabled(bool enabled);
-bool quiescentSkipEnabled();
-
-/** How a bounded run ended. */
-enum class RunStatus
-{
-    /** Every agent finished within the cycle budget. */
-    Finished,
-    /** The cycle budget elapsed first (deadlock or runaway scenario). */
-    TimedOut,
-};
-
-/** Stable name of @p status ("finished" / "timed_out"). */
-std::string_view toString(RunStatus status);
+// The process-wide quiescent-skip switch and RunStatus live with the
+// kernel (sim/kernel.hh) and are re-exported through this header for
+// the many existing includers.
 
 /** A complete simulated shared-bus multiprocessor. */
 class System
@@ -130,7 +115,10 @@ class System
     /** The Processor on @p pe (fatal unless setProgram was used). */
     Processor &processor(PeId pe);
 
-    /** Advance one cycle: bus phase, then PE phase. */
+    /**
+     * Advance one cycle: bus phase, then PE phase (drives the shared
+     * kernel's tickOnce).
+     */
     void tick();
 
     /**
@@ -152,7 +140,7 @@ class System
      * Cycles run() fast-forwarded instead of ticking (0 with skipping
      * disabled); included in the cycle counts run() returns.
      */
-    Cycle skippedCycles() const { return skipped; }
+    Cycle skippedCycles() const { return kernel.skippedCycles(); }
 
     /** True when every agent has finished. */
     bool allDone() const;
@@ -233,34 +221,22 @@ class System
     const Cache &cacheBank(PeId pe, Addr addr) const;
     CacheSet cacheSetFor(PeId pe);
 
-    /** Recompute the not-yet-done agent list after (re)installs. */
-    void rebuildActiveAgents();
-
-    /**
-     * Earliest cycle at which any bus or active agent can change
-     * state: clock.now when some component is runnable this cycle,
-     * a future cycle during a quiescent interval, kNever when every
-     * component is blocked (mutual deadlock; run() then fast-forwards
-     * to the budget).  Side-effect free.
-     */
-    Cycle earliestNextEvent() const;
-
-    /** Fast-forward @p count quiescent cycles (bulk bookkeeping). */
-    void skipQuiescent(Cycle count);
-
-    /**
-     * Push stall cycles accrued while skipping stalled agents' ticks
-     * into the owning agents' counters (see tick()).  Called at wake,
-     * at the end of run(), and before any counter read, so observed
-     * statistics always match the tick-every-cycle baseline.
-     */
-    void flushStalls() const;
+    /** Flush accrued stall cycles before any counter read. */
+    void flushStalls() const { kernel.flushStalls(); }
 
     SystemConfig config;
     Clock clock;
+    /**
+     * The shared run-loop driver.  The flat machine is inherently one
+     * shard — every PE's CacheSet spans every bus — so the kernel
+     * holds a single parallel shard and always runs one lane; the
+     * loop, skip, and stall machinery is the same code the
+     * hierarchical machine shards across threads.
+     */
+    Kernel kernel;
+    /** The machine's single shard (owned by the kernel). */
+    Shard *shard = nullptr;
     RunStatus run_status = RunStatus::Finished;
-    /** Cycles fast-forwarded by skipQuiescent() so far. */
-    Cycle skipped = 0;
     ExecutionLog execLog;
     std::unique_ptr<Protocol> proto;
 
@@ -271,39 +247,12 @@ class System
     /** caches[pe * num_buses + bus]. */
     std::vector<std::unique_ptr<Cache>> caches;
     std::vector<std::unique_ptr<Agent>> agents;
-    /**
-     * Indices of installed agents that have not finished, in PE order
-     * (tick order is preserved).  Maintained incrementally: an agent
-     * reporting done() after its tick is dropped, so neither tick()
-     * nor allDone() rescans every agent each cycle.  Done-ness is
-     * monotonic for every Agent in the tree.
-     */
-    std::vector<std::size_t> activeAgents;
-    /**
-     * Per-PE stalled-on-miss flag: set after an agent's tick reports
-     * stalledOnCompletion(), cleared at wake.  While set (and no wake
-     * is pending) the agent's tick is skipped entirely — each such
-     * cycle would only have accrued one pe.stall_cycles.
-     */
-    std::vector<char> agentStalled;
-    /** Per-PE wake flag, raised by Cache::finish() on completion. */
-    std::vector<char> agentWake;
-    /**
-     * Stall cycles accrued per PE while its ticks were skipped;
-     * flushed by flushStalls() (mutable: counter reads are const but
-     * must observe the flushed totals).
-     */
-    mutable std::vector<Cycle> stallAccrued;
 
     /** Handles of the miss-class cache counters (see missRefs()). */
     std::vector<stats::CounterId> missStats;
 
     /** Observability state (null when everything is off). */
     std::unique_ptr<obs::Recorder> recorder;
-    /** Quiesce-category trace sink (null when not traced). */
-    obs::TraceSink *obsQuiesce = nullptr;
-    /** Counter sampler (null when --sample-every is off). */
-    obs::CounterSampler *sampler = nullptr;
 };
 
 } // namespace ddc

@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel (sim/kernel.hh) against stub
+ * agents: tick ordering, the quiescent-skip window (minimum of every
+ * shard's nextEventCycle), budget clamping, stall-skip flushing,
+ * shard id / random-stream assignment, and the parallel-lane barrier.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.hh"
+#include "sim/kernel.hh"
+#include "sim/shard.hh"
+#include "trace/rng.hh"
+
+namespace ddc {
+namespace {
+
+/** Ticks @p work times, then done; always runnable. */
+class CountingAgent : public Agent
+{
+  public:
+    explicit CountingAgent(int work) : remaining(work) {}
+
+    void
+    tick() override
+    {
+        ticks++;
+        if (remaining > 0)
+            remaining--;
+    }
+
+    bool done() const override { return remaining == 0; }
+
+    int ticks = 0;
+
+  private:
+    int remaining;
+};
+
+/** Self-timed: idle until cycle @p wake_at, then one tick of work. */
+class WaiterAgent : public Agent
+{
+  public:
+    WaiterAgent(const Clock &clock, Cycle wake_at)
+        : clock(clock), wakeAt(wake_at)
+    {}
+
+    void
+    tick() override
+    {
+        if (clock.now >= wakeAt)
+            finished = true;
+    }
+
+    bool done() const override { return finished; }
+
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return now >= wakeAt ? now : wakeAt;
+    }
+
+    void skipCycles(Cycle count) override { skipped += count; }
+
+    Cycle skipped = 0;
+
+  private:
+    const Clock &clock;
+    Cycle wakeAt;
+    bool finished = false;
+};
+
+/** Blocked forever on another component (nextEventCycle = kNever). */
+class BlockedAgent : public Agent
+{
+  public:
+    void tick() override {}
+    bool done() const override { return false; }
+    Cycle nextEventCycle(Cycle) const override { return kNever; }
+    void skipCycles(Cycle count) override { skipped += count; }
+
+    Cycle skipped = 0;
+};
+
+/** Stalls on completion after its first tick; counts stall cycles. */
+class StallingAgent : public Agent
+{
+  public:
+    void
+    tick() override
+    {
+        ticks++;
+        issued = true;
+    }
+
+    bool done() const override { return false; }
+    bool stalledOnCompletion() const override { return issued; }
+    void addStallCycles(Cycle count) override { stallCycles += count; }
+
+    int ticks = 0;
+    Cycle stallCycles = 0;
+
+  private:
+    bool issued = false;
+};
+
+TEST(Kernel, ShardIdsFollowCreationOrderAndSeedTheStreams)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &serial = kernel.makeSerialShard(100, 0);
+    Shard &first = kernel.makeShard(100, 1);
+    Shard &second = kernel.makeShard(100, 1);
+    EXPECT_EQ(serial.id(), 0);
+    EXPECT_EQ(first.id(), 1);
+    EXPECT_EQ(second.id(), 2);
+    EXPECT_EQ(serial.rng().streamSeed(), 100u ^ 0u);
+    EXPECT_EQ(first.rng().at(5), StreamRng::forShard(100, 1).at(5));
+    EXPECT_EQ(second.rng().at(5), StreamRng::forShard(100, 2).at(5));
+    EXPECT_NE(first.rng().at(5), second.rng().at(5));
+}
+
+TEST(Kernel, RunsAgentsToCompletion)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &shard = kernel.makeShard(1, 2);
+    CountingAgent fast(5);
+    CountingAgent slow(12);
+    shard.setAgent(0, &fast);
+    shard.setAgent(1, &slow);
+    shard.rebuild();
+
+    EXPECT_FALSE(kernel.allDone());
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    EXPECT_TRUE(kernel.allDone());
+    EXPECT_EQ(clock.now, 12u);
+    // A finished agent is dropped from the tick list, not re-ticked.
+    EXPECT_EQ(fast.ticks, 5);
+    EXPECT_EQ(slow.ticks, 12);
+}
+
+TEST(Kernel, QuiescentWindowIsTheMinimumAcrossShards)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &a = kernel.makeShard(1, 1);
+    Shard &b = kernel.makeShard(1, 1);
+    WaiterAgent late(clock, 10);
+    WaiterAgent early(clock, 5);
+    a.setAgent(0, &late);
+    b.setAgent(0, &early);
+    a.rebuild();
+    b.rebuild();
+
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    // Skip to 5 (the earlier waiter), tick, skip 6..9, tick: only the
+    // two tick cycles are actually executed.
+    EXPECT_EQ(clock.now, 11u);
+    EXPECT_EQ(kernel.skippedCycles(), 9u);
+    EXPECT_EQ(late.skipped, 9u);
+    EXPECT_EQ(early.skipped, 5u);
+}
+
+TEST(Kernel, SkipDisabledTicksEveryCycle)
+{
+    Clock clock;
+    KernelConfig config;
+    config.skip_quiescent = false;
+    Kernel kernel(clock, config);
+    Shard &shard = kernel.makeShard(1, 1);
+    WaiterAgent waiter(clock, 20);
+    shard.setAgent(0, &waiter);
+    shard.rebuild();
+
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    EXPECT_EQ(clock.now, 21u);
+    EXPECT_EQ(kernel.skippedCycles(), 0u);
+    EXPECT_EQ(waiter.skipped, 0u);
+}
+
+TEST(Kernel, BlockedMachineFastForwardsToTheBudget)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &shard = kernel.makeShard(1, 1);
+    BlockedAgent blocked;
+    shard.setAgent(0, &blocked);
+    shard.rebuild();
+
+    EXPECT_EQ(kernel.run(100), RunStatus::TimedOut);
+    // The skip clamps to the budget and reports the wall cycle.
+    EXPECT_EQ(clock.now, 100u);
+    EXPECT_EQ(kernel.skippedCycles(), 100u);
+    EXPECT_EQ(blocked.skipped, 100u);
+    EXPECT_FALSE(kernel.allDone());
+}
+
+TEST(Kernel, StallSkipAccruesAndFlushes)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &shard = kernel.makeShard(1, 2);
+    StallingAgent stalling;
+    CountingAgent busy(10); // keeps the machine non-quiescent
+    shard.setAgent(0, &stalling);
+    shard.setAgent(1, &busy);
+    shard.rebuild();
+
+    EXPECT_EQ(kernel.run(10), RunStatus::TimedOut);
+    // Ticked once (cycle 0), then skipped while stalled for cycles
+    // 1..9; run() flushes the accrued stalls before returning.
+    EXPECT_EQ(stalling.ticks, 1);
+    EXPECT_EQ(stalling.stallCycles, 9u);
+    // Flushing again owes nothing.
+    kernel.flushStalls();
+    EXPECT_EQ(stalling.stallCycles, 9u);
+}
+
+TEST(Kernel, StalledAgentWakesOnTheFlag)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    Shard &shard = kernel.makeShard(1, 2);
+    StallingAgent stalling;
+    CountingAgent busy(4);
+    shard.setAgent(0, &stalling);
+    shard.setAgent(1, &busy);
+    shard.rebuild();
+
+    EXPECT_EQ(kernel.run(3), RunStatus::TimedOut);
+    EXPECT_EQ(stalling.ticks, 1);
+    // The completion arrives: the accrued stalls land before the next
+    // tick, then the agent stalls again on its re-issued access.
+    *shard.wakeFlag(0) = 1;
+    kernel.tickOnce();
+    EXPECT_EQ(stalling.ticks, 2);
+    EXPECT_EQ(stalling.stallCycles, 2u);
+}
+
+TEST(Kernel, TickOrderIsSerialThenShardsInIdOrder)
+{
+    Clock clock;
+    Kernel kernel(clock, KernelConfig{});
+    std::vector<int> order;
+
+    /** Appends its tag to the shared order log on each tick. */
+    class TaggedAgent : public Agent
+    {
+      public:
+        TaggedAgent(std::vector<int> &order, int tag, int work)
+            : order(order), tag(tag), remaining(work)
+        {}
+
+        void
+        tick() override
+        {
+            order.push_back(tag);
+            remaining--;
+        }
+
+        bool done() const override { return remaining == 0; }
+
+      private:
+        std::vector<int> &order;
+        int tag;
+        int remaining;
+    };
+
+    Shard &serial = kernel.makeSerialShard(1, 1);
+    Shard &first = kernel.makeShard(1, 1);
+    Shard &second = kernel.makeShard(1, 1);
+    TaggedAgent a(order, 0, 2), b(order, 1, 2), c(order, 2, 2);
+    serial.setAgent(0, &a);
+    first.setAgent(0, &b);
+    second.setAgent(0, &c);
+    serial.rebuild();
+    first.rebuild();
+    second.rebuild();
+
+    EXPECT_EQ(kernel.run(100), RunStatus::Finished);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(Kernel, WorkerLanesClampToTheShardCount)
+{
+    Clock clock;
+    KernelConfig config;
+    config.shards = 8;
+    {
+        Kernel kernel(clock, config);
+        kernel.makeShard(1, 1);
+        kernel.makeShard(1, 1);
+        kernel.makeShard(1, 1);
+        EXPECT_EQ(kernel.workerLanes(), 3);
+        kernel.forceSequential();
+        EXPECT_EQ(kernel.workerLanes(), 1);
+    }
+    {
+        // A single parallel shard never pays for a pool.
+        Kernel kernel(clock, config);
+        kernel.makeShard(1, 1);
+        EXPECT_EQ(kernel.workerLanes(), 1);
+    }
+}
+
+TEST(Kernel, ParallelLanesTickEveryShardOncePerCycle)
+{
+    for (bool deterministic : {true, false}) {
+        Clock clock;
+        KernelConfig config;
+        config.shards = 4;
+        config.deterministic = deterministic;
+        Kernel kernel(clock, config);
+        Shard &serial = kernel.makeSerialShard(1, 1);
+        CountingAgent coordinator(50);
+        serial.setAgent(0, &coordinator);
+        serial.rebuild();
+        std::vector<std::unique_ptr<CountingAgent>> agents;
+        for (int s = 0; s < 4; s++) {
+            Shard &shard = kernel.makeShard(1, 1);
+            agents.push_back(
+                std::make_unique<CountingAgent>(40 + 10 * s));
+            shard.setAgent(0, agents.back().get());
+            shard.rebuild();
+        }
+        EXPECT_EQ(kernel.workerLanes(), 4);
+
+        EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+        EXPECT_EQ(clock.now, 70u);
+        EXPECT_EQ(coordinator.ticks, 50);
+        for (int s = 0; s < 4; s++) {
+            EXPECT_EQ(agents[static_cast<std::size_t>(s)]->ticks,
+                      40 + 10 * s)
+                << "shard " << s
+                << (deterministic ? " (static)" : " (dynamic)");
+        }
+    }
+}
+
+TEST(Kernel, ParallelRunSurvivesRepeatedRuns)
+{
+    // The persistent pool must serve a second run() (epoch watermarks
+    // carry across) after agents are reinstalled.
+    Clock clock;
+    KernelConfig config;
+    config.shards = 2;
+    Kernel kernel(clock, config);
+    Shard &a = kernel.makeShard(1, 1);
+    Shard &b = kernel.makeShard(1, 1);
+    CountingAgent first(30), second(25);
+    a.setAgent(0, &first);
+    b.setAgent(0, &second);
+    a.rebuild();
+    b.rebuild();
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    EXPECT_EQ(clock.now, 30u);
+
+    CountingAgent third(15), fourth(20);
+    a.setAgent(0, &third);
+    b.setAgent(0, &fourth);
+    a.rebuild();
+    b.rebuild();
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    EXPECT_EQ(clock.now, 50u);
+    EXPECT_EQ(third.ticks, 15);
+    EXPECT_EQ(fourth.ticks, 20);
+}
+
+} // namespace
+} // namespace ddc

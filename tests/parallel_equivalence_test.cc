@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Shard-count equivalence suite for the parallel simulation kernel.
+ *
+ * The kernel's contract is that --shards N is a host-performance knob
+ * only: every counter, the final cycle count, the run status, and the
+ * serialized JSON must be byte-identical whether a hierarchical
+ * machine ticks its clusters on one host thread or many — including
+ * under the Random arbiter (per-bus RNG streams must not shift), for
+ * timed-out runs, and for the flat machine, which is always a single
+ * shard but reads the same process-wide default.  Runs here avoid
+ * record_log so the parallel lanes genuinely engage (the serial
+ * execution log pins a machine to one lane).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "exp/runner.hh"
+#include "hier/hier_system.hh"
+#include "sim/system.hh"
+#include "sync/workload.hh"
+#include "trace/synthetic.hh"
+
+namespace ddc {
+namespace {
+
+/** Everything observable from one hier run, for byte-wise compare. */
+struct Observed
+{
+    Cycle cycles = 0;
+    RunStatus status = RunStatus::Finished;
+    Cycle skipped = 0;
+    std::string counters;
+    std::string global_counters;
+    std::string cluster0_counters;
+};
+
+Observed
+observeHier(hier::HierConfig config, const Trace &trace, int shards,
+            Cycle max_cycles = System::kDefaultMaxCycles)
+{
+    config.shards = shards;
+    hier::HierSystem system(config);
+    system.loadTrace(trace);
+    Observed seen;
+    seen.cycles = system.run(max_cycles);
+    seen.status = system.runStatus();
+    seen.skipped = system.skippedCycles();
+    seen.counters = system.counters().report();
+    seen.global_counters = system.globalCounters().report();
+    seen.cluster0_counters = system.clusterCounters(0).report();
+    return seen;
+}
+
+void
+expectIdentical(const Observed &sequential, const Observed &parallel,
+                const std::string &label)
+{
+    EXPECT_EQ(sequential.cycles, parallel.cycles) << label;
+    EXPECT_EQ(sequential.status, parallel.status) << label;
+    EXPECT_EQ(sequential.skipped, parallel.skipped) << label;
+    EXPECT_EQ(sequential.counters, parallel.counters) << label;
+    EXPECT_EQ(sequential.global_counters, parallel.global_counters)
+        << label;
+    EXPECT_EQ(sequential.cluster0_counters, parallel.cluster0_counters)
+        << label;
+}
+
+/** 1 plus a spread of lane counts including the host's own. */
+std::vector<int>
+shardCounts()
+{
+    std::vector<int> counts{2, 4};
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw > 1 && hw != 2 && hw != 4)
+        counts.push_back(hw);
+    return counts;
+}
+
+TEST(ParallelEquivalence, HierAllProtocolsAndShardCounts)
+{
+    auto trace = makeUniformRandomTrace(16, 800, 128, 0.3, 0.05, 17);
+    for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+        hier::HierConfig config;
+        config.num_clusters = 8;
+        config.pes_per_cluster = 2;
+        config.cache_lines = 64;
+        config.protocol = protocol;
+        Observed sequential = observeHier(config, trace, 1);
+        for (int shards : shardCounts()) {
+            expectIdentical(sequential,
+                            observeHier(config, trace, shards),
+                            std::string(toString(protocol)) + " shards " +
+                                std::to_string(shards));
+        }
+    }
+}
+
+TEST(ParallelEquivalence, HierRandomArbiterKeepsRngStreams)
+{
+    // The hinge case: every bus (global and per-cluster) draws one RNG
+    // value per Random grant, so shard scheduling must not reorder or
+    // repartition any bus's draw sequence.
+    auto trace = makeHotSpotTrace(8, 400, 8);
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    config.arbiter = ArbiterKind::Random;
+    config.arbiter_seed = 99;
+    Observed sequential = observeHier(config, trace, 1);
+    for (int shards : shardCounts()) {
+        expectIdentical(sequential, observeHier(config, trace, shards),
+                        "random arbiter shards " +
+                            std::to_string(shards));
+    }
+}
+
+TEST(ParallelEquivalence, DynamicScheduleMatchesToo)
+{
+    // The dynamic (load-balanced) schedule keeps every shard ticking
+    // exactly once per cycle, so results must still match even though
+    // only the static schedule guarantees it as a contract.
+    auto trace = makeUniformRandomTrace(8, 600, 64, 0.4, 0.1, 23);
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    config.deterministic_shards = false;
+    Observed sequential = observeHier(config, trace, 1);
+    expectIdentical(sequential, observeHier(config, trace, 4),
+                    "dynamic schedule");
+}
+
+TEST(ParallelEquivalence, TimedOutRunReportsTheSameWallCycle)
+{
+    auto trace = makeHotSpotTrace(8, 400, 4);
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    Observed sequential = observeHier(config, trace, 1, 200);
+    EXPECT_EQ(sequential.status, RunStatus::TimedOut);
+    EXPECT_EQ(sequential.cycles, 200u);
+    for (int shards : shardCounts()) {
+        expectIdentical(sequential,
+                        observeHier(config, trace, shards, 200),
+                        "timed out shards " + std::to_string(shards));
+    }
+}
+
+TEST(ParallelEquivalence, RecordLogPinsToOneLaneIdentically)
+{
+    // record_log forces the run sequential; the log (and everything
+    // else) must match a sharded config byte for byte.
+    auto trace = makeUniformRandomTrace(8, 500, 64, 0.3, 0.05, 31);
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    config.record_log = true;
+
+    config.shards = 1;
+    hier::HierSystem sequential(config);
+    sequential.loadTrace(trace);
+    sequential.run();
+    config.shards = 4;
+    hier::HierSystem pinned(config);
+    pinned.loadTrace(trace);
+    pinned.run();
+
+    EXPECT_EQ(sequential.now(), pinned.now());
+    EXPECT_EQ(sequential.counters().report(),
+              pinned.counters().report());
+    ASSERT_EQ(sequential.log().all().size(), pinned.log().all().size());
+    for (std::size_t i = 0; i < sequential.log().all().size(); i++) {
+        EXPECT_EQ(sequential.log().all()[i].cycle,
+                  pinned.log().all()[i].cycle)
+            << "log entry " << i;
+    }
+}
+
+TEST(ParallelEquivalence, ProcessDefaultReachesInternallyBuiltMachines)
+{
+    // setDefaultShards (the --shards flag) must cover machines built
+    // inside library code, and must never perturb flat machines —
+    // multibus, Random arbiter, and lock workloads included.
+    auto trace = makeUniformRandomTrace(4, 800, 64, 0.4, 0.1, 23);
+    SystemConfig flat;
+    flat.num_pes = 4;
+    flat.cache_lines = 64;
+    flat.num_buses = 2;
+    flat.arbiter = ArbiterKind::Random;
+    flat.arbiter_seed = 7;
+    flat.memory_latency = 8;
+
+    auto observeFlat = [&] {
+        System system(flat);
+        system.loadTrace(trace);
+        std::string report;
+        Cycle cycles = system.run();
+        report = system.counters().report();
+        return std::make_pair(cycles, report);
+    };
+
+    auto baseline = observeFlat();
+    sync::LockExperimentConfig lock;
+    lock.num_pes = 8;
+    lock.lock = sync::LockKind::TestAndSet;
+    lock.acquisitions_per_pe = 4;
+    lock.cs_increments = 4;
+    lock.memory_latency = 16;
+    auto lock_baseline = sync::runLockExperiment(lock);
+
+    setDefaultShards(4);
+    auto sharded = observeFlat();
+    auto lock_sharded = sync::runLockExperiment(lock);
+
+    // Hier machines with config.shards = 0 pick the default up.
+    auto hier_trace = makeUniformRandomTrace(8, 400, 64, 0.3, 0.05, 41);
+    hier::HierConfig hier_config;
+    hier_config.num_clusters = 4;
+    hier_config.pes_per_cluster = 2;
+    hier_config.cache_lines = 64;
+    hier_config.shards = 0;
+    hier::HierSystem defaulted(hier_config);
+    Observed via_default;
+    {
+        defaulted.loadTrace(hier_trace);
+        via_default.cycles = defaulted.run();
+        via_default.counters = defaulted.counters().report();
+    }
+    setDefaultShards(1);
+
+    EXPECT_EQ(baseline.first, sharded.first);
+    EXPECT_EQ(baseline.second, sharded.second);
+    EXPECT_EQ(lock_baseline.cycles, lock_sharded.cycles);
+    EXPECT_EQ(lock_baseline.counter_value, lock_sharded.counter_value);
+    EXPECT_EQ(lock_baseline.bus_transactions,
+              lock_sharded.bus_transactions);
+
+    Observed sequential = observeHier(hier_config, hier_trace, 1);
+    EXPECT_EQ(sequential.cycles, via_default.cycles);
+    EXPECT_EQ(sequential.counters, via_default.counters);
+}
+
+TEST(ParallelEquivalence, RunResultJsonIsIdenticalAcrossShards)
+{
+    // The CI-level check in miniature: the default (no --timing) JSON
+    // payload of an experiment run must not move with the process-wide
+    // shard default.
+    auto trace = makeHotSpotTrace(4, 400, 8);
+    exp::TraceRun run;
+    run.trace = trace;
+    run.config.num_pes = 4;
+    run.config.cache_lines = 64;
+    run.config.memory_latency = 16;
+
+    exp::RunResult baseline = exp::executeTraceRun(run);
+    setDefaultShards(4);
+    exp::RunResult sharded = exp::executeTraceRun(run);
+    setDefaultShards(1);
+    EXPECT_EQ(baseline.toJson(false).dump(), sharded.toJson(false).dump());
+}
+
+} // namespace
+} // namespace ddc

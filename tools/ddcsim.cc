@@ -80,6 +80,9 @@ usage(std::ostream &os)
         "  --no-snoop-filter  disable the sharer-indexed snoop filter\n"
         "                   (A/B baseline; results are byte-identical,\n"
         "                   only snoop_visits moves)\n"
+        "  --shards N       host threads a hierarchical run ticks its\n"
+        "                   clusters on (default 1; results are\n"
+        "                   byte-identical for every value)\n"
         "\n"
         "observability options:\n"
         "  --trace-out FILE  write a Chrome trace-event JSON of the run\n"
