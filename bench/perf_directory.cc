@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Global-interconnect scaling bench: snooping bus vs directory fabric
+ * on the hierarchical machine from 64 to 4096 PEs, not a paper
+ * reproduction.
+ *
+ * One family: the Section 8 clustered workload replayed on machines
+ * of 2, 8, 32, and 128 clusters x 32 PEs, once with the snooping
+ * global bus (--global snoop) and once with the directory fabric
+ * (--global directory, homes scaling with the cluster count).  Both
+ * arms of a point replay the identical trace.  Three effects drive
+ * the crossover the table shows:
+ *
+ *  - sim cycles: the snooping bus grants once per cycle machine-wide,
+ *    the fabric once per home per cycle, so directory-mode runs
+ *    finish in far fewer simulated cycles at scale;
+ *  - global visits: a snoop broadcast costs O(clusters) per
+ *    transaction (the sharer index must revert past 64 clusters — see
+ *    Bus::snoopFilterFallbacks), a directory transaction O(sharers);
+ *  - host wall clock: both of the above are host work, so the wall
+ *    clock follows.
+ *
+ * At 2 clusters the directory runs with one home and is byte-
+ * identical to the snooping bus by contract (cycles and txns equal in
+ * the table); the win appears as the cluster count grows.
+ *
+ * Like perf_parallel this binary's output is host-dependent by
+ * design: it forces --timing on.  Methodology (EXPERIMENTS.md):
+ * measure on a Release build with --jobs 1.
+ */
+
+#include "bench_common.hh"
+
+#include <iostream>
+#include <iterator>
+#include <string>
+
+#include "hier/hier_system.hh"
+#include "stats/table.hh"
+#include "trace/synthetic.hh"
+
+namespace {
+
+using namespace ddc;
+
+constexpr int kPesPerCluster = 32;
+const int kClusterCounts[] = {2, 8, 32, 128};
+/** Timing reps per point (the table keeps the best). */
+constexpr std::size_t kReps = 2;
+constexpr std::size_t kRefsPerPe = 200;
+constexpr double kClusterLocalFraction = 0.8;
+constexpr double kWriteFraction = 0.3;
+
+/** Home nodes for a cluster count (1 at the equivalence point). */
+int
+homesFor(int clusters)
+{
+    return clusters >= 4 ? clusters / 4 : 1;
+}
+
+std::string
+perMega(double per_sec)
+{
+    if (per_sec <= 0.0)
+        return "-";
+    return stats::Table::num(per_sec / 1e6, 2);
+}
+
+void
+printReproduction(exp::Session &session)
+{
+    using stats::Table;
+
+    std::cout <<
+        "Perf: global interconnect at scale -- snooping bus vs\n"
+        "directory fabric on the hierarchical machine (32 PEs per\n"
+        "cluster, Section 8 clustered workload, identical traces per\n"
+        "point).  Wall-clock columns are machine-dependent; cycle and\n"
+        "visit columns are deterministic.\n\n";
+
+    exp::ParamGrid grid;
+    grid.axis("clusters", {"2", "8", "32", "128"});
+    grid.axis("global", {"snoop", "directory"});
+    // Reps innermost; min-time is the noise-robust estimator.
+    grid.axis("rep", {"0", "1"});
+
+    // Traces are generated up front: point lambdas run inside the
+    // timed region.
+    std::vector<Trace> traces;
+    for (int clusters : kClusterCounts) {
+        traces.push_back(makeClusteredTrace(
+            clusters, kPesPerCluster, kRefsPerPe, kClusterLocalFraction,
+            kWriteFraction, 7));
+    }
+
+    exp::Experiment spec(
+        "perf_directory_scaling",
+        "Snooping global bus vs directory home nodes, 64 to 4096 PEs "
+        "(2..128 clusters x 32 PEs) on the clustered workload; "
+        "directory arms use clusters/4 home nodes (1 at 2 clusters, "
+        "where the two modes are byte-identical by contract)");
+    for (std::size_t point = 0; point < grid.size(); point++) {
+        auto indices = grid.indicesAt(point);
+        int clusters = kClusterCounts[indices[0]];
+        bool directory = indices[1] == 1;
+        const Trace &trace = traces[indices[0]];
+        spec.addCustom(grid.paramsAt(point),
+                       [clusters, directory, &trace]() {
+            hier::HierConfig config;
+            config.num_clusters = clusters;
+            config.pes_per_cluster = kPesPerCluster;
+            config.cache_lines = 256;
+            config.protocol = ProtocolKind::Rb;
+            if (directory) {
+                config.global = hier::GlobalKind::Directory;
+                config.home_nodes = homesFor(clusters);
+            }
+            hier::HierSystem system(config);
+            system.loadTrace(trace);
+            exp::RunResult result;
+            result.cycles = system.run();
+            result.skipped_cycles = system.skippedCycles();
+            result.bus_transactions = system.globalBusTransactions();
+            result.snoop_visits = system.globalVisits();
+            result.snoop_filter_fallbacks =
+                system.snoopFilterFallbacks();
+            return result;
+        });
+    }
+    const auto &results = session.run(spec);
+
+    // Best rep (highest sim rate) of the arm starting at flat index
+    // @p first; reps are the innermost axis, so they are contiguous.
+    auto bestRep = [&results](std::size_t first) -> const auto & {
+        const auto *best = &results[first];
+        for (std::size_t r = 1; r < kReps; r++) {
+            const auto &rep = results[first + r];
+            if (rep.sim_cycles_per_sec > best->sim_cycles_per_sec)
+                best = &rep;
+        }
+        return *best;
+    };
+
+    Table table("Global interconnect scaling: clustered workload, RB, "
+                "32 PEs/cluster, 200 refs/PE, best of 2 reps");
+    table.setHeader({"PEs", "global", "homes", "cycles", "global txns",
+                     "global visits", "visits/txn", "wall ms",
+                     "Mcycles/s"});
+    for (std::size_t c = 0; c < std::size(kClusterCounts); c++) {
+        int clusters = kClusterCounts[c];
+        for (int mode = 0; mode < 2; mode++) {
+            const auto &best = bestRep((c * 2 +
+                                        static_cast<std::size_t>(mode)) *
+                                       kReps);
+            bool directory = mode == 1;
+            double per_txn =
+                best.bus_transactions > 0
+                    ? static_cast<double>(best.snoop_visits) /
+                          static_cast<double>(best.bus_transactions)
+                    : 0.0;
+            table.addRow(
+                {std::to_string(clusters * kPesPerCluster),
+                 directory ? "directory" : "snoop",
+                 directory ? std::to_string(homesFor(clusters)) : "-",
+                 std::to_string(best.cycles),
+                 std::to_string(best.bus_transactions),
+                 std::to_string(best.snoop_visits),
+                 Table::num(per_txn, 1),
+                 Table::num(best.wall_time_ms, 2),
+                 perMega(best.sim_cycles_per_sec)});
+        }
+    }
+    std::cout << table.render() << "\n";
+}
+
+/** Wall-clock rate of one 1024-PE run per global-interconnect mode. */
+void
+BM_GlobalInterconnect(benchmark::State &state)
+{
+    constexpr int kClusters = 32;
+    bool directory = state.range(0) != 0;
+    auto trace = makeClusteredTrace(kClusters, kPesPerCluster, 50,
+                                    kClusterLocalFraction,
+                                    kWriteFraction, 7);
+    double cycles = 0.0;
+    for (auto _ : state) {
+        hier::HierConfig config;
+        config.num_clusters = kClusters;
+        config.pes_per_cluster = kPesPerCluster;
+        config.cache_lines = 256;
+        config.protocol = ProtocolKind::Rb;
+        if (directory) {
+            config.global = hier::GlobalKind::Directory;
+            config.home_nodes = homesFor(kClusters);
+        }
+        hier::HierSystem system(config);
+        system.loadTrace(trace);
+        cycles += static_cast<double>(system.run());
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(cycles, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GlobalInterconnect)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+// Not DDC_BENCH_MAIN: this bench measures the simulator itself, so it
+// forces --timing on -- its JSON is host-dependent on purpose.
+int
+main(int argc, char **argv)
+{
+    auto options = ddc::exp::parseSessionArgs(argc, argv);
+    options.timing = true;
+    ddc::exp::Session session(options);
+    printReproduction(session);
+    std::cout.flush();
+    if (!session.writeJson()) {
+        std::cerr << argv[0] << ": cannot write " << options.json_path
+                  << "\n";
+        return 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

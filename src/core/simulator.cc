@@ -31,6 +31,7 @@ runTrace(SystemConfig config, const Trace &trace, bool check_consistency,
     summary.total_refs = trace.totalRefs();
     summary.bus_transactions = system.totalBusTransactions();
     summary.snoop_visits = system.snoopVisits();
+    summary.snoop_filter_fallbacks = system.snoopFilterFallbacks();
     summary.counters = system.counters();
     for (int b = 0; b < system.numBuses(); b++) {
         summary.per_bus_busy_cycles.push_back(

@@ -40,6 +40,13 @@ struct RunSummary
      */
     std::uint64_t snoop_visits = 0;
     /**
+     * Times any bus silently degraded from sharer-indexed to full
+     * snooping (see Bus::snoopFilterFallbacks); 0 on a healthy
+     * filtered run, and the run stays correct either way — this
+     * surfaces the perf cliff that used to be invisible.
+     */
+    std::uint64_t snoop_filter_fallbacks = 0;
+    /**
      * Host wall-clock milliseconds spent inside the simulation loop
      * proper (System::run), excluding machine construction and trace
      * loading.  The denominator for honest cycles-per-second

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-home directory: one entry per block any cluster currently holds.
+ *
+ * Every cluster-cache entry for an address is created by that
+ * cluster's own completion on the global fabric and erased only by a
+ * delivered write/invalidate — both of which pass through the block's
+ * home — so the directory's sharer sets track the set of holding
+ * clusters *exactly*, not conservatively.  The owner field mirrors
+ * the recursive-RB Local tag: the one cluster whose copy may be newer
+ * than home memory (-1 when home memory is current).
+ *
+ * Memory is O(blocks with at least one holder) + O(sharers) per
+ * entry; nothing here scales with the total cluster or PE count.
+ */
+
+#ifndef DDC_DIR_DIRECTORY_HH
+#define DDC_DIR_DIRECTORY_HH
+
+#include <unordered_map>
+
+#include "base/types.hh"
+#include "dir/sharer_set.hh"
+
+namespace ddc {
+namespace dir {
+
+/** Directory state of one block. */
+struct DirEntry
+{
+    /** Cluster whose copy may be dirty (-1 = home memory current). */
+    int owner = -1;
+    /** Clusters holding an entry for the block (owner included). */
+    SharerSet sharers;
+};
+
+/** Block-state map of one home node. */
+class Directory
+{
+  public:
+    /** Entry for @p addr, default-constructed on first touch. */
+    DirEntry &ensure(Addr addr) { return entries[addr]; }
+
+    /** Entry for @p addr, or null when no cluster holds it. */
+    DirEntry *
+    lookup(Addr addr)
+    {
+        auto it = entries.find(addr);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    const DirEntry *
+    lookup(Addr addr) const
+    {
+        auto it = entries.find(addr);
+        return it == entries.end() ? nullptr : &it->second;
+    }
+
+    /** Blocks with directory state (the memory-bound denominator). */
+    std::size_t blocks() const { return entries.size(); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> entries;
+};
+
+} // namespace dir
+} // namespace ddc
+
+#endif // DDC_DIR_DIRECTORY_HH

@@ -1,0 +1,107 @@
+#include "dir/fabric.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace dir {
+
+DirectoryFabric::DirectoryFabric(int home_nodes,
+                                 ArbiterKind arbiter_kind,
+                                 std::uint64_t arbiter_seed,
+                                 stats::CounterSet &stats)
+{
+    ddc_assert(home_nodes >= 1, "need at least one home node");
+    homes.reserve(static_cast<std::size_t>(home_nodes));
+    for (int h = 0; h < home_nodes; h++) {
+        homes.push_back(std::make_unique<HomeNode>(h, arbiter_kind,
+                                                   arbiter_seed, stats));
+    }
+}
+
+int
+DirectoryFabric::attach(BusClient *client)
+{
+    ddc_assert(client != nullptr, "null fabric client");
+    clients.push_back(client);
+    armed.push_back(1);
+    armedCount.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int>(clients.size()) - 1;
+}
+
+void
+DirectoryFabric::setRequestArmed(int client, bool is_armed)
+{
+    auto index = static_cast<std::size_t>(client);
+    ddc_assert(index < clients.size(), "bad fabric client index ",
+               client);
+    char flag = is_armed ? 1 : 0;
+    if (armed[index] == flag)
+        return;
+    armed[index] = flag;
+    if (is_armed)
+        armedCount.fetch_add(1, std::memory_order_relaxed);
+    else
+        armedCount.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+DirectoryFabric::tick()
+{
+    for (auto &home : homes)
+        home->clearInbox();
+
+    if (armedClients() > 0) {
+        // One ascending pass, exactly the snooping bus's requester
+        // collection; routing happens on the side-effect-free
+        // pendingAddr (hasRequest may lazily resolve forwards, so it
+        // runs first, exactly once, like on the bus).
+        for (std::size_t i = 0; i < clients.size(); i++) {
+            if (!armed[i] || !clients[i]->hasRequest())
+                continue;
+            int h = homeOf(clients[i]->pendingAddr());
+            homes[static_cast<std::size_t>(h)]->post(
+                static_cast<int>(i));
+        }
+    }
+
+    for (auto &home : homes)
+        home->tick(clients, visitCount);
+}
+
+void
+DirectoryFabric::skipCycles(Cycle count)
+{
+    // Skips only cross intervals with no armed client (our
+    // nextEventCycle pins the skip engine to `now` otherwise).
+    ddc_assert(armedClients() == 0,
+               "skipped across a home-node grant opportunity");
+    for (auto &home : homes)
+        home->countIdle(count);
+}
+
+Word
+DirectoryFabric::memoryValue(Addr addr) const
+{
+    return homes[static_cast<std::size_t>(homeOf(addr))]
+        ->memoryBank()
+        .peek(addr);
+}
+
+void
+DirectoryFabric::pokeMemory(Addr addr, Word value)
+{
+    homes[static_cast<std::size_t>(homeOf(addr))]->memoryBank().poke(
+        addr, value);
+}
+
+std::size_t
+DirectoryFabric::directoryBlocks() const
+{
+    std::size_t total = 0;
+    for (const auto &home : homes)
+        total += home->directory().blocks();
+    return total;
+}
+
+} // namespace dir
+} // namespace ddc

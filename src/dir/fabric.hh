@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The directory fabric: the hierarchical machine's global
+ * interconnect at scale.
+ *
+ * Replaces the snooping global Bus with H address-interleaved home
+ * nodes (block b is served by home b mod H).  Clusters attach and
+ * arm requests exactly as on the bus; each cycle the fabric routes
+ * every pending request to its block's home by address (the
+ * side-effect-free BusClient::pendingAddr hook), and every home
+ * independently arbitrates and serves one request.  All per-
+ * transaction work is addressed through directory state — owner
+ * forwards and sharer deliveries — so cost per transaction is
+ * O(sharers), and fabric memory is O(blocks held) + O(clusters),
+ * never O(clusters) *per block* and never O(PEs).
+ *
+ * Determinism and equivalence:
+ *  - Homes are ticked in ascending id order on the serial shard, so
+ *    a run is byte-identical across --shards values exactly like the
+ *    snooping configuration.  (Homes must stay in the serial phase:
+ *    the snooping bus commits supply/kill/deliver atomically within
+ *    a cycle, and parallel home ticks could not preserve the
+ *    cross-home delivery order that clusters observe.)
+ *  - With H = 1 the fabric reduces to the snooping global bus
+ *    cycle-for-cycle: same requester collection, same arbiter
+ *    stream, same memory/lock semantics, same counter family —
+ *    deliveries reach only recorded sharers, which is unobservable
+ *    because non-holders treat a snoop as a no-op.  The equivalence
+ *    suite (tests/dir_equivalence_test.cc) pins this.
+ *
+ * Request arming is the one cross-shard edge, with the same
+ * per-client slot + relaxed atomic count contract as
+ * Bus::setRequestArmed.
+ */
+
+#ifndef DDC_DIR_FABRIC_HH
+#define DDC_DIR_FABRIC_HH
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "base/types.hh"
+#include "dir/home_node.hh"
+#include "sim/fabric.hh"
+
+namespace ddc {
+namespace dir {
+
+/** Address-interleaved home-node interconnect (global level). */
+class DirectoryFabric : public GlobalFabric, public Tickable
+{
+  public:
+    /**
+     * @param home_nodes Number of home nodes (>= 1).
+     * @param arbiter_seed Base seed; home h arbitrates with seed
+     *        @p arbiter_seed + h, so home 0 matches the snooping
+     *        global bus.
+     * @param stats Shared global counter set (see HomeNode).
+     */
+    DirectoryFabric(int home_nodes, ArbiterKind arbiter_kind,
+                    std::uint64_t arbiter_seed,
+                    stats::CounterSet &stats);
+
+    // ---- GlobalFabric ---------------------------------------------
+    int attach(BusClient *client) override;
+    void setRequestArmed(int client, bool is_armed) override;
+    std::size_t blockWords() const override { return 1; }
+
+    // ---- Tickable -------------------------------------------------
+    /**
+     * Advance one cycle: route every armed pending request to its
+     * home, then tick the homes in ascending order (at most one new
+     * transaction per home per cycle).
+     */
+    void tick() override;
+
+    /**
+     * @p now while any client is armed, kNever otherwise (home
+     * memory is passive and homes hold no multi-cycle transfers).
+     */
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return armedClients() > 0 ? now : kNever;
+    }
+
+    /** Account @p count quiescent cycles (idle at every home). */
+    void skipCycles(Cycle count) override;
+
+    // ---- Topology & inspection ------------------------------------
+    int numHomes() const { return static_cast<int>(homes.size()); }
+
+    /** The home node serving @p addr. */
+    int
+    homeOf(Addr addr) const
+    {
+        return static_cast<int>(addr %
+                                static_cast<Addr>(homes.size()));
+    }
+
+    HomeNode &home(int h) { return *homes[static_cast<std::size_t>(h)]; }
+    const HomeNode &
+    home(int h) const
+    {
+        return *homes[static_cast<std::size_t>(h)];
+    }
+
+    /** Global memory's value of @p addr (routed to its home bank). */
+    Word memoryValue(Addr addr) const;
+
+    /** Overwrite home memory directly (fault-injection hook). */
+    void pokeMemory(Addr addr, Word value);
+
+    /**
+     * Point-to-point messages sent so far (owner forwards + sharer
+     * deliveries); the directory-mode analogue of Bus::snoopVisits,
+     * and — like it — plain bookkeeping, not a CounterSet statistic.
+     */
+    std::uint64_t messageVisits() const { return visitCount; }
+
+    /** Blocks with directory state, summed across homes. */
+    std::size_t directoryBlocks() const;
+
+    std::size_t
+    armedClients() const
+    {
+        return armedCount.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::vector<std::unique_ptr<HomeNode>> homes;
+    std::vector<BusClient *> clients;
+    /** Per-client armed slots (see Bus::setRequestArmed). */
+    std::vector<char> armed;
+    std::atomic<std::size_t> armedCount{0};
+    std::uint64_t visitCount = 0;
+};
+
+} // namespace dir
+} // namespace ddc
+
+#endif // DDC_DIR_FABRIC_HH

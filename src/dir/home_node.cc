@@ -1,0 +1,332 @@
+#include "dir/home_node.hh"
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace dir {
+
+namespace {
+
+std::size_t
+opIndex(BusOp op)
+{
+    return static_cast<std::size_t>(op);
+}
+
+} // namespace
+
+HomeNode::HomeNode(int home_id, ArbiterKind arbiter_kind,
+                   std::uint64_t arbiter_seed, stats::CounterSet &stats)
+    : homeId(home_id), stats(stats), memory(stats),
+      arbiter(makeArbiter(arbiter_kind,
+                          arbiter_seed +
+                              static_cast<std::uint64_t>(home_id)))
+{
+    statBusy = stats.intern("bus.busy_cycles");
+    statTransfer = stats.intern("bus.transfer_cycles");
+    statIdle = stats.intern("bus.idle_cycles");
+    statKill = stats.intern("bus.kill");
+    statSupplyWrite = stats.intern("bus.supply_write");
+    statRmwSuccess = stats.intern("bus.rmw_success");
+    statRmwFail = stats.intern("bus.rmw_fail");
+    statNack = stats.intern("bus.nack");
+    for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
+                    BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
+        statOp[opIndex(op)] = stats.intern(busOpStatName(op));
+        statNackOp[opIndex(op)] = stats.intern(busNackStatName(op));
+    }
+    statMsgRequest = stats.intern("dir.msg.request");
+    statMsgFwd = stats.intern("dir.msg.fwd");
+    statMsgInval = stats.intern("dir.msg.inval");
+    statMsgAck = stats.intern("dir.msg.ack");
+    statMsgUpdate = stats.intern("dir.msg.update");
+    statSharerOverflow = stats.intern("dir.sharer_overflow");
+}
+
+void
+HomeNode::countIdle(Cycle count)
+{
+    if (count > 0)
+        stats.add(statIdle, count);
+}
+
+void
+HomeNode::tick(const std::vector<BusClient *> &clients,
+               std::uint64_t &visits)
+{
+    if (inbox.empty()) {
+        stats.add(statIdle);
+        return;
+    }
+    stats.add(statBusy);
+    stats.add(statMsgRequest);
+
+    int grant = arbiter->pick(inbox);
+    BusRequest request =
+        clients[static_cast<std::size_t>(grant)]->currentRequest();
+    ddc_assert(!request.block_transfer,
+               "the directory fabric uses one-word blocks");
+
+    switch (request.op) {
+      case BusOp::Read:
+      case BusOp::ReadLock:
+      case BusOp::Rmw:
+        executeReadLike(grant, request, clients, visits);
+        break;
+      case BusOp::Write:
+      case BusOp::WriteUnlock:
+      case BusOp::Invalidate:
+        executeWriteLike(grant, request, clients, visits);
+        break;
+    }
+}
+
+void
+HomeNode::addSharer(DirEntry &entry, int client)
+{
+    if (entry.sharers.add(client) &&
+        client >= SharerSet::kBitmapIds)
+        stats.add(statSharerOverflow);
+}
+
+void
+HomeNode::deliverWriteLike(DirEntry &entry, const BusTransaction &txn,
+                           int keep,
+                           const std::vector<BusClient *> &clients,
+                           std::uint64_t &visits)
+{
+    // Collect first: observers do not touch the directory, but the
+    // sharer set itself is rewritten below and must not be walked
+    // while it changes.
+    targets.clear();
+    entry.sharers.forEach([&](int sharer) {
+        if (sharer != keep)
+            targets.push_back(sharer);
+    });
+    std::size_t acks = 0;
+    for (int sharer : targets) {
+        stats.add(statMsgInval);
+        visits++;
+        clients[static_cast<std::size_t>(sharer)]->observe(txn);
+        // The synchronous machine model collects the ack in the same
+        // cycle; counted per target so ack traffic is visible.
+        stats.add(statMsgAck);
+        acks++;
+    }
+    ddc_assert(acks == targets.size(),
+               "invalidate-ack collection lost a target");
+
+    // Every delivered write-like observation erased its target's
+    // entry; only @p keep (when it was a sharer) still holds one.
+    bool keep_was_sharer = entry.sharers.contains(keep);
+    entry.sharers.clear();
+    if (keep_was_sharer)
+        entry.sharers.add(keep);
+}
+
+void
+HomeNode::deliverRead(DirEntry *entry, const BusTransaction &txn,
+                      int skip,
+                      const std::vector<BusClient *> &clients,
+                      std::uint64_t &visits)
+{
+    if (entry == nullptr)
+        return;
+    // Read observations refresh values (and refill L1 copies RWB-
+    // style) but never change entry membership: iterating live is
+    // safe.
+    entry->sharers.forEach([&](int sharer) {
+        if (sharer == skip)
+            return;
+        stats.add(statMsgUpdate);
+        visits++;
+        clients[static_cast<std::size_t>(sharer)]->observe(txn);
+    });
+}
+
+void
+HomeNode::executeReadLike(int grant, const BusRequest &request,
+                          const std::vector<BusClient *> &clients,
+                          std::uint64_t &visits)
+{
+    auto *grantee = clients[static_cast<std::size_t>(grant)];
+
+    DirEntry *entry = dir.lookup(request.addr);
+    int owner = entry != nullptr ? entry->owner : -1;
+
+#ifndef NDEBUG
+    // Cross-check the directory against the snooping bus's full
+    // supplier scan: every cluster the directory skips must indeed
+    // decline to supply.  (Double-polling is safe: wouldSupply is
+    // idempotent for the cluster cache.)
+    int full_scan = -1;
+    for (std::size_t i = 0; i < clients.size(); i++) {
+        if (static_cast<int>(i) == grant)
+            continue;
+        Word candidate = 0;
+        if (clients[i]->wouldSupply(request.addr, candidate))
+            full_scan = static_cast<int>(i);
+    }
+    ddc_assert(full_scan == owner,
+               "directory owner disagrees with the full supplier scan "
+               "for addr ", request.addr, ": directory says ", owner,
+               ", scan says ", full_scan);
+#endif
+    ddc_assert(owner != grant,
+               "read-like request granted to the owning cluster");
+
+    if (owner >= 0) {
+        // Owner forward: the home cannot serve the read — the owning
+        // cluster holds a newer value.  Kill the transaction and
+        // replace it with the owner's supply write, exactly like the
+        // snooping bus's L-interrupt; the grantee retries.
+        auto *supplier = clients[static_cast<std::size_t>(owner)];
+        Word value = 0;
+        stats.add(statMsgFwd);
+        visits++;
+        bool supplies = supplier->wouldSupply(request.addr, value);
+        ddc_assert(supplies, "directory owner declined to supply addr ",
+                   request.addr);
+        stats.add(statKill);
+        stats.add(statSupplyWrite);
+        stats.add(statOp[opIndex(BusOp::Write)]);
+        grantee->requestKilled();
+
+        memory.acceptSupply(request.addr, value);
+        BusTransaction txn{BusOp::Write, request.addr, value, owner, {}};
+        deliverWriteLike(*entry, txn, owner, clients, visits);
+        supplier->supplied(request.addr);
+        // The supplied value now matches home memory; the owner keeps
+        // its (demoted) entry and stays a sharer.
+        entry->owner = -1;
+        return;
+    }
+
+    PeId pe = grantee->peId();
+    switch (request.op) {
+      case BusOp::Read: {
+        Word data = 0;
+        if (!memory.tryRead(request.addr, pe, data)) {
+            nack(grant, request, clients);
+            return;
+        }
+        stats.add(statOp[opIndex(request.op)]);
+        deliverRead(entry, {BusOp::Read, request.addr, data, grant, {}},
+                    grant, clients, visits);
+        addSharer(dir.ensure(request.addr), grant);
+        grantee->requestComplete({data, false, {}});
+        return;
+      }
+      case BusOp::ReadLock: {
+        Word data = 0;
+        if (!memory.tryReadLock(request.addr, pe, data)) {
+            nack(grant, request, clients);
+            return;
+        }
+        stats.add(statOp[opIndex(request.op)]);
+        deliverRead(entry, {BusOp::Read, request.addr, data, grant, {}},
+                    grant, clients, visits);
+        addSharer(dir.ensure(request.addr), grant);
+        grantee->requestComplete({data, false, {}});
+        return;
+      }
+      case BusOp::Rmw: {
+        Word old = 0;
+        bool success = false;
+        if (!memory.tryRmw(request.addr, pe, request.data, old,
+                           success)) {
+            nack(grant, request, clients);
+            return;
+        }
+        stats.add(statOp[opIndex(request.op)]);
+        if (success) {
+            stats.add(statRmwSuccess);
+            DirEntry &e = dir.ensure(request.addr);
+            deliverWriteLike(e, {BusOp::Write, request.addr,
+                                 request.data, grant, {}},
+                             grant, clients, visits);
+            e.owner = grant;
+            addSharer(e, grant);
+            grantee->requestComplete({old, true, {}});
+        } else {
+            stats.add(statRmwFail);
+            deliverRead(entry, {BusOp::Read, request.addr, old, grant,
+                                {}},
+                        grant, clients, visits);
+            addSharer(dir.ensure(request.addr), grant);
+            grantee->requestComplete({old, false, {}});
+        }
+        return;
+      }
+      default:
+        break;
+    }
+    ddc_panic("unreachable");
+}
+
+void
+HomeNode::executeWriteLike(int grant, const BusRequest &request,
+                           const std::vector<BusClient *> &clients,
+                           std::uint64_t &visits)
+{
+    auto *grantee = clients[static_cast<std::size_t>(grant)];
+    PeId pe = grantee->peId();
+
+    BusTransaction txn;
+    txn.addr = request.addr;
+    txn.data = request.data;
+    txn.issuer = grant;
+    txn.op = request.op == BusOp::Invalidate ? BusOp::Invalidate
+                                             : BusOp::Write;
+
+    if (request.op == BusOp::WriteUnlock) {
+        if (!memory.tryWriteUnlock(request.addr, pe, request.data)) {
+            nack(grant, request, clients);
+            return;
+        }
+    } else if (request.op == BusOp::Invalidate) {
+        if (!memory.tryInvalidate(request.addr, pe, request.data)) {
+            nack(grant, request, clients);
+            return;
+        }
+    } else {
+        if (!memory.tryWrite(request.addr, pe, request.data)) {
+            // "Any bus writes before the unlock will fail" (Section 3).
+            nack(grant, request, clients);
+            return;
+        }
+    }
+
+    stats.add(statOp[opIndex(request.op)]);
+
+    if (request.writeback) {
+        // The cluster cache's pre-flush publish before an RMW-class
+        // forward: home memory becomes current, the grantee demotes
+        // itself (but keeps its entry), and no ownership changes
+        // hands.
+        DirEntry *entry = dir.lookup(request.addr);
+        ddc_assert(entry != nullptr && entry->owner == grant,
+                   "writeback from a cluster the directory does not "
+                   "record as owner of addr ", request.addr);
+        deliverWriteLike(*entry, txn, grant, clients, visits);
+        entry->owner = -1;
+    } else {
+        DirEntry &entry = dir.ensure(request.addr);
+        deliverWriteLike(entry, txn, grant, clients, visits);
+        entry.owner = grant;
+        addSharer(entry, grant);
+    }
+    grantee->requestComplete({request.data, false, {}});
+}
+
+void
+HomeNode::nack(int grant, const BusRequest &request,
+               const std::vector<BusClient *> &clients)
+{
+    stats.add(statNack);
+    stats.add(statNackOp[opIndex(request.op)]);
+    clients[static_cast<std::size_t>(grant)]->requestNacked();
+}
+
+} // namespace dir
+} // namespace ddc

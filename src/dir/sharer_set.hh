@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Compact sharer set for directory entries.
+ *
+ * The common case — a block shared by a handful of the first 64
+ * clusters — costs one 64-bit bitmap word.  Clusters with ids past 63
+ * (a 4096-PE machine at 32 PEs/cluster has 128 clusters) overflow
+ * into a sorted vector, so membership stays exact at any scale and
+ * iteration stays ascending (the delivery order every fabric walk
+ * relies on for determinism).  Memory is O(sharers actually present),
+ * never O(total clusters).
+ */
+
+#ifndef DDC_DIR_SHARER_SET_HH
+#define DDC_DIR_SHARER_SET_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ddc {
+namespace dir {
+
+/** Set of cluster ids sharing one block (bitmap + sorted overflow). */
+class SharerSet
+{
+  public:
+    /** Ids representable in the bitmap word. */
+    static constexpr int kBitmapIds = 64;
+
+    /** Insert @p id; returns true when it was not already present. */
+    bool
+    add(int id)
+    {
+        ddc_assert(id >= 0, "negative sharer id ", id);
+        if (id < kBitmapIds) {
+            std::uint64_t bit = std::uint64_t{1} << id;
+            if (bitmap & bit)
+                return false;
+            bitmap |= bit;
+            return true;
+        }
+        auto it = std::lower_bound(overflow.begin(), overflow.end(), id);
+        if (it != overflow.end() && *it == id)
+            return false;
+        overflow.insert(it, id);
+        return true;
+    }
+
+    /** Remove @p id; returns true when it was present. */
+    bool
+    remove(int id)
+    {
+        if (id < 0)
+            return false;
+        if (id < kBitmapIds) {
+            std::uint64_t bit = std::uint64_t{1} << id;
+            if (!(bitmap & bit))
+                return false;
+            bitmap &= ~bit;
+            return true;
+        }
+        auto it = std::lower_bound(overflow.begin(), overflow.end(), id);
+        if (it == overflow.end() || *it != id)
+            return false;
+        overflow.erase(it);
+        return true;
+    }
+
+    bool
+    contains(int id) const
+    {
+        if (id < 0)
+            return false;
+        if (id < kBitmapIds)
+            return (bitmap & (std::uint64_t{1} << id)) != 0;
+        return std::binary_search(overflow.begin(), overflow.end(), id);
+    }
+
+    std::size_t
+    count() const
+    {
+        return static_cast<std::size_t>(std::popcount(bitmap)) +
+               overflow.size();
+    }
+
+    bool empty() const { return bitmap == 0 && overflow.empty(); }
+
+    /** Any sharer past the bitmap (id >= kBitmapIds)? */
+    bool overflowed() const { return !overflow.empty(); }
+
+    /** Visit every sharer in ascending id order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::uint64_t mask = bitmap; mask != 0; mask &= mask - 1)
+            fn(std::countr_zero(mask));
+        for (int id : overflow)
+            fn(id);
+    }
+
+    void
+    clear()
+    {
+        bitmap = 0;
+        overflow.clear();
+    }
+
+  private:
+    std::uint64_t bitmap = 0;
+    /** Sorted ids >= kBitmapIds. */
+    std::vector<int> overflow;
+};
+
+} // namespace dir
+} // namespace ddc
+
+#endif // DDC_DIR_SHARER_SET_HH

@@ -64,6 +64,7 @@ RunResult::toJson(bool include_timing) const
                                   static_cast<double>(cycles)
                             : 0.0);
         json["snoop_visits"] = Json(snoop_visits);
+        json["snoop_filter_fallbacks"] = Json(snoop_filter_fallbacks);
     }
 
     Json metrics_json = Json::object();
@@ -174,6 +175,10 @@ RunResult::fromJson(const Json &json)
         result.skipped_cycles = static_cast<Cycle>(skipped->asInt());
     if (const Json *visits = json.find("snoop_visits"))
         result.snoop_visits = static_cast<std::uint64_t>(visits->asInt());
+    if (const Json *fallbacks = json.find("snoop_filter_fallbacks")) {
+        result.snoop_filter_fallbacks =
+            static_cast<std::uint64_t>(fallbacks->asInt());
+    }
     for (const auto &[name, value] : json.find("metrics")->items())
         result.metrics.emplace_back(name, value.asDouble());
     for (const auto &[name, value] : json.find("counters")->items())

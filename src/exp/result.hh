@@ -83,6 +83,14 @@ struct RunResult
      * filter-on vs filter-off.
      */
     std::uint64_t snoop_visits = 0;
+    /**
+     * Times any bus of the run degraded from sharer-indexed to full
+     * snooping (see Bus::snoopFilterFallbacks).  0 on a healthy
+     * filtered run; serialized only with toJson(true), like
+     * snoop_visits, so the default JSON stays byte-identical
+     * filter-on vs filter-off.
+     */
+    std::uint64_t snoop_filter_fallbacks = 0;
     /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
     std::vector<std::pair<std::string, double>> metrics;
     /** Full merged counter set of the run. */

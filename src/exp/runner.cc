@@ -22,6 +22,7 @@ executeTraceRun(const TraceRun &run)
     result.cycles = summary.cycles;
     result.skipped_cycles = summary.skipped_cycles;
     result.snoop_visits = summary.snoop_visits;
+    result.snoop_filter_fallbacks = summary.snoop_filter_fallbacks;
     result.sim_time_ms = summary.sim_time_ms;
     result.total_refs = summary.total_refs;
     result.bus_transactions = summary.bus_transactions;

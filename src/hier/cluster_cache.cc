@@ -31,22 +31,23 @@ ClusterCache::ClusterCache(int cluster_id, stats::CounterSet &stats)
 }
 
 void
-ClusterCache::connectGlobalBus(Bus &bus)
+ClusterCache::connectGlobal(GlobalFabric &fabric)
 {
-    ddc_assert(globalBus == nullptr, "cluster already on a global bus");
-    ddc_assert(bus.blockWords() == 1,
+    ddc_assert(global == nullptr,
+               "cluster already on a global interconnect");
+    ddc_assert(fabric.blockWords() == 1,
                "the hierarchical machine uses one-word blocks");
-    globalBus = &bus;
-    clientIndex = bus.attach(this);
+    global = &fabric;
+    clientIndex = fabric.attach(this);
     // No forwards can be queued yet; re-armed as they arrive.
-    bus.setRequestArmed(clientIndex, false);
+    fabric.setRequestArmed(clientIndex, false);
 }
 
 void
 ClusterCache::updateArmed()
 {
-    if (globalBus != nullptr)
-        globalBus->setRequestArmed(clientIndex, !forwards.empty());
+    if (global != nullptr)
+        global->setRequestArmed(clientIndex, !forwards.empty());
 }
 
 void
@@ -219,11 +220,23 @@ ClusterCache::currentRequest()
             }
         }
         flushing = true;
+        // writeback: the directory must not record this publish as an
+        // ownership acquisition (the snooping bus ignores the flag).
         return {BusOp::Write, front.addr, entries[front.addr].value,
-                false, {}};
+                false, {}, true};
     }
     flushing = false;
     return {front.op, front.addr, front.data, false, {}};
+}
+
+Addr
+ClusterCache::pendingAddr() const
+{
+    // Side-effect-free routing hook for the directory fabric.  The
+    // front forward's address is the request's address even while
+    // flushing: the pre-flush write targets the same word.
+    ddc_assert(!forwards.empty(), "pendingAddr without a forward");
+    return forwards.front().addr;
 }
 
 void

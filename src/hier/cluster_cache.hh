@@ -66,8 +66,12 @@ class ClusterCache : public BusClient, public MemorySide
      */
     ClusterCache(int cluster_id, stats::CounterSet &stats);
 
-    /** Attach to the global bus (exactly once). */
-    void connectGlobalBus(Bus &bus);
+    /**
+     * Attach to the global interconnect (exactly once) — the snooping
+     * global Bus or the directory fabric; the recursive-RB mechanics
+     * are identical either way.
+     */
+    void connectGlobal(GlobalFabric &fabric);
 
     /** Register a child L1 (all children before first use). */
     void addChild(Cache *child);
@@ -84,6 +88,7 @@ class ClusterCache : public BusClient, public MemorySide
     // ---- Global-bus client side ----------------------------------
     bool hasRequest() override;
     BusRequest currentRequest() override;
+    Addr pendingAddr() const override;
     void requestComplete(const BusResult &result) override;
     bool wouldSupply(Addr addr, Word &value) override;
     void observe(const BusTransaction &txn) override;
@@ -169,8 +174,8 @@ class ClusterCache : public BusClient, public MemorySide
     stats::CounterSet &stats;
     std::vector<Cache *> children;
     std::unordered_map<PeId, Cache *> childByPe;
-    Bus *globalBus = nullptr;
-    /** This cluster's client index on the global bus. */
+    GlobalFabric *global = nullptr;
+    /** This cluster's client index on the global fabric. */
     int clientIndex = -1;
 
     // Handles interned once at construction (per-event adds).

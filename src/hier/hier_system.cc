@@ -9,6 +9,16 @@
 namespace ddc {
 namespace hier {
 
+std::string_view
+toString(GlobalKind kind)
+{
+    switch (kind) {
+      case GlobalKind::Snoop:     return "snoop";
+      case GlobalKind::Directory: return "directory";
+    }
+    ddc_panic("unknown GlobalKind ", static_cast<int>(kind));
+}
+
 HierSystem::HierSystem(const HierConfig &config)
     : config(config),
       kernel(clock,
@@ -26,12 +36,26 @@ HierSystem::HierSystem(const HierConfig &config)
                "the hierarchical machine supports the RB and RWB schemes");
     protocol = makeProtocol(config.protocol, config.rwb_writes_to_local);
 
-    memory = std::make_unique<Memory>(globalStats);
-    globalBus = std::make_unique<Bus>(*memory, config.arbiter, clock,
-                                      globalStats, config.arbiter_seed,
-                                      1, 0, config.snoop_filter);
     globalShard = &kernel.makeSerialShard(config.arbiter_seed, 0);
-    globalShard->addBus(globalBus.get());
+    if (config.global == GlobalKind::Directory) {
+        // Home nodes replace the global bus + monolithic memory;
+        // they run in the serial phase because the snooping bus
+        // commits supply/kill/deliver atomically within a cycle and
+        // the clusters rely on observing them in home order.
+        fabric = std::make_unique<dir::DirectoryFabric>(
+            config.home_nodes, config.arbiter, config.arbiter_seed,
+            globalStats);
+        globalShard->addComponent(fabric.get());
+    } else {
+        ddc_assert(config.home_nodes == 1,
+                   "home_nodes > 1 needs GlobalKind::Directory");
+        memory = std::make_unique<Memory>(globalStats);
+        globalBus = std::make_unique<Bus>(*memory, config.arbiter,
+                                          clock, globalStats,
+                                          config.arbiter_seed, 1, 0,
+                                          config.snoop_filter);
+        globalShard->addComponent(globalBus.get());
+    }
 
     // The serial execution log is one shared stream; recording
     // pins the run to the calling thread (results are identical —
@@ -44,7 +68,10 @@ HierSystem::HierSystem(const HierConfig &config)
         l1Stats.push_back(std::make_unique<stats::CounterSet>());
         clusterCaches.push_back(
             std::make_unique<ClusterCache>(c, *clusterStats.back()));
-        clusterCaches.back()->connectGlobalBus(*globalBus);
+        if (fabric)
+            clusterCaches.back()->connectGlobal(*fabric);
+        else
+            clusterCaches.back()->connectGlobal(*globalBus);
         clusterBuses.push_back(std::make_unique<Bus>(
             *clusterCaches.back(), config.arbiter, clock,
             *clusterStats.back(),
@@ -54,7 +81,7 @@ HierSystem::HierSystem(const HierConfig &config)
             config.arbiter_seed,
             static_cast<std::size_t>(config.pes_per_cluster));
         clusterShards.push_back(&shard);
-        shard.addBus(clusterBuses.back().get());
+        shard.addComponent(clusterBuses.back().get());
 
         for (int p = 0; p < config.pes_per_cluster; p++) {
             PeId pe = c * config.pes_per_cluster + p;
@@ -76,7 +103,10 @@ HierSystem::HierSystem(const HierConfig &config)
         // One recorder collects from every cluster; keep its feed
         // single-threaded.
         kernel.forceSequential();
-        globalBus->setObserver(recorder.get(), 0);
+        // The directory fabric has no bus-track observer; the global
+        // track stays empty in directory mode.
+        if (globalBus)
+            globalBus->setObserver(recorder.get(), 0);
         for (int c = 0; c < config.num_clusters; c++)
             clusterBuses[static_cast<std::size_t>(c)]->setObserver(
                 recorder.get(), 1 + c);
@@ -193,6 +223,21 @@ HierSystem::l1(PeId pe) const
 }
 
 Word
+HierSystem::memoryValue(Addr addr) const
+{
+    return fabric ? fabric->memoryValue(addr) : memory->peek(addr);
+}
+
+void
+HierSystem::pokeMemory(Addr addr, Word value)
+{
+    if (fabric)
+        fabric->pokeMemory(addr, value);
+    else
+        memory->poke(addr, value);
+}
+
+Word
 HierSystem::coherentValue(Addr addr) const
 {
     // A dirty L1 holds the latest value; else an owning cluster cache;
@@ -205,7 +250,7 @@ HierSystem::coherentValue(Addr addr) const
         if (cluster->owns(addr))
             return cluster->value(addr);
     }
-    return memory->peek(addr);
+    return memoryValue(addr);
 }
 
 LineState
@@ -267,9 +312,25 @@ HierSystem::clusterBusTransactions() const
 std::uint64_t
 HierSystem::snoopVisits() const
 {
-    std::uint64_t total = globalBus->snoopVisits();
+    std::uint64_t total = globalVisits();
     for (const auto &bus : clusterBuses)
         total += bus->snoopVisits();
+    return total;
+}
+
+std::uint64_t
+HierSystem::globalVisits() const
+{
+    return fabric ? fabric->messageVisits() : globalBus->snoopVisits();
+}
+
+std::uint64_t
+HierSystem::snoopFilterFallbacks() const
+{
+    std::uint64_t total = globalBus ? globalBus->snoopFilterFallbacks()
+                                    : 0;
+    for (const auto &bus : clusterBuses)
+        total += bus->snoopFilterFallbacks();
     return total;
 }
 

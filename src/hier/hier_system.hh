@@ -11,9 +11,11 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/factory.hh"
+#include "dir/fabric.hh"
 #include "hier/cluster_cache.hh"
 #include "sim/agent.hh"
 #include "sim/bus.hh"
@@ -30,6 +32,21 @@
 
 namespace ddc {
 namespace hier {
+
+/** Global-interconnect flavour of the hierarchical machine. */
+enum class GlobalKind
+{
+    /** One snooping global bus (broadcast; O(clusters) per snoop). */
+    Snoop,
+    /**
+     * Address-interleaved directory home nodes (point-to-point;
+     * O(sharers) per transaction — the 1k–4k-PE configuration).
+     */
+    Directory,
+};
+
+/** Printable name of a GlobalKind. */
+std::string_view toString(GlobalKind kind);
 
 /** Configuration of a hierarchical machine. */
 struct HierConfig
@@ -86,6 +103,16 @@ struct HierConfig
      * dynamic load-balanced claiming.
      */
     bool deterministic_shards = true;
+    /**
+     * Global interconnect: the snooping bus (default, the paper's
+     * logically single broadcast medium) or the directory fabric
+     * (src/dir) for large cluster counts.  With home_nodes == 1 the
+     * directory is cycle-for-cycle identical to the snooping bus
+     * (see DESIGN.md, "The directory contract").
+     */
+    GlobalKind global = GlobalKind::Snoop;
+    /** Home nodes of the directory fabric (GlobalKind::Directory). */
+    int home_nodes = 1;
 };
 
 /** A complete hierarchical shared-bus multiprocessor (RB recursive). */
@@ -133,11 +160,11 @@ class HierSystem
     bool allDone() const;
     Cycle now() const { return clock.now; }
 
-    /** Global memory's value of @p addr. */
-    Word memoryValue(Addr addr) const { return memory->peek(addr); }
+    /** Global memory's value of @p addr (routed to its home bank). */
+    Word memoryValue(Addr addr) const;
 
     /** Overwrite global memory directly (fault-injection hook). */
-    void pokeMemory(Addr addr, Word value) { memory->poke(addr, value); }
+    void pokeMemory(Addr addr, Word value);
 
     /** The machine's latest value of @p addr. */
     Word coherentValue(Addr addr) const;
@@ -169,8 +196,36 @@ class HierSystem
     /** Transactions executed on all cluster buses. */
     std::uint64_t clusterBusTransactions() const;
 
-    /** Broadcast visits + supplier polls across every bus. */
+    /**
+     * Broadcast visits + supplier polls across every bus; in
+     * directory mode the global-level term is the fabric's
+     * point-to-point message count instead (the apples-to-apples
+     * "clients touched per transaction" comparison).
+     */
     std::uint64_t snoopVisits() const;
+
+    /**
+     * The global-level term of snoopVisits() alone: snoop broadcasts
+     * and supplier polls on the snooping global bus, point-to-point
+     * messages on the directory fabric.  The per-transaction cost of
+     * the global interconnect — O(clusters) snooping (once the filter
+     * reverts past 64 clusters), O(sharers) directory.
+     */
+    std::uint64_t globalVisits() const;
+
+    /**
+     * Times any bus of this machine degraded from sharer-indexed to
+     * full snooping (see Bus::snoopFilterFallbacks).  The snooping
+     * global bus degrades the moment a 65th cluster attaches; the
+     * directory fabric never does.
+     */
+    std::uint64_t snoopFilterFallbacks() const;
+
+    /** The directory fabric (null in GlobalKind::Snoop mode). */
+    const dir::DirectoryFabric *directoryFabric() const
+    {
+        return fabric.get();
+    }
 
     /** This machine's observability state (null when all off). */
     obs::Recorder *observability() const { return recorder.get(); }
@@ -203,8 +258,11 @@ class HierSystem
      */
     std::vector<std::unique_ptr<stats::CounterSet>> l1Stats;
 
+    /** Global memory + snooping bus (GlobalKind::Snoop mode only). */
     std::unique_ptr<Memory> memory;
     std::unique_ptr<Bus> globalBus;
+    /** Home-node fabric (GlobalKind::Directory mode only). */
+    std::unique_ptr<dir::DirectoryFabric> fabric;
     std::vector<std::unique_ptr<ClusterCache>> clusterCaches;
     std::vector<std::unique_ptr<Bus>> clusterBuses;
     /** l1s[pe]. */

@@ -7,10 +7,8 @@
 
 namespace ddc {
 
-namespace {
-
 std::string_view
-statName(BusOp op)
+busOpStatName(BusOp op)
 {
     switch (op) {
       case BusOp::Read:        return "bus.read";
@@ -29,7 +27,7 @@ statName(BusOp op)
  * tests/bus_test.cc pins each name to its toString(BusOp) spelling.
  */
 std::string_view
-nackStatName(BusOp op)
+busNackStatName(BusOp op)
 {
     switch (op) {
       case BusOp::Read:        return "bus.nack.BusRead";
@@ -41,6 +39,8 @@ nackStatName(BusOp op)
     }
     ddc_panic("unknown BusOp ", static_cast<int>(op));
 }
+
+namespace {
 
 std::size_t
 opIndex(BusOp op)
@@ -60,6 +60,13 @@ clientBit(int client)
 }
 
 } // namespace
+
+Addr
+BusClient::pendingAddr() const
+{
+    ddc_panic("this bus client cannot be address-routed (pendingAddr "
+              "is only implemented by global-fabric clients)");
+}
 
 void
 setSnoopFilterEnabled(bool enabled)
@@ -99,8 +106,8 @@ Bus::Bus(MemorySide &memory, ArbiterKind arbiter_kind, const Clock &clock,
     statNack = stats.intern("bus.nack");
     for (auto op : {BusOp::Read, BusOp::Write, BusOp::Invalidate,
                     BusOp::Rmw, BusOp::ReadLock, BusOp::WriteUnlock}) {
-        statOp[opIndex(op)] = stats.intern(statName(op));
-        statNackOp[opIndex(op)] = stats.intern(nackStatName(op));
+        statOp[opIndex(op)] = stats.intern(busOpStatName(op));
+        statNackOp[opIndex(op)] = stats.intern(busNackStatName(op));
     }
 }
 
@@ -308,6 +315,16 @@ Bus::snooperMask(Addr addr) const
 void
 Bus::revertToFullSnoop()
 {
+    // Only an *active* filter degrades; a bus built (or already
+    // reverted) with filtering off is just doing what it was asked.
+    if (filterOn) {
+        fallbackCount++;
+        ddc_warn("snoop filter reverting to full snooping (",
+                 clients.size() > kMaxFilterClients
+                     ? "more than 64 clients"
+                     : "holder index block cap exceeded",
+                 "); run continues correct but O(clients) per snoop");
+    }
     filterOn = false;
     holders.clear();
 }

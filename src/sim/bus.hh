@@ -37,6 +37,7 @@
 #include "obs/recorder.hh"
 #include "sim/arbiter.hh"
 #include "sim/clock.hh"
+#include "sim/fabric.hh"
 #include "sim/memory_side.hh"
 #include "stats/counter.hh"
 
@@ -53,6 +54,16 @@ struct BusRequest
     bool block_transfer = false;
     /** Payload of a block write (write-back); block_words long. */
     std::vector<Word> block_data;
+    /**
+     * This Write publishes an owned value back to memory without
+     * claiming ownership (the hierarchical cluster cache's pre-flush
+     * before an RMW-class forward).  The snooping bus ignores the
+     * flag — a snooped write invalidates other copies either way, and
+     * the issuer demotes itself on completion — but a directory must
+     * distinguish it from an ownership-acquiring write to keep its
+     * owner field exact.
+     */
+    bool writeback = false;
 };
 
 /** Completion data handed back to the issuing cache. */
@@ -141,6 +152,15 @@ class BusClient
 
     /** Owning PE, for memory-lock bookkeeping. */
     virtual PeId peId() const = 0;
+
+    /**
+     * Address of the pending request (valid only when a request is
+     * pending), *without* the side effects of currentRequest().  An
+     * address-interleaved fabric routes on it before granting.  Only
+     * clients attached to such a fabric need to implement it; the
+     * default panics.
+     */
+    virtual Addr pendingAddr() const;
 };
 
 /**
@@ -153,8 +173,17 @@ class BusClient
 void setSnoopFilterEnabled(bool enabled);
 bool snoopFilterEnabled();
 
+/**
+ * Counter names of an issued / NACKed BusOp ("bus.read",
+ * "bus.nack.BusRead", ...).  Shared with the directory fabric's home
+ * nodes, which emit the same statistics family so directory-mode
+ * counter reports line up with the snooping bus name-for-name.
+ */
+std::string_view busOpStatName(BusOp op);
+std::string_view busNackStatName(BusOp op);
+
 /** The shared bus: arbitration, execution, snooping, kill/retry. */
-class Bus
+class Bus : public GlobalFabric, public Tickable
 {
   public:
     /**
@@ -182,7 +211,7 @@ class Bus
         bool snoop_filter = true);
 
     /** Attach a client; returns its client index on this bus. */
-    int attach(BusClient *client);
+    int attach(BusClient *client) override;
 
     /**
      * Fast-path hint: whether client @p client may have a pending
@@ -194,7 +223,7 @@ class Bus
      * Disarming is strictly a promise that hasRequest() would return
      * false (and have no side effects) until the client re-arms.
      */
-    void setRequestArmed(int client, bool is_armed);
+    void setRequestArmed(int client, bool is_armed) override;
 
     /** Number of currently armed clients. */
     std::size_t
@@ -245,6 +274,18 @@ class Bus
      */
     std::uint64_t snoopVisits() const { return snoopVisitCount; }
 
+    /**
+     * Times this bus silently degraded from sharer-indexed to full
+     * snooping (more clients than a mask holds, or more distinct
+     * blocks than the index cap; see revertToFullSnoop).  Counted only
+     * when the filter was actually active — a bus built with the
+     * filter off never "degrades".  Like snoopVisits, deliberately not
+     * a CounterSet statistic, so counter reports stay byte-identical
+     * filter-on vs filter-off; surfaced per run as
+     * RunResult::snoop_filter_fallbacks under --timing.
+     */
+    std::uint64_t snoopFilterFallbacks() const { return fallbackCount; }
+
     /** Test introspection: indexed holders of @p addr's block. */
     std::vector<int> indexHolders(Addr addr) const;
 
@@ -257,7 +298,7 @@ class Bus
     void setObserver(obs::Recorder *recorder, int bus_id);
 
     /** Advance one cycle (at most one new transaction begins). */
-    void tick();
+    void tick() override;
 
     /**
      * Earliest cycle at which this bus (or the memory side behind it)
@@ -271,7 +312,7 @@ class Bus
      * schedule).
      */
     Cycle
-    nextEventCycle(Cycle now) const
+    nextEventCycle(Cycle now) const override
     {
         Cycle own = transferCyclesLeft > 0
                         ? now + static_cast<Cycle>(transferCyclesLeft)
@@ -286,13 +327,13 @@ class Bus
      * grant opportunity was skipped (count never crosses this bus's
      * nextEventCycle() while a client is armed).
      */
-    void skipCycles(Cycle count);
+    void skipCycles(Cycle count) override;
 
     /** True when no client has a pending request. */
     bool idle();
 
     /** Words per block on this bus. */
-    std::size_t blockWords() const { return blockSize; }
+    std::size_t blockWords() const override { return blockSize; }
 
     /** First word address of the block containing @p addr. */
     Addr
@@ -478,6 +519,8 @@ class Bus
     HolderIndex holders;
     /** Broadcast visits + supplier polls (see snoopVisits()). */
     std::uint64_t snoopVisitCount = 0;
+    /** Active-filter reverts to full snooping (see snoopFilterFallbacks). */
+    std::uint64_t fallbackCount = 0;
 
     /** Bus-category trace sink (null when not traced). */
     obs::TraceSink *busTrace = nullptr;

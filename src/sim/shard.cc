@@ -17,10 +17,11 @@ Shard::Shard(int id, std::uint64_t seed, std::size_t agent_slots)
 }
 
 void
-Shard::addBus(Bus *bus)
+Shard::addComponent(Tickable *component)
 {
-    ddc_assert(bus != nullptr, "Shard::addBus needs a bus");
-    buses.push_back(bus);
+    ddc_assert(component != nullptr,
+               "Shard::addComponent needs a component");
+    components.push_back(component);
 }
 
 char *
@@ -53,8 +54,8 @@ Shard::rebuild()
 void
 Shard::tick()
 {
-    for (Bus *bus : buses)
-        bus->tick();
+    for (Tickable *component : components)
+        component->tick();
     std::size_t out = 0;
     for (std::size_t slot : active) {
         if (stalled[slot]) {
@@ -85,8 +86,8 @@ Cycle
 Shard::nextEventCycle(Cycle now) const
 {
     Cycle earliest = kNever;
-    for (const Bus *bus : buses) {
-        Cycle next = bus->nextEventCycle(now);
+    for (const Tickable *component : components) {
+        Cycle next = component->nextEventCycle(now);
         if (next <= now)
             return now;
         earliest = std::min(earliest, next);
@@ -107,8 +108,8 @@ Shard::nextEventCycle(Cycle now) const
 void
 Shard::skipCycles(Cycle count)
 {
-    for (Bus *bus : buses)
-        bus->skipCycles(count);
+    for (Tickable *component : components)
+        component->skipCycles(count);
     for (std::size_t slot : active)
         agents[slot]->skipCycles(count);
 }

@@ -25,8 +25,8 @@
 #include <vector>
 
 #include "sim/agent.hh"
-#include "sim/bus.hh"
 #include "sim/clock.hh"
+#include "sim/fabric.hh"
 #include "trace/rng.hh"
 
 namespace ddc {
@@ -56,8 +56,12 @@ class Shard
      */
     StreamRng &rng() { return stream; }
 
-    /** Attach a bus ticked (and skipped) by this shard, in order. */
-    void addBus(Bus *bus);
+    /**
+     * Attach a component ticked (and skipped) by this shard before
+     * its agents, in attach order — a snooping Bus or the directory
+     * fabric; anything Tickable.
+     */
+    void addComponent(Tickable *component);
 
     /**
      * Wake flag of agent slot @p slot, for Cache::setWakeFlag (stable
@@ -111,7 +115,7 @@ class Shard
   private:
     int shardId;
     StreamRng stream;
-    std::vector<Bus *> buses;
+    std::vector<Tickable *> components;
     /** Installed agents by slot (non-owning; null = empty slot). */
     std::vector<Agent *> agents;
     /** Slots of installed agents that have not finished, in order. */

@@ -31,7 +31,7 @@ System::System(const SystemConfig &config)
             config.arbiter_seed + static_cast<std::uint64_t>(b),
             config.block_words, config.memory_latency,
             config.snoop_filter));
-        shard->addBus(buses.back().get());
+        shard->addComponent(buses.back().get());
     }
 
     ExecutionLog *log = config.record_log ? &execLog : nullptr;
@@ -273,6 +273,15 @@ System::snoopVisits() const
     std::uint64_t total = 0;
     for (const auto &bus : buses)
         total += bus->snoopVisits();
+    return total;
+}
+
+std::uint64_t
+System::snoopFilterFallbacks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &bus : buses)
+        total += bus->snoopFilterFallbacks();
     return total;
 }
 

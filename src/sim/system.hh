@@ -202,6 +202,12 @@ class System
     std::uint64_t snoopVisits() const;
 
     /**
+     * Times any bus degraded from sharer-indexed to full snooping
+     * (see Bus::snoopFilterFallbacks); 0 on a healthy filtered run.
+     */
+    std::uint64_t snoopFilterFallbacks() const;
+
+    /**
      * References that needed the bus at issue time (the miss_ratio
      * numerator): the sum of every cache.read_miss.* /
      * cache.write_miss.* / cache.ts.* / cache.readlock.* /

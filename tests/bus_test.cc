@@ -499,5 +499,54 @@ TEST_F(SnoopIndexTest, SnoopVisitsShrinkWithTheIndex)
     EXPECT_EQ(bus.snoopVisits(), 1u + 2u + 2u);
 }
 
+TEST(SnoopFilterFallback, SixtyFifthClientRevertsAndCountsOnce)
+{
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory(stats);
+    Bus bus(memory, ArbiterKind::RoundRobin, clock, stats);
+    std::deque<FakeClient> clients;
+    for (PeId pe = 0; pe < 64; pe++) {
+        clients.emplace_back(pe);
+        bus.attach(&clients.back());
+    }
+    EXPECT_EQ(bus.snoopFilterFallbacks(), 0u);
+
+    // The 65th client overflows the 64-bit sharer masks: the bus
+    // reverts to full snooping and counts the degradation exactly
+    // once, however many clients attach afterwards.
+    for (PeId pe = 64; pe < 70; pe++) {
+        clients.emplace_back(pe);
+        bus.attach(&clients.back());
+    }
+    EXPECT_EQ(bus.snoopFilterFallbacks(), 1u);
+
+    // The reverted bus still works, broadcasting to everyone.
+    memory.write(10, 5);
+    clients[0].push({BusOp::Read, 10, 0});
+    bus.tick();
+    ASSERT_EQ(clients[0].completions.size(), 1u);
+    EXPECT_EQ(clients[0].completions[0].data, 5u);
+    for (std::size_t i = 1; i < clients.size(); i++)
+        EXPECT_EQ(clients[i].observed.size(), 1u) << "client " << i;
+}
+
+TEST(SnoopFilterFallback, FilterOffBusNeverCountsADegradation)
+{
+    // A bus asked to run unfiltered is just doing what it was told:
+    // crossing 64 clients is not a fallback.
+    stats::CounterSet stats;
+    Clock clock;
+    Memory memory(stats);
+    Bus bus(memory, ArbiterKind::RoundRobin, clock, stats, 0, 1, 0,
+            false);
+    std::deque<FakeClient> clients;
+    for (PeId pe = 0; pe < 70; pe++) {
+        clients.emplace_back(pe);
+        bus.attach(&clients.back());
+    }
+    EXPECT_EQ(bus.snoopFilterFallbacks(), 0u);
+}
+
 } // namespace
 } // namespace ddc

@@ -206,6 +206,24 @@ TEST(SnoopFilterEquivalence, TimedOutRunResultJsonIsIdentical)
                 unfiltered.toJson(true).dump());
 }
 
+TEST(SnoopFilterEquivalence, FallbackCountSurfacesInRunResult)
+{
+    // A 70-client bus silently reverted to full snooping before this
+    // counter existed; now the degradation is visible — but, being a
+    // host-topology fact, only in the opt-in --timing serialization.
+    auto trace = makeUniformRandomTrace(70, 400, 32, 0.3, 0.05, 7);
+    exp::TraceRun run;
+    run.trace = trace;
+    run.config.num_pes = 70;
+    run.config.cache_lines = 32;
+    exp::RunResult result = exp::executeTraceRun(run);
+    EXPECT_GE(result.snoop_filter_fallbacks, 1u);
+    EXPECT_NE(result.toJson(true).dump().find("snoop_filter_fallbacks"),
+              std::string::npos);
+    EXPECT_EQ(result.toJson(false).dump().find("snoop_filter_fallbacks"),
+              std::string::npos);
+}
+
 TEST(SnoopFilterEquivalence, LockWorkloadsViaProcessWideSwitch)
 {
     // Spin locks through real PE programs, with the --no-snoop-filter

@@ -52,6 +52,12 @@ usage(std::ostream &os)
         "  --clusters C     run the two-level hierarchical machine\n"
         "                   (recursive RB) with C clusters of\n"
         "                   --pes PEs each\n"
+        "  --global G       global interconnect of the hierarchical\n"
+        "                   machine: snoop (default, one snooping\n"
+        "                   bus) | directory (address-interleaved\n"
+        "                   home nodes; scales past 64 clusters)\n"
+        "  --homes H        home nodes of the directory fabric\n"
+        "                   (default 1; needs --global directory)\n"
         "  --rwb-k K        RWB writes-to-local threshold (default 2)\n"
         "  --arbiter A      RoundRobin | FixedPriority | Random\n"
         "\n"
@@ -102,6 +108,8 @@ struct Options
 {
     SystemConfig config;
     int clusters = 0; // > 0 selects the hierarchical machine
+    hier::GlobalKind global = hier::GlobalKind::Snoop;
+    int homes = 1;
     std::string trace_file;
     std::string workload;
     std::string save_trace;
@@ -168,6 +176,28 @@ parseArgs(int argc, char **argv, Options &options)
             if (!(value = need_value(i)))
                 return false;
             options.clusters = std::atoi(value);
+        } else if (arg == "--global") {
+            if (!(value = need_value(i)))
+                return false;
+            std::string name = value;
+            if (name == "snoop") {
+                options.global = hier::GlobalKind::Snoop;
+            } else if (name == "directory") {
+                options.global = hier::GlobalKind::Directory;
+            } else {
+                std::cerr << "ddcsim: unknown global interconnect "
+                          << name << "\n";
+                return false;
+            }
+        } else if (arg == "--homes") {
+            if (!(value = need_value(i)))
+                return false;
+            options.homes = std::atoi(value);
+            if (options.homes < 1) {
+                std::cerr << "ddcsim: --homes needs a positive count, "
+                             "got " << value << "\n";
+                return false;
+            }
         } else if (arg == "--rwb-k") {
             if (!(value = need_value(i)))
                 return false;
@@ -320,6 +350,8 @@ main(int argc, char **argv)
         config.arbiter = options.config.arbiter;
         config.record_log = options.check;
         config.histograms = session_options.histograms;
+        config.global = options.global;
+        config.home_nodes = options.homes;
 
         hier::HierSystem system(config);
         system.loadTrace(trace);
@@ -331,7 +363,11 @@ main(int argc, char **argv)
         std::cout << "hierarchical " << toString(config.protocol)
                   << ", " << options.clusters
                   << " clusters x " << config.pes_per_cluster << " PEs, "
-                  << config.cache_lines << " L1 lines\n"
+                  << config.cache_lines << " L1 lines, global "
+                  << toString(config.global);
+        if (config.global == hier::GlobalKind::Directory)
+            std::cout << " (" << config.home_nodes << " homes)";
+        std::cout << "\n"
                   << (system.allDone() ? "completed" : "TIMED OUT")
                   << " in " << system.now() << " cycles; "
                   << system.globalBusTransactions()
