@@ -1,15 +1,18 @@
 /**
  * @file
  * Global-interconnect scaling bench: snooping bus vs directory fabric
- * on the hierarchical machine from 64 to 4096 PEs, not a paper
+ * on the hierarchical machine from 64 to 8192 PEs, not a paper
  * reproduction.
  *
  * One family: the Section 8 clustered workload replayed on machines
- * of 2, 8, 32, and 128 clusters x 32 PEs, once with the snooping
+ * of 2, 8, 32, 128, and 256 clusters x 32 PEs, once with the snooping
  * global bus (--global snoop) and once with the directory fabric
  * (--global directory, homes scaling with the cluster count).  Both
- * arms of a point replay the identical trace.  Three effects drive
- * the crossover the table shows:
+ * arms of a point replay the identical trace; the 256-cluster
+ * (8192-PE) point runs directory-only — its snooping arm would be
+ * O(clusters) per broadcast and minutes of wall clock for a number
+ * the 128-cluster row already demonstrates.  Three effects drive the
+ * crossover the table shows:
  *
  *  - sim cycles: the snooping bus grants once per cycle machine-wide,
  *    the fabric once per home per cycle, so directory-mode runs
@@ -18,7 +21,8 @@
  *    transaction (the sharer index must revert past 64 clusters — see
  *    Bus::snoopFilterFallbacks), a directory transaction O(sharers);
  *  - host wall clock: both of the above are host work, so the wall
- *    clock follows.
+ *    clock follows.  The route/serve columns split the fabric's own
+ *    tick cost (DirectoryFabric phase timing) out of the wall clock.
  *
  * At 2 clusters the directory runs with one home and is byte-
  * identical to the snooping bus by contract (cycles and txns equal in
@@ -34,6 +38,7 @@
 #include <iostream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 #include "hier/hier_system.hh"
 #include "stats/table.hh"
@@ -44,7 +49,19 @@ namespace {
 using namespace ddc;
 
 constexpr int kPesPerCluster = 32;
-const int kClusterCounts[] = {2, 8, 32, 128};
+
+/** One cluster-count point of the sweep. */
+struct Point
+{
+    int clusters;
+    /** Whether the snooping arm runs (off at the largest scale). */
+    bool snoop_arm;
+};
+
+const Point kPoints[] = {
+    {2, true}, {8, true}, {32, true}, {128, true}, {256, false},
+};
+
 /** Timing reps per point (the table keeps the best). */
 constexpr std::size_t kReps = 2;
 constexpr std::size_t kRefsPerPe = 200;
@@ -75,62 +92,89 @@ printReproduction(exp::Session &session)
         "Perf: global interconnect at scale -- snooping bus vs\n"
         "directory fabric on the hierarchical machine (32 PEs per\n"
         "cluster, Section 8 clustered workload, identical traces per\n"
-        "point).  Wall-clock columns are machine-dependent; cycle and\n"
-        "visit columns are deterministic.\n\n";
-
-    exp::ParamGrid grid;
-    grid.axis("clusters", {"2", "8", "32", "128"});
-    grid.axis("global", {"snoop", "directory"});
-    // Reps innermost; min-time is the noise-robust estimator.
-    grid.axis("rep", {"0", "1"});
+        "point; the 8192-PE point is directory-only).  Wall-clock,\n"
+        "route and serve columns are machine-dependent; cycle, visit\n"
+        "and table columns are deterministic.\n\n";
 
     // Traces are generated up front: point lambdas run inside the
     // timed region.
     std::vector<Trace> traces;
-    for (int clusters : kClusterCounts) {
+    for (const Point &point : kPoints) {
         traces.push_back(makeClusteredTrace(
-            clusters, kPesPerCluster, kRefsPerPe, kClusterLocalFraction,
-            kWriteFraction, 7));
+            point.clusters, kPesPerCluster, kRefsPerPe,
+            kClusterLocalFraction, kWriteFraction, 7));
     }
 
     exp::Experiment spec(
         "perf_directory_scaling",
-        "Snooping global bus vs directory home nodes, 64 to 4096 PEs "
-        "(2..128 clusters x 32 PEs) on the clustered workload; "
+        "Snooping global bus vs directory home nodes, 64 to 8192 PEs "
+        "(2..256 clusters x 32 PEs) on the clustered workload; "
         "directory arms use clusters/4 home nodes (1 at 2 clusters, "
-        "where the two modes are byte-identical by contract)");
-    for (std::size_t point = 0; point < grid.size(); point++) {
-        auto indices = grid.indicesAt(point);
-        int clusters = kClusterCounts[indices[0]];
-        bool directory = indices[1] == 1;
-        const Trace &trace = traces[indices[0]];
-        spec.addCustom(grid.paramsAt(point),
-                       [clusters, directory, &trace]() {
-            hier::HierConfig config;
-            config.num_clusters = clusters;
-            config.pes_per_cluster = kPesPerCluster;
-            config.cache_lines = 256;
-            config.protocol = ProtocolKind::Rb;
-            if (directory) {
-                config.global = hier::GlobalKind::Directory;
-                config.home_nodes = homesFor(clusters);
+        "where the two modes are byte-identical by contract); the "
+        "256-cluster point runs the directory arm only");
+
+    /** Flat result index where each (point, mode) arm's reps start. */
+    std::vector<std::size_t> armFirst;
+    std::size_t next = 0;
+    for (std::size_t p = 0; p < std::size(kPoints); p++) {
+        const Point &point = kPoints[p];
+        const Trace &trace = traces[p];
+        for (int mode = 0; mode < 2; mode++) {
+            bool directory = mode == 1;
+            if (!directory && !point.snoop_arm) {
+                armFirst.push_back(static_cast<std::size_t>(-1));
+                continue;
             }
-            hier::HierSystem system(config);
-            system.loadTrace(trace);
-            exp::RunResult result;
-            result.cycles = system.run();
-            result.skipped_cycles = system.skippedCycles();
-            result.bus_transactions = system.globalBusTransactions();
-            result.snoop_visits = system.globalVisits();
-            result.snoop_filter_fallbacks =
-                system.snoopFilterFallbacks();
-            return result;
-        });
+            armFirst.push_back(next);
+            for (std::size_t rep = 0; rep < kReps; rep++) {
+                exp::ParamList params = {
+                    {"clusters", std::to_string(point.clusters)},
+                    {"global", directory ? "directory" : "snoop"},
+                    {"rep", std::to_string(rep)},
+                };
+                int clusters = point.clusters;
+                spec.addCustom(params, [clusters, directory, &trace]() {
+                    hier::HierConfig config;
+                    config.num_clusters = clusters;
+                    config.pes_per_cluster = kPesPerCluster;
+                    config.cache_lines = 256;
+                    config.protocol = ProtocolKind::Rb;
+                    if (directory) {
+                        config.global = hier::GlobalKind::Directory;
+                        config.home_nodes = homesFor(clusters);
+                    }
+                    hier::HierSystem system(config);
+                    if (auto *fabric = system.directoryFabric())
+                        fabric->enablePhaseTiming();
+                    system.loadTrace(trace);
+                    exp::RunResult result;
+                    result.cycles = system.run();
+                    result.skipped_cycles = system.skippedCycles();
+                    result.bus_transactions =
+                        system.globalBusTransactions();
+                    result.snoop_visits = system.globalVisits();
+                    result.snoop_filter_fallbacks =
+                        system.snoopFilterFallbacks();
+                    if (auto *fabric = system.directoryFabric()) {
+                        result.directory_blocks =
+                            fabric->directoryBlocks();
+                        result.directory_max_load_factor =
+                            fabric->maxLoadFactor();
+                        result.setMetric("route_phase_ms",
+                                         fabric->routePhaseMs());
+                        result.setMetric("serve_phase_ms",
+                                         fabric->servePhaseMs());
+                    }
+                    return result;
+                });
+                next++;
+            }
+        }
     }
     const auto &results = session.run(spec);
 
     // Best rep (highest sim rate) of the arm starting at flat index
-    // @p first; reps are the innermost axis, so they are contiguous.
+    // @p first; reps are contiguous by construction.
     auto bestRep = [&results](std::size_t first) -> const auto & {
         const auto *best = &results[first];
         for (std::size_t r = 1; r < kReps; r++) {
@@ -145,13 +189,16 @@ printReproduction(exp::Session &session)
                 "32 PEs/cluster, 200 refs/PE, best of 2 reps");
     table.setHeader({"PEs", "global", "homes", "cycles", "global txns",
                      "global visits", "visits/txn", "wall ms",
+                     "route ms", "serve ms", "dir blocks", "max LF",
                      "Mcycles/s"});
-    for (std::size_t c = 0; c < std::size(kClusterCounts); c++) {
-        int clusters = kClusterCounts[c];
+    for (std::size_t p = 0; p < std::size(kPoints); p++) {
+        const Point &point = kPoints[p];
         for (int mode = 0; mode < 2; mode++) {
-            const auto &best = bestRep((c * 2 +
-                                        static_cast<std::size_t>(mode)) *
-                                       kReps);
+            std::size_t first = armFirst[p * 2 +
+                                         static_cast<std::size_t>(mode)];
+            if (first == static_cast<std::size_t>(-1))
+                continue;
+            const auto &best = bestRep(first);
             bool directory = mode == 1;
             double per_txn =
                 best.bus_transactions > 0
@@ -159,14 +206,26 @@ printReproduction(exp::Session &session)
                           static_cast<double>(best.bus_transactions)
                     : 0.0;
             table.addRow(
-                {std::to_string(clusters * kPesPerCluster),
+                {std::to_string(point.clusters * kPesPerCluster),
                  directory ? "directory" : "snoop",
-                 directory ? std::to_string(homesFor(clusters)) : "-",
+                 directory ? std::to_string(homesFor(point.clusters))
+                           : "-",
                  std::to_string(best.cycles),
                  std::to_string(best.bus_transactions),
                  std::to_string(best.snoop_visits),
                  Table::num(per_txn, 1),
                  Table::num(best.wall_time_ms, 2),
+                 directory
+                     ? Table::num(best.metric("route_phase_ms"), 2)
+                     : "-",
+                 directory
+                     ? Table::num(best.metric("serve_phase_ms"), 2)
+                     : "-",
+                 directory ? std::to_string(best.directory_blocks)
+                           : "-",
+                 directory
+                     ? Table::num(best.directory_max_load_factor, 2)
+                     : "-",
                  perMega(best.sim_cycles_per_sec)});
         }
     }

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * FlatMap: the repo's one open-addressing hash table, shared by every
+ * per-access hot structure (the per-home directory map, the sparse
+ * memory banks, the bus snoop-filter holder index).
+ *
+ * Design (the "flat-map contract", DESIGN.md):
+ *  - Storage is a single flat array of {key, value, occupied} slots —
+ *    a probe touches consecutive cache lines, never a per-node heap
+ *    allocation, which is the whole point versus std::unordered_map
+ *    on a per-simulated-cycle path.
+ *  - Capacity is always a power of two (geometric doubling at 3/4
+ *    load), so the probe step is a mask, not a modulo.
+ *  - Collisions resolve by linear probing; erase() uses backward-shift
+ *    deletion (displaced entries slide back toward their home slot),
+ *    so there are no tombstones and lookups never degrade after
+ *    deletion-heavy phases (the memory lock map's workload).
+ *  - Hashing is the fixed 64-bit Fibonacci multiplier — never
+ *    std::hash, whose layout is implementation-defined.  Slot layout
+ *    is therefore a pure function of the operation sequence, making
+ *    iteration order (slot order, via forEach) deterministic across
+ *    runs, hosts, and standard libraries for identical op sequences.
+ *    It is NOT sorted and NOT insertion order, and it may change
+ *    wholesale on growth or backward-shift — callers that need a
+ *    canonical order must sort (nothing on the simulation path
+ *    iterates at all; see DESIGN.md).
+ *
+ * Keys must be integral (hashed through a uint64_t cast); values must
+ * be default-constructible and move-assignable.
+ */
+
+#ifndef DDC_BASE_FLAT_MAP_HH
+#define DDC_BASE_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ddc {
+
+/** Open-addressing hash map (pow2 capacity, linear probing). */
+template <typename Key, typename Value>
+class FlatMap
+{
+  public:
+    /** One probeable unit: key and value share the slot's cache line. */
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool occupied = false;
+    };
+
+    FlatMap() = default;
+
+    /** Entries currently stored. */
+    std::size_t size() const { return used; }
+
+    bool empty() const { return used == 0; }
+
+    /** Allocated slots (0 before the first insert). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** size() / capacity() right now (0 when unallocated). */
+    double
+    loadFactor() const
+    {
+        return slots.empty() ? 0.0
+                             : static_cast<double>(used) /
+                                   static_cast<double>(slots.size());
+    }
+
+    /**
+     * Highest load factor this map ever reached (growth happens at
+     * 3/4, so a growing map peaks there; a small map that never grew
+     * reports its high-water size over its capacity).  Deterministic:
+     * a pure function of the operation sequence.
+     */
+    double
+    peakLoadFactor() const
+    {
+        double current = slots.empty()
+                             ? 0.0
+                             : static_cast<double>(peakUsed) /
+                                   static_cast<double>(slots.size());
+        return peakBeforeGrowth > current ? peakBeforeGrowth : current;
+    }
+
+    /** Value of @p key, or nullptr when absent. */
+    Value *
+    lookup(Key key)
+    {
+        if (slots.empty())
+            return nullptr;
+        const std::size_t mask = slots.size() - 1;
+        for (std::size_t i = homeSlot(key);; i = (i + 1) & mask) {
+            Slot &slot = slots[i];
+            if (!slot.occupied)
+                return nullptr;
+            if (slot.key == key)
+                return &slot.value;
+        }
+    }
+
+    const Value *
+    lookup(Key key) const
+    {
+        return const_cast<FlatMap *>(this)->lookup(key);
+    }
+
+    bool contains(Key key) const { return lookup(key) != nullptr; }
+
+    /**
+     * Value of @p key, default-constructed and inserted when absent
+     * (the unordered_map operator[] idiom).
+     */
+    Value &
+    findOrInsert(Key key)
+    {
+        if (slots.empty() || (used + 1) * 4 > slots.size() * 3)
+            grow();
+        const std::size_t mask = slots.size() - 1;
+        for (std::size_t i = homeSlot(key);; i = (i + 1) & mask) {
+            Slot &slot = slots[i];
+            if (slot.occupied && slot.key == key)
+                return slot.value;
+            if (!slot.occupied) {
+                slot.key = key;
+                slot.occupied = true;
+                used++;
+                if (used > peakUsed)
+                    peakUsed = used;
+                return slot.value;
+            }
+        }
+    }
+
+    Value &operator[](Key key) { return findOrInsert(key); }
+
+    /**
+     * Remove @p key; returns whether it was present.  Backward-shift:
+     * every entry displaced past the hole slides back onto its probe
+     * path, so no tombstone is left behind.
+     */
+    bool
+    erase(Key key)
+    {
+        if (slots.empty())
+            return false;
+        const std::size_t mask = slots.size() - 1;
+        std::size_t hole = homeSlot(key);
+        for (;; hole = (hole + 1) & mask) {
+            if (!slots[hole].occupied)
+                return false;
+            if (slots[hole].key == key)
+                break;
+        }
+        for (std::size_t next = hole;;) {
+            next = (next + 1) & mask;
+            if (!slots[next].occupied)
+                break;
+            // slots[next] may move into the hole only if the hole lies
+            // on its probe path: distance(home -> next) must cover
+            // distance(hole -> next).
+            std::size_t home = homeSlot(slots[next].key);
+            if (((next - home) & mask) >= ((next - hole) & mask)) {
+                slots[hole] = std::move(slots[next]);
+                slots[next].occupied = false;
+                hole = next;
+            }
+        }
+        slots[hole] = Slot{};
+        used--;
+        return true;
+    }
+
+    /** Drop every entry and release all storage. */
+    void
+    clear()
+    {
+        slots.clear();
+        slots.shrink_to_fit();
+        used = 0;
+        peakUsed = 0;
+        peakBeforeGrowth = 0.0;
+    }
+
+    /** Pre-size for @p expected entries (never shrinks). */
+    void
+    reserve(std::size_t expected)
+    {
+        std::size_t needed = kMinCapacity;
+        // Capacity such that `expected` stays under the 3/4 threshold.
+        while (expected * 4 > needed * 3)
+            needed *= 2;
+        if (needed > slots.size())
+            rehash(needed);
+    }
+
+    /**
+     * Visit every (key, value) pair in slot order — deterministic for
+     * identical operation sequences, otherwise unspecified (see file
+     * header).  @p fn must not insert or erase during the walk;
+     * mutating the visited value is fine.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        for (Slot &slot : slots) {
+            if (slot.occupied)
+                fn(slot.key, slot.value);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots) {
+            if (slot.occupied)
+                fn(slot.key, slot.value);
+        }
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 64;
+
+    /**
+     * Fibonacci multiplicative hash: the upper bits of the product
+     * are the well-mixed ones, so the home slot takes them (shifted
+     * down to 32, then masked by the pow2 capacity).
+     */
+    std::size_t
+    homeSlot(Key key) const
+    {
+        std::uint64_t h = static_cast<std::uint64_t>(key) *
+                          std::uint64_t{0x9E3779B97F4A7C15};
+        return static_cast<std::size_t>(h >> 32) & (slots.size() - 1);
+    }
+
+    void
+    grow()
+    {
+        if (!slots.empty()) {
+            double before = static_cast<double>(used) /
+                            static_cast<double>(slots.size());
+            if (before > peakBeforeGrowth)
+                peakBeforeGrowth = before;
+        }
+        rehash(slots.empty() ? kMinCapacity : slots.size() * 2);
+    }
+
+    void
+    rehash(std::size_t capacity)
+    {
+        ddc_assert((capacity & (capacity - 1)) == 0,
+                   "flat-map capacity must be a power of two");
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(capacity, Slot{});
+        const std::size_t mask = capacity - 1;
+        for (Slot &slot : old) {
+            if (!slot.occupied)
+                continue;
+            std::size_t i = homeSlot(slot.key);
+            while (slots[i].occupied)
+                i = (i + 1) & mask;
+            slots[i] = std::move(slot);
+        }
+    }
+
+    std::vector<Slot> slots;
+    /** Occupied slot count. */
+    std::size_t used = 0;
+    /** High-water used at the current capacity (for peakLoadFactor). */
+    std::size_t peakUsed = 0;
+    /** Highest load factor recorded at any growth. */
+    double peakBeforeGrowth = 0.0;
+};
+
+} // namespace ddc
+
+#endif // DDC_BASE_FLAT_MAP_HH

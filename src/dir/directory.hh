@@ -12,13 +12,16 @@
  *
  * Memory is O(blocks with at least one holder) + O(sharers) per
  * entry; nothing here scales with the total cluster or PE count.
+ *
+ * Entries live in a FlatMap (base/flat_map.hh): every directory
+ * lookup on the fabric's per-transaction path is a linear probe over
+ * flat slots, not an unordered_map pointer chase.
  */
 
 #ifndef DDC_DIR_DIRECTORY_HH
 #define DDC_DIR_DIRECTORY_HH
 
-#include <unordered_map>
-
+#include "base/flat_map.hh"
 #include "base/types.hh"
 #include "dir/sharer_set.hh"
 
@@ -39,28 +42,25 @@ class Directory
 {
   public:
     /** Entry for @p addr, default-constructed on first touch. */
-    DirEntry &ensure(Addr addr) { return entries[addr]; }
+    DirEntry &ensure(Addr addr) { return entries.findOrInsert(addr); }
 
     /** Entry for @p addr, or null when no cluster holds it. */
-    DirEntry *
-    lookup(Addr addr)
-    {
-        auto it = entries.find(addr);
-        return it == entries.end() ? nullptr : &it->second;
-    }
+    DirEntry *lookup(Addr addr) { return entries.lookup(addr); }
 
     const DirEntry *
     lookup(Addr addr) const
     {
-        auto it = entries.find(addr);
-        return it == entries.end() ? nullptr : &it->second;
+        return entries.lookup(addr);
     }
 
     /** Blocks with directory state (the memory-bound denominator). */
     std::size_t blocks() const { return entries.size(); }
 
+    /** Highest load factor the entry table ever reached. */
+    double peakLoadFactor() const { return entries.peakLoadFactor(); }
+
   private:
-    std::unordered_map<Addr, DirEntry> entries;
+    FlatMap<Addr, DirEntry> entries;
 };
 
 } // namespace dir

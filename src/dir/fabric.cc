@@ -1,5 +1,7 @@
 #include "dir/fabric.hh"
 
+#include <chrono>
+
 #include "base/logging.hh"
 
 namespace ddc {
@@ -9,6 +11,9 @@ DirectoryFabric::DirectoryFabric(int home_nodes,
                                  ArbiterKind arbiter_kind,
                                  std::uint64_t arbiter_seed,
                                  stats::CounterSet &stats)
+    : homesPow2(home_nodes >= 1 &&
+                (home_nodes & (home_nodes - 1)) == 0),
+      homeMask(static_cast<Addr>(home_nodes) - 1), stats(stats)
 {
     ddc_assert(home_nodes >= 1, "need at least one home node");
     homes.reserve(static_cast<std::size_t>(home_nodes));
@@ -16,6 +21,7 @@ DirectoryFabric::DirectoryFabric(int home_nodes,
         homes.push_back(std::make_unique<HomeNode>(h, arbiter_kind,
                                                    arbiter_seed, stats));
     }
+    statIdle = stats.intern("bus.idle_cycles");
 }
 
 int
@@ -25,6 +31,7 @@ DirectoryFabric::attach(BusClient *client)
     clients.push_back(client);
     armed.push_back(1);
     armedCount.fetch_add(1, std::memory_order_relaxed);
+    armEvents.fetch_add(1, std::memory_order_relaxed);
     return static_cast<int>(clients.size()) - 1;
 }
 
@@ -38,45 +45,107 @@ DirectoryFabric::setRequestArmed(int client, bool is_armed)
     if (armed[index] == flag)
         return;
     armed[index] = flag;
-    if (is_armed)
+    if (is_armed) {
         armedCount.fetch_add(1, std::memory_order_relaxed);
-    else
+        armEvents.fetch_add(1, std::memory_order_relaxed);
+    } else {
         armedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
 }
 
 void
 DirectoryFabric::tick()
 {
-    for (auto &home : homes)
-        home->clearInbox();
+    using clock = std::chrono::steady_clock;
+    clock::time_point routeStart;
+    if (phaseTiming)
+        routeStart = clock::now();
 
-    if (armedClients() > 0) {
-        // One ascending pass, exactly the snooping bus's requester
-        // collection; routing happens on the side-effect-free
-        // pendingAddr (hasRequest may lazily resolve forwards, so it
-        // runs first, exactly once, like on the bus).
-        for (std::size_t i = 0; i < clients.size(); i++) {
-            if (!armed[i] || !clients[i]->hasRequest())
-                continue;
-            int h = homeOf(clients[i]->pendingAddr());
-            homes[static_cast<std::size_t>(h)]->post(
-                static_cast<int>(i));
+    // ---- Route phase: O(armed), not O(clients). -------------------
+    // A stale dense list only ever *over*-covers the armed set (a
+    // disarm leaves its entry behind until compacted; an arm bumps
+    // armEvents and forces a rebuild below), so walking it visits
+    // every armed client, in ascending order — exactly the snooping
+    // bus's requester collection.  Routing happens on the side-
+    // effect-free pendingAddr (hasRequest may lazily resolve
+    // forwards, so it runs first, exactly once, like on the bus).
+    std::size_t posted = 0;
+    if (armedClients() > 0 || !armedList.empty()) {
+        std::uint64_t events =
+            armEvents.load(std::memory_order_relaxed);
+        if (events != seenArmEvents) {
+            seenArmEvents = events;
+            armedList.clear();
+            for (std::size_t i = 0; i < clients.size(); i++) {
+                if (armed[i])
+                    armedList.push_back(static_cast<int>(i));
+            }
         }
+        std::size_t kept = 0;
+        for (int c : armedList) {
+            auto index = static_cast<std::size_t>(c);
+            if (!armed[index])
+                continue; // Disarmed since the last pass; compact.
+            // Keep the entry *before* polling: hasRequest may disarm
+            // the client mid-call (local resolution), and dropping it
+            // here while its slot re-arms later the same cycle would
+            // lose it.  The stale entry costs one compaction check.
+            armedList[kept++] = c;
+            if (!clients[index]->hasRequest())
+                continue;
+            int h = homeOf(clients[index]->pendingAddr());
+            HomeNode &target = *homes[static_cast<std::size_t>(h)];
+            if (target.inboxEmpty())
+                touchedHomes.push_back(h);
+            target.post(c);
+            posted++;
+        }
+        armedList.resize(kept);
+    }
+    lastRoutingPosted = posted;
+
+    clock::time_point serveStart;
+    if (phaseTiming) {
+        serveStart = clock::now();
+        routeMs += std::chrono::duration<double, std::milli>(
+                       serveStart - routeStart)
+                       .count();
     }
 
-    for (auto &home : homes)
-        home->tick(clients, visitCount);
+    // ---- Serve phase: tick only the touched homes, in ascending id
+    // order (clusters must observe cross-home deliveries in the same
+    // order as the dense scan); batch the rest's idle accounting
+    // through the shared counter handle.
+    std::sort(touchedHomes.begin(), touchedHomes.end());
+    for (int h : touchedHomes) {
+        homes[static_cast<std::size_t>(h)]->tick(clients, visitCount);
+        homes[static_cast<std::size_t>(h)]->clearInbox();
+    }
+    std::size_t untouched = homes.size() - touchedHomes.size();
+    if (untouched > 0)
+        stats.add(statIdle, untouched);
+    touchedHomes.clear();
+
+    if (phaseTiming) {
+        serveMs += std::chrono::duration<double, std::milli>(
+                       clock::now() - serveStart)
+                       .count();
+    }
 }
 
 void
 DirectoryFabric::skipCycles(Cycle count)
 {
-    // Skips only cross intervals with no armed client (our
-    // nextEventCycle pins the skip engine to `now` otherwise).
-    ddc_assert(armedClients() == 0,
+    // Skips cross only intervals where our nextEventCycle reported
+    // kNever: no armed client at all, or a quiescent routing pass
+    // (nothing posted, no arm event since).
+    ddc_assert(armedClients() == 0 ||
+                   (lastRoutingPosted == 0 &&
+                    armEvents.load(std::memory_order_relaxed) ==
+                        seenArmEvents),
                "skipped across a home-node grant opportunity");
-    for (auto &home : homes)
-        home->countIdle(count);
+    if (count > 0)
+        stats.add(statIdle, count * homes.size());
 }
 
 Word
@@ -101,6 +170,17 @@ DirectoryFabric::directoryBlocks() const
     for (const auto &home : homes)
         total += home->directory().blocks();
     return total;
+}
+
+double
+DirectoryFabric::maxLoadFactor() const
+{
+    double peak = 0.0;
+    for (const auto &home : homes) {
+        peak = std::max(peak, home->directory().peakLoadFactor());
+        peak = std::max(peak, home->memoryBank().peakLoadFactor());
+    }
+    return peak;
 }
 
 } // namespace dir

@@ -4,23 +4,35 @@
  * interconnect at scale.
  *
  * Replaces the snooping global Bus with H address-interleaved home
- * nodes (block b is served by home b mod H).  Clusters attach and
- * arm requests exactly as on the bus; each cycle the fabric routes
- * every pending request to its block's home by address (the
- * side-effect-free BusClient::pendingAddr hook), and every home
- * independently arbitrates and serves one request.  All per-
- * transaction work is addressed through directory state — owner
- * forwards and sharer deliveries — so cost per transaction is
- * O(sharers), and fabric memory is O(blocks held) + O(clusters),
- * never O(clusters) *per block* and never O(PEs).
+ * nodes (block b is served by home b mod H; a shift-free mask when H
+ * is a power of two).  Clusters attach and arm requests exactly as on
+ * the bus; each cycle the fabric routes every pending request to its
+ * block's home by address (the side-effect-free BusClient::pendingAddr
+ * hook), and every home independently arbitrates and serves one
+ * request.  All per-transaction work is addressed through directory
+ * state — owner forwards and sharer deliveries — so cost per
+ * transaction is O(sharers), and fabric memory is O(blocks held) +
+ * O(clusters), never O(clusters) *per block* and never O(PEs).
+ *
+ * The per-cycle hot path is O(armed), not O(clients): the serial
+ * phase keeps a dense ascending list of armed clients (rebuilt from
+ * the per-client armed slots whenever an arm event was published,
+ * lazily compacted otherwise), and only the homes that actually
+ * received a request this cycle are ticked — the rest are idle-
+ * accounted in one batched counter add, which is byte-identical to
+ * ticking each of them because every home interns the same
+ * "bus.idle_cycles" handle in the shared counter set.
  *
  * Determinism and equivalence:
- *  - Homes are ticked in ascending id order on the serial shard, so
- *    a run is byte-identical across --shards values exactly like the
- *    snooping configuration.  (Homes must stay in the serial phase:
- *    the snooping bus commits supply/kill/deliver atomically within
- *    a cycle, and parallel home ticks could not preserve the
- *    cross-home delivery order that clusters observe.)
+ *  - The armed list is ascending and touched homes are served in
+ *    ascending id order on the serial shard, so requester collection,
+ *    arbiter streams, and cross-home delivery order are byte-
+ *    identical to the dense scan — and identical across --shards
+ *    values exactly like the snooping configuration.  (Homes must
+ *    stay in the serial phase: the snooping bus commits
+ *    supply/kill/deliver atomically within a cycle, and parallel home
+ *    ticks could not preserve the cross-home delivery order that
+ *    clusters observe.)
  *  - With H = 1 the fabric reduces to the snooping global bus
  *    cycle-for-cycle: same requester collection, same arbiter
  *    stream, same memory/lock semantics, same counter family —
@@ -30,12 +42,23 @@
  *
  * Request arming is the one cross-shard edge, with the same
  * per-client slot + relaxed atomic count contract as
- * Bus::setRequestArmed.
+ * Bus::setRequestArmed; armEvents is a second relaxed atomic in the
+ * same contract class (bumped only on disarmed->armed transitions,
+ * read only on the serial shard) that tells the routing pass when its
+ * dense list went stale.
+ *
+ * Quiescence contract: after a routing pass that posted nothing, the
+ * fabric reports kNever until the next arm event — a client that is
+ * armed but has no pending request must announce new work through
+ * setRequestArmed (ClusterCache does: its armed flag tracks
+ * "forwards pending" exactly, so a false hasRequest() poll disarms it
+ * inside the same call).
  */
 
 #ifndef DDC_DIR_FABRIC_HH
 #define DDC_DIR_FABRIC_HH
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -70,19 +93,28 @@ class DirectoryFabric : public GlobalFabric, public Tickable
     // ---- Tickable -------------------------------------------------
     /**
      * Advance one cycle: route every armed pending request to its
-     * home, then tick the homes in ascending order (at most one new
-     * transaction per home per cycle).
+     * home, then tick the touched homes in ascending order (at most
+     * one new transaction per home per cycle) and idle-account the
+     * rest in one batch.
      */
     void tick() override;
 
     /**
-     * @p now while any client is armed, kNever otherwise (home
-     * memory is passive and homes hold no multi-cycle transfers).
+     * @p now while any client is armed AND the fabric may have work:
+     * either an arm event arrived since the last routing pass, or
+     * that pass posted at least one request.  kNever otherwise —
+     * in particular when every armed client polled "no request" last
+     * cycle, so the quiescent-skip engine engages (see the
+     * quiescence contract in the file header).
      */
     Cycle
     nextEventCycle(Cycle now) const override
     {
-        return armedClients() > 0 ? now : kNever;
+        if (armedClients() == 0)
+            return kNever;
+        if (armEvents.load(std::memory_order_relaxed) != seenArmEvents)
+            return now;
+        return lastRoutingPosted > 0 ? now : kNever;
     }
 
     /** Account @p count quiescent cycles (idle at every home). */
@@ -95,6 +127,8 @@ class DirectoryFabric : public GlobalFabric, public Tickable
     int
     homeOf(Addr addr) const
     {
+        if (homesPow2)
+            return static_cast<int>(addr & homeMask);
         return static_cast<int>(addr %
                                 static_cast<Addr>(homes.size()));
     }
@@ -122,11 +156,28 @@ class DirectoryFabric : public GlobalFabric, public Tickable
     /** Blocks with directory state, summed across homes. */
     std::size_t directoryBlocks() const;
 
+    /**
+     * Highest load factor any home's flat-map state table (directory
+     * entries or memory bank) ever reached — the table-health metric
+     * surfaced per run alongside directoryBlocks().
+     */
+    double maxLoadFactor() const;
+
     std::size_t
     armedClients() const
     {
         return armedCount.load(std::memory_order_relaxed);
     }
+
+    // ---- Opt-in phase timing (bench support) -----------------------
+    /** Start accruing wall time per tick phase (off by default). */
+    void enablePhaseTiming() { phaseTiming = true; }
+
+    /** Wall time spent routing requests to homes, in milliseconds. */
+    double routePhaseMs() const { return routeMs; }
+
+    /** Wall time spent serving touched homes, in milliseconds. */
+    double servePhaseMs() const { return serveMs; }
 
   private:
     std::vector<std::unique_ptr<HomeNode>> homes;
@@ -134,7 +185,35 @@ class DirectoryFabric : public GlobalFabric, public Tickable
     /** Per-client armed slots (see Bus::setRequestArmed). */
     std::vector<char> armed;
     std::atomic<std::size_t> armedCount{0};
+    /**
+     * Generation counter of disarmed->armed transitions (attach
+     * included); relaxed, single-reader on the serial shard.  The
+     * routing pass rebuilds armedList when it observes a new value.
+     */
+    std::atomic<std::uint64_t> armEvents{0};
+    /** armEvents value the routing pass last synchronized with. */
+    std::uint64_t seenArmEvents = 0;
+    /**
+     * Dense ascending list of (possibly stale) armed clients; stale
+     * entries are compacted away during the routing walk, fresh arms
+     * trigger a full rebuild (amortized O(1) per arm event).
+     */
+    std::vector<int> armedList;
+    /** Homes with a non-empty inbox this cycle (ticked in id order). */
+    std::vector<int> touchedHomes;
+    /** Requests posted by the most recent routing pass. */
+    std::size_t lastRoutingPosted = 0;
+    /** True when the home count is a power of two (mask routing). */
+    bool homesPow2;
+    /** homes.size() - 1 when homesPow2. */
+    Addr homeMask;
+    stats::CounterSet &stats;
+    /** Shared "bus.idle_cycles" handle for batched idle accounting. */
+    stats::CounterId statIdle;
     std::uint64_t visitCount = 0;
+    bool phaseTiming = false;
+    double routeMs = 0.0;
+    double serveMs = 0.0;
 };
 
 } // namespace dir

@@ -59,6 +59,9 @@ class HomeNode
     /** Post client @p client's request into this cycle's inbox. */
     void post(int client) { inbox.push_back(client); }
 
+    /** Whether nothing routed here this cycle (touched-home test). */
+    bool inboxEmpty() const { return inbox.empty(); }
+
     /** Drop the (per-cycle) inbox; the fabric refills it each tick. */
     void clearInbox() { inbox.clear(); }
 

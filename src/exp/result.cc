@@ -65,6 +65,9 @@ RunResult::toJson(bool include_timing) const
                             : 0.0);
         json["snoop_visits"] = Json(snoop_visits);
         json["snoop_filter_fallbacks"] = Json(snoop_filter_fallbacks);
+        json["directory_blocks"] = Json(directory_blocks);
+        json["directory_max_load_factor"] =
+            Json(directory_max_load_factor);
     }
 
     Json metrics_json = Json::object();
@@ -179,6 +182,12 @@ RunResult::fromJson(const Json &json)
         result.snoop_filter_fallbacks =
             static_cast<std::uint64_t>(fallbacks->asInt());
     }
+    if (const Json *blocks = json.find("directory_blocks")) {
+        result.directory_blocks =
+            static_cast<std::uint64_t>(blocks->asInt());
+    }
+    if (const Json *load = json.find("directory_max_load_factor"))
+        result.directory_max_load_factor = load->asDouble();
     for (const auto &[name, value] : json.find("metrics")->items())
         result.metrics.emplace_back(name, value.asDouble());
     for (const auto &[name, value] : json.find("counters")->items())

@@ -91,6 +91,22 @@ struct RunResult
      * filter-on vs filter-off.
      */
     std::uint64_t snoop_filter_fallbacks = 0;
+    /**
+     * Blocks with directory state at the end of a directory-mode run
+     * (DirectoryFabric::directoryBlocks); 0 on snooping runs.
+     * Deterministic, but — like snoop_visits — a function of the
+     * interconnect flavour, so it is serialized only with
+     * toJson(true): the default JSON stays byte-identical snoop vs
+     * directory at matched configurations.
+     */
+    std::uint64_t directory_blocks = 0;
+    /**
+     * Highest load factor any directory/home-memory flat map reached
+     * during a directory-mode run (DirectoryFabric::maxLoadFactor);
+     * 0 on snooping runs.  Table-health diagnostic; timing-gated like
+     * directory_blocks.
+     */
+    double directory_max_load_factor = 0.0;
     /** Ordered derived metrics (bus_per_ref, miss_ratio, ...). */
     std::vector<std::pair<std::string, double>> metrics;
     /** Full merged counter set of the run. */

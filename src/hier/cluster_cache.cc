@@ -63,21 +63,21 @@ ClusterCache::addChild(Cache *child)
 bool
 ClusterCache::owns(Addr addr) const
 {
-    auto it = entries.find(addr);
-    return it != entries.end() && it->second.tag == LineTag::Local;
+    const Entry *entry = entries.lookup(addr);
+    return entry != nullptr && entry->tag == LineTag::Local;
 }
 
 bool
 ClusterCache::holds(Addr addr) const
 {
-    return entries.find(addr) != entries.end();
+    return entries.contains(addr);
 }
 
 Word
 ClusterCache::value(Addr addr) const
 {
-    auto it = entries.find(addr);
-    return it == entries.end() ? 0 : it->second.value;
+    const Entry *entry = entries.lookup(addr);
+    return entry == nullptr ? 0 : entry->value;
 }
 
 // ---- Forwarding machinery ---------------------------------------------
@@ -89,16 +89,16 @@ ClusterCache::enqueueForward(BusOp op, Addr addr, Word data, PeId pe)
         if (forward.origin == pe)
             return; // One outstanding global op per PE.
     }
-    auto it = childByPe.find(pe);
-    ddc_assert(it != childByPe.end(), "forward from an unknown PE ", pe);
+    Cache *const *child = childByPe.lookup(pe);
+    ddc_assert(child != nullptr, "forward from an unknown PE ", pe);
 
     Forward forward;
     forward.op = op;
     forward.addr = addr;
     forward.data = data;
     forward.origin = pe;
-    forward.origin_child = it->second;
-    forward.child_access = it->second->accessId();
+    forward.origin_child = *child;
+    forward.child_access = (*child)->accessId();
     forwards.push_back(forward);
     updateArmed();
     stats.add(statForwardOp[static_cast<std::size_t>(op)]);
@@ -147,16 +147,16 @@ ClusterCache::resolvePendingLocally()
     // now owns.  Serving it locally keeps it off the global bus and,
     // crucially, keeps a global read from bypassing cluster ownership.
     for (auto it = forwards.begin(); it != forwards.end();) {
-        auto entry_it = entries.find(it->addr);
+        Entry *entry = entries.lookup(it->addr);
         bool resolved = false;
 
-        if (it->op == BusOp::Read && entry_it != entries.end()) {
-            Word value = entry_it->second.value;
+        if (it->op == BusOp::Read && entry != nullptr) {
+            Word value = entry->value;
             for (Cache *child : children) {
                 Word child_value = 0;
                 if (child != it->origin_child &&
                     child->wouldSupply(it->addr, child_value)) {
-                    entry_it->second.value = child_value;
+                    entry->value = child_value;
                     child->supplied(it->addr);
                     stats.add(statPull);
                     value = child_value;
@@ -167,9 +167,9 @@ ClusterCache::resolvePendingLocally()
             resolved = true;
         } else if ((it->op == BusOp::Write ||
                     it->op == BusOp::Invalidate) &&
-                   entry_it != entries.end() &&
-                   entry_it->second.tag == LineTag::Local) {
-            entry_it->second.value = it->data;
+                   entry != nullptr &&
+                   entry->tag == LineTag::Local) {
+            entry->value = it->data;
             // Preserve the op downward: a BI must invalidate the
             // sibling copies, a plain write updates them (RWB).
             forwardDown({it->op, it->addr, it->data, -1, {}});
@@ -306,8 +306,8 @@ ClusterCache::requestComplete(const BusResult &result)
 bool
 ClusterCache::wouldSupply(Addr addr, Word &out)
 {
-    auto it = entries.find(addr);
-    if (it == entries.end() || it->second.tag != LineTag::Local)
+    const Entry *entry = entries.lookup(addr);
+    if (entry == nullptr || entry->tag != LineTag::Local)
         return false;
 
     // The latest value is the dirty child's if one exists, else ours.
@@ -320,24 +320,24 @@ ClusterCache::wouldSupply(Addr addr, Word &out)
             return true;
         }
     }
-    out = it->second.value;
+    out = entry->value;
     return true;
 }
 
 void
 ClusterCache::observe(const BusTransaction &txn)
 {
-    auto it = entries.find(txn.addr);
-    if (it == entries.end())
+    Entry *entry = entries.lookup(txn.addr);
+    if (entry == nullptr)
         return; // Inclusion: no child can hold it either.
 
     switch (txn.op) {
       case BusOp::Read:
         // Another cluster read the word; our copy stays valid (it
         // cannot be Local here — a Local entry would have supplied).
-        ddc_assert(it->second.tag != LineTag::Local,
+        ddc_assert(entry->tag != LineTag::Local,
                    "global read proceeded past a Local cluster entry");
-        it->second.value = txn.data;
+        entry->value = txn.data;
         forwardDown(txn); // read broadcast refills Invalid L1 copies
         return;
 
@@ -347,7 +347,7 @@ ClusterCache::observe(const BusTransaction &txn)
         // The downward broadcast is always an *invalidation*: the
         // cluster entry is gone, so update-snarfing L1s (RWB) must
         // not keep live copies inclusion no longer covers.
-        entries.erase(it);
+        entries.erase(txn.addr);
         stats.add(statGlobalInvalidation);
         BusTransaction down = txn;
         down.op = BusOp::Invalidate;
@@ -364,20 +364,20 @@ ClusterCache::observe(const BusTransaction &txn)
 void
 ClusterCache::supplied(Addr addr)
 {
-    auto it = entries.find(addr);
-    ddc_assert(it != entries.end() && it->second.tag == LineTag::Local,
+    Entry *entry = entries.lookup(addr);
+    ddc_assert(entry != nullptr && entry->tag == LineTag::Local,
                "supplied() without global ownership");
     stats.add(statSupply);
     if (pendingSupplyChild != nullptr) {
         Word child_value = 0;
         bool still = pendingSupplyChild->wouldSupply(addr, child_value);
         ddc_assert(still, "supply child vanished mid-cycle");
-        it->second.value = child_value;
+        entry->value = child_value;
         pendingSupplyChild->supplied(addr);
         pendingSupplyChild = nullptr;
     }
     // The supplied value now matches global memory.
-    it->second.tag = LineTag::Readable;
+    entry->tag = LineTag::Readable;
 }
 
 void
@@ -417,13 +417,13 @@ ClusterCache::forwardDown(const BusTransaction &txn)
 bool
 ClusterCache::tryRead(Addr addr, PeId pe, Word &data)
 {
-    auto it = entries.find(addr);
-    if (it != entries.end()) {
+    const Entry *entry = entries.lookup(addr);
+    if (entry != nullptr) {
         // A dirty child would have killed the read before it got
         // here, so our copy is the cluster's latest.
         stats.add(statAbsorbedRead);
         cancelForward(pe);
-        data = it->second.value;
+        data = entry->value;
         return true;
     }
     enqueueForward(BusOp::Read, addr, 0, pe);
@@ -444,12 +444,12 @@ ClusterCache::tryReadBlock(Addr base, std::size_t words, PeId pe,
 bool
 ClusterCache::tryWrite(Addr addr, PeId pe, Word data)
 {
-    auto it = entries.find(addr);
-    if (it != entries.end() && it->second.tag == LineTag::Local) {
+    Entry *entry = entries.lookup(addr);
+    if (entry != nullptr && entry->tag == LineTag::Local) {
         // The cluster owns the word: the write is cluster-internal.
         stats.add(statAbsorbedWrite);
         cancelForward(pe);
-        it->second.value = data;
+        entry->value = data;
         return true;
     }
     enqueueForward(BusOp::Write, addr, data, pe);
@@ -459,13 +459,13 @@ ClusterCache::tryWrite(Addr addr, PeId pe, Word data)
 bool
 ClusterCache::tryInvalidate(Addr addr, PeId pe, Word data)
 {
-    auto it = entries.find(addr);
-    if (it != entries.end() && it->second.tag == LineTag::Local) {
+    Entry *entry = entries.lookup(addr);
+    if (entry != nullptr && entry->tag == LineTag::Local) {
         // Cluster-internal BI: the bus broadcasts the Invalidate to
         // the sibling L1s; we just absorb the data.
         stats.add(statAbsorbedWrite);
         cancelForward(pe);
-        it->second.value = data;
+        entry->value = data;
         return true;
     }
     enqueueForward(BusOp::Invalidate, addr, data, pe);
@@ -513,10 +513,10 @@ ClusterCache::acceptSupply(Addr addr, Word data)
     // A dirty child supplied a cluster-bus read.  We are the cluster
     // bus's "memory": absorb the latest value.  The cluster keeps
     // global ownership (global memory is still stale).
-    auto it = entries.find(addr);
-    ddc_assert(it != entries.end() && it->second.tag == LineTag::Local,
+    Entry *entry = entries.lookup(addr);
+    ddc_assert(entry != nullptr && entry->tag == LineTag::Local,
                "cluster-level supply without global ownership");
-    it->second.value = data;
+    entry->value = data;
 }
 
 void

@@ -44,9 +44,9 @@
 #define DDC_HIER_CLUSTER_CACHE_HH
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
+#include "base/flat_map.hh"
 #include "base/types.hh"
 #include "sim/bus.hh"
 #include "sim/cache.hh"
@@ -173,7 +173,7 @@ class ClusterCache : public BusClient, public MemorySide
     int clusterId;
     stats::CounterSet &stats;
     std::vector<Cache *> children;
-    std::unordered_map<PeId, Cache *> childByPe;
+    FlatMap<PeId, Cache *> childByPe;
     GlobalFabric *global = nullptr;
     /** This cluster's client index on the global fabric. */
     int clientIndex = -1;
@@ -186,7 +186,13 @@ class ClusterCache : public BusClient, public MemorySide
     /** hier.forward.<op> counters, indexed by BusOp. */
     stats::CounterId statForwardOp[kNumBusOps];
 
-    std::unordered_map<Addr, Entry> entries;
+    /**
+     * Per-word coherence entries, on the same FlatMap
+     * (base/flat_map.hh) as the directory and the memory banks —
+     * looked up on every cluster-bus transaction and every global
+     * observation, the hierarchical machine's per-access hot path.
+     */
+    FlatMap<Addr, Entry> entries;
     std::deque<Forward> forwards;
     /** True while the front forward is its pre-flush global write. */
     bool flushing = false;

@@ -227,6 +227,9 @@ class HierSystem
         return fabric.get();
     }
 
+    /** Mutable fabric access (bench phase-timing enablement). */
+    dir::DirectoryFabric *directoryFabric() { return fabric.get(); }
+
     /** This machine's observability state (null when all off). */
     obs::Recorder *observability() const { return recorder.get(); }
 

@@ -155,7 +155,7 @@ Bus::noteBlockPresent(int client, Addr base)
     ddc_assert(!(mask & clientBit(client)),
                "client ", client, " already indexed for block ", base);
     mask |= clientBit(client);
-    if (holders.used > kMaxFilterBlocks)
+    if (holders.size() > kMaxFilterBlocks)
         revertToFullSnoop();
 }
 
@@ -174,7 +174,7 @@ std::vector<int>
 Bus::indexHolders(Addr addr) const
 {
     std::vector<int> held;
-    std::uint64_t mask = holders.held(blockIndex(addr));
+    std::uint64_t mask = heldMask(addr);
     for (; mask != 0; mask &= mask - 1)
         held.push_back(std::countr_zero(mask));
     return held;
@@ -309,7 +309,7 @@ Bus::blockIndex(Addr addr) const
 std::uint64_t
 Bus::snooperMask(Addr addr) const
 {
-    return holders.held(blockIndex(addr)) | alwaysSnoopMask;
+    return heldMask(addr) | alwaysSnoopMask;
 }
 
 void
@@ -327,82 +327,6 @@ Bus::revertToFullSnoop()
     }
     filterOn = false;
     holders.clear();
-}
-
-std::size_t
-Bus::HolderIndex::slotOf(std::uint64_t block) const
-{
-    // Multiplicative (fibonacci) hash; the upper-middle bits of the
-    // product are well mixed, and slots.size() is a power of two.
-    std::uint64_t h = block * std::uint64_t{0x9E3779B97F4A7C15};
-    return static_cast<std::size_t>(h >> 32) & (slots.size() - 1);
-}
-
-std::uint64_t
-Bus::HolderIndex::held(std::uint64_t block) const
-{
-    if (slots.empty())
-        return 0;
-    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
-        if (slots[i].key == block)
-            return slots[i].mask;
-        if (slots[i].key == kEmpty)
-            return 0;
-    }
-}
-
-std::uint64_t *
-Bus::HolderIndex::lookup(std::uint64_t block)
-{
-    if (slots.empty())
-        return nullptr;
-    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
-        if (slots[i].key == block)
-            return &slots[i].mask;
-        if (slots[i].key == kEmpty)
-            return nullptr;
-    }
-}
-
-std::uint64_t &
-Bus::HolderIndex::findOrInsert(std::uint64_t block)
-{
-    ddc_assert(block != kEmpty, "block index collides with the empty key");
-    if (slots.empty() || used * 4 >= slots.size() * 3)
-        grow();
-    for (std::size_t i = slotOf(block);; i = (i + 1) & (slots.size() - 1)) {
-        if (slots[i].key == block)
-            return slots[i].mask;
-        if (slots[i].key == kEmpty) {
-            slots[i].key = block;
-            used++;
-            return slots[i].mask;
-        }
-    }
-}
-
-void
-Bus::HolderIndex::grow()
-{
-    std::vector<Slot> old = std::move(slots);
-    std::size_t capacity = old.empty() ? 1024 : old.size() * 2;
-    slots.assign(capacity, Slot{});
-    for (const Slot &slot : old) {
-        if (slot.key == kEmpty)
-            continue;
-        std::size_t j = slotOf(slot.key);
-        while (slots[j].key != kEmpty)
-            j = (j + 1) & (slots.size() - 1);
-        slots[j] = slot;
-    }
-}
-
-void
-Bus::HolderIndex::clear()
-{
-    slots.clear();
-    slots.shrink_to_fit();
-    used = 0;
 }
 
 void

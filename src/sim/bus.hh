@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/flat_map.hh"
 #include "base/types.hh"
 #include "obs/recorder.hh"
 #include "sim/arbiter.hh"
@@ -463,46 +464,23 @@ class Bus : public GlobalFabric, public Tickable
      * clients holding a tag-matching line (any state, including
      * Invalid).  The synthetic address space is sparse — private PE
      * regions sit a megaword apart and shared data lives at 2^40 —
-     * so a dense array is unusable; this is an open-addressing hash
-     * table (power-of-two capacity, multiplicative hash, linear
-     * probing).  Entries are never erased: an eviction clears the
-     * holder's bit but leaves the key in place, so lookups need no
-     * tombstone logic and a block's slot is stable once created.
-     * The entry count is bounded by the distinct blocks the workload
-     * ever caches, and capped by kMaxFilterBlocks (revertToFullSnoop
-     * past that).
+     * so a dense array is unusable; a FlatMap (base/flat_map.hh,
+     * the same open-addressing table behind the directory and the
+     * memory banks) holds the masks instead.  Entries are never
+     * erased: an eviction clears the holder's bit but leaves the key
+     * in place.  The entry count is bounded by the distinct blocks
+     * the workload ever caches, and capped by kMaxFilterBlocks
+     * (revertToFullSnoop past that).
      */
-    struct HolderIndex
+    using HolderIndex = FlatMap<std::uint64_t, std::uint64_t>;
+
+    /** Holder mask of @p addr's block (0 when never noted). */
+    std::uint64_t
+    heldMask(Addr addr) const
     {
-        /** Key meaning "empty slot"; no real block index (an address
-         *  right-shifted by at least 0) can be all-ones. */
-        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
-
-        /** Key and mask share a 16-byte slot so a probe touches one
-         *  cache line, not one per array. */
-        struct Slot
-        {
-            std::uint64_t key = kEmpty;
-            std::uint64_t mask = 0;
-        };
-
-        std::vector<Slot> slots;
-        /** Occupied slots == distinct blocks ever noted present. */
-        std::size_t used = 0;
-
-        /** Holder mask of @p block (0 when never noted). */
-        std::uint64_t held(std::uint64_t block) const;
-        /** Mutable mask of @p block, or nullptr when never noted. */
-        std::uint64_t *lookup(std::uint64_t block);
-        /** Mask of @p block, inserting an empty entry if needed. */
-        std::uint64_t &findOrInsert(std::uint64_t block);
-        /** Release all storage (revertToFullSnoop). */
-        void clear();
-
-      private:
-        std::size_t slotOf(std::uint64_t block) const;
-        void grow();
-    };
+        const std::uint64_t *mask = holders.lookup(blockIndex(addr));
+        return mask == nullptr ? 0 : *mask;
+    }
 
     /** Whether this bus filters snoops (ctor flag AND process flag). */
     bool filterOn = true;

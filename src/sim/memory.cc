@@ -16,8 +16,8 @@ Word
 Memory::read(Addr addr)
 {
     stats.add(statRead);
-    auto it = words.find(addr);
-    return it == words.end() ? 0 : it->second;
+    const Word *word = words.lookup(addr);
+    return word == nullptr ? 0 : *word;
 }
 
 void
@@ -54,8 +54,8 @@ Memory::writeBlock(Addr base, const std::vector<Word> &block)
 Word
 Memory::peek(Addr addr) const
 {
-    auto it = words.find(addr);
-    return it == words.end() ? 0 : it->second;
+    const Word *word = words.lookup(addr);
+    return word == nullptr ? 0 : *word;
 }
 
 void
@@ -67,8 +67,8 @@ Memory::poke(Addr addr, Word data)
 bool
 Memory::lockedByOther(Addr addr, PeId pe) const
 {
-    auto it = locks.find(addr);
-    return it != locks.end() && it->second != pe;
+    const PeId *holder = locks.lookup(addr);
+    return holder != nullptr && *holder != pe;
 }
 
 void
@@ -81,16 +81,16 @@ Memory::lock(Addr addr, PeId pe)
 void
 Memory::unlock(Addr addr, PeId pe)
 {
-    auto it = locks.find(addr);
-    ddc_assert(it != locks.end() && it->second == pe,
+    const PeId *holder = locks.lookup(addr);
+    ddc_assert(holder != nullptr && *holder == pe,
                "unlock of a word not held by PE ", pe);
-    locks.erase(it);
+    locks.erase(addr);
 }
 
 bool
 Memory::locked(Addr addr) const
 {
-    return locks.find(addr) != locks.end();
+    return locks.contains(addr);
 }
 
 bool

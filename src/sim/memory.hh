@@ -6,14 +6,20 @@
  * implements the paper's two-phase read-modify-write: a "read with
  * lock" locks the word and "any bus writes before the unlock will
  * fail" (Section 3).
+ *
+ * Both maps are FlatMaps (base/flat_map.hh): every memory access on
+ * the per-transaction hot path is a linear probe over flat slots
+ * (the lock map's unlock exercises backward-shift deletion), not an
+ * unordered_map node walk.
  */
 
 #ifndef DDC_SIM_MEMORY_HH
 #define DDC_SIM_MEMORY_HH
 
-#include <unordered_map>
+#include <algorithm>
 #include <vector>
 
+#include "base/flat_map.hh"
 #include "base/types.hh"
 #include "sim/memory_side.hh"
 #include "stats/counter.hh"
@@ -76,9 +82,20 @@ class Memory : public MemorySide
     void acceptSupplyBlock(Addr base,
                            const std::vector<Word> &block) override;
 
+    /**
+     * Highest load factor either backing table ever reached (words or
+     * locks, whichever peaked higher) — the flat-map health metric
+     * surfaced per run in directory mode.
+     */
+    double
+    peakLoadFactor() const
+    {
+        return std::max(words.peakLoadFactor(), locks.peakLoadFactor());
+    }
+
   private:
-    std::unordered_map<Addr, Word> words;
-    std::unordered_map<Addr, PeId> locks;
+    FlatMap<Addr, Word> words;
+    FlatMap<Addr, PeId> locks;
     stats::CounterSet &stats;
     /** Handles interned once at construction (hot-path adds). */
     stats::CounterId statRead, statWrite, statBlockRead, statBlockWrite;

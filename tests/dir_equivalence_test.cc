@@ -185,6 +185,30 @@ TEST(DirEquivalence, QuiescentSkipIsUnobservableInDirectoryMode)
     expectIdentical(skipping, ticking);
 }
 
+TEST(DirEquivalence, Pow2HomeRoutingAndQuiescentSkipMatchTicking)
+{
+    // A power-of-two home count takes the mask routing fast path, and
+    // the fabric reports kNever after a routing pass that posted
+    // nothing (the quiescent-routing contract) — both must be
+    // unobservable: a skipping pow2-homes run must match the ticking
+    // run counter-for-counter, and both must match the snooping bus
+    // at H=1 via checkTrace on the same trace.
+    auto trace = makeProducerConsumerTrace(8, 48, 25, 3);
+    HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    checkTrace(config, trace);
+
+    config.global = GlobalKind::Directory;
+    config.home_nodes = 4; // pow2: homeOf is addr & 3
+    config.skip_quiescent = true;
+    Observed skipping = observeTrace(config, trace);
+    config.skip_quiescent = false;
+    Observed ticking = observeTrace(config, trace);
+    expectIdentical(skipping, ticking);
+}
+
 TEST(DirEquivalence, LockProgramsMatchAcrossModes)
 {
     // Spin locks through real PE programs: the two-phase RMW NACK and

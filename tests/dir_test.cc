@@ -597,6 +597,42 @@ TEST(DirectoryFabricTest, ArmingGatesNextEventAndSkip)
     EXPECT_EQ(fabric.messageVisits(), 0u);
 }
 
+TEST(DirectoryFabricTest, QuiescentRoutingReportsNeverUntilRearmed)
+{
+    stats::CounterSet stats;
+    DirectoryFabric fabric(2, ArbiterKind::RoundRobin, 1, stats);
+    std::deque<FakeClient> storage;
+    for (PeId pe = 0; pe < 2; pe++) {
+        storage.emplace_back(pe);
+        fabric.attach(&storage.back());
+    }
+
+    // Armed clients with no pending request pin the fabric to `now`
+    // only until one routing pass observes the quiescence...
+    EXPECT_EQ(fabric.nextEventCycle(3), 3u);
+    fabric.tick();
+    EXPECT_EQ(stats.get("bus.idle_cycles"), 2u);
+
+    // ...after which it reports kNever, so the skip engine engages
+    // even though both clients are still armed.
+    EXPECT_EQ(fabric.armedClients(), 2u);
+    EXPECT_EQ(fabric.nextEventCycle(4), kNever);
+    fabric.skipCycles(5);
+    EXPECT_EQ(stats.get("bus.idle_cycles"), 12u); // 5 more per home
+
+    // An arm event re-pins the fabric to `now` (the quiescence
+    // contract: new work is announced through setRequestArmed).
+    fabric.setRequestArmed(0, false);
+    fabric.setRequestArmed(0, true);
+    EXPECT_EQ(fabric.nextEventCycle(9), 9u);
+
+    // A routing pass that posts keeps the fabric live at `now`.
+    storage[0].push(makeRequest(BusOp::Read, 2));
+    fabric.tick();
+    EXPECT_EQ(storage[0].completions.size(), 1u);
+    EXPECT_EQ(fabric.nextEventCycle(10), 10u);
+}
+
 } // namespace
 } // namespace dir
 } // namespace ddc

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Unit tests for base/flat_map.hh — the one open-addressing table
+ * behind the directory, the home memory banks, the cluster-cache
+ * entry map, and the bus snoop-filter holder index.
+ *
+ * Covers the flat-map contract (DESIGN.md): pow2 capacity with
+ * geometric growth at 3/4 load, linear probing, backward-shift
+ * deletion (no tombstones), deterministic slot-order iteration, and
+ * a randomized mirror against std::unordered_map.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/flat_map.hh"
+#include "base/types.hh"
+
+namespace ddc {
+namespace {
+
+TEST(FlatMapTest, StartsEmptyAndUnallocated)
+{
+    FlatMap<Addr, Word> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.loadFactor(), 0.0);
+    EXPECT_EQ(map.peakLoadFactor(), 0.0);
+    EXPECT_EQ(map.lookup(7), nullptr);
+    EXPECT_FALSE(map.contains(7));
+    EXPECT_FALSE(map.erase(7));
+}
+
+TEST(FlatMapTest, InsertLookupRoundTrip)
+{
+    FlatMap<Addr, Word> map;
+    map[10] = 100;
+    map[20] = 200;
+    map.findOrInsert(30) = 300;
+    EXPECT_EQ(map.size(), 3u);
+    ASSERT_NE(map.lookup(10), nullptr);
+    EXPECT_EQ(*map.lookup(10), 100u);
+    EXPECT_EQ(*map.lookup(20), 200u);
+    EXPECT_EQ(*map.lookup(30), 300u);
+    EXPECT_EQ(map.lookup(40), nullptr);
+
+    // findOrInsert of a present key returns the existing value.
+    map.findOrInsert(10) = 111;
+    EXPECT_EQ(map.size(), 3u);
+    EXPECT_EQ(*map.lookup(10), 111u);
+}
+
+TEST(FlatMapTest, DefaultConstructsAbsentValues)
+{
+    FlatMap<Addr, Word> map;
+    EXPECT_EQ(map[42], 0u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMapTest, CapacityIsAlwaysAPowerOfTwo)
+{
+    FlatMap<Addr, Word> map;
+    for (Addr key = 0; key < 1000; key++) {
+        map[key * 977] = key;
+        std::size_t capacity = map.capacity();
+        EXPECT_EQ(capacity & (capacity - 1), 0u);
+        // Growth happens before the 3/4 threshold is crossed.
+        EXPECT_LE(map.size() * 4, capacity * 3);
+    }
+    EXPECT_EQ(map.size(), 1000u);
+    for (Addr key = 0; key < 1000; key++) {
+        ASSERT_NE(map.lookup(key * 977), nullptr);
+        EXPECT_EQ(*map.lookup(key * 977), key);
+    }
+}
+
+TEST(FlatMapTest, PeakLoadFactorIsMonotoneAndBounded)
+{
+    FlatMap<Addr, Word> map;
+    double last = 0.0;
+    for (Addr key = 0; key < 500; key++) {
+        map[key] = key;
+        double peak = map.peakLoadFactor();
+        EXPECT_GE(peak, last);
+        EXPECT_LE(peak, 0.75 + 1e-9);
+        last = peak;
+    }
+    // Erasing does not lower the high-water mark.
+    for (Addr key = 0; key < 500; key++)
+        map.erase(key);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.peakLoadFactor(), last);
+}
+
+TEST(FlatMapTest, EraseRemovesAndReports)
+{
+    FlatMap<Addr, Word> map;
+    map[1] = 10;
+    map[2] = 20;
+    EXPECT_TRUE(map.erase(1));
+    EXPECT_FALSE(map.erase(1));
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.lookup(1), nullptr);
+    EXPECT_EQ(*map.lookup(2), 20u);
+}
+
+TEST(FlatMapTest, BackwardShiftKeepsProbeChainsIntact)
+{
+    // Dense sequential keys guarantee probe-chain collisions at any
+    // capacity; erasing every other key then probing the survivors
+    // exercises the backward-shift move condition (a tombstone-free
+    // table would lose chained keys without it).
+    FlatMap<Addr, Word> map;
+    constexpr Addr kKeys = 4096;
+    for (Addr key = 0; key < kKeys; key++)
+        map[key] = key + 1;
+    for (Addr key = 0; key < kKeys; key += 2)
+        EXPECT_TRUE(map.erase(key));
+    EXPECT_EQ(map.size(), kKeys / 2);
+    for (Addr key = 0; key < kKeys; key++) {
+        if (key % 2 == 0) {
+            EXPECT_EQ(map.lookup(key), nullptr);
+        } else {
+            ASSERT_NE(map.lookup(key), nullptr) << "lost key " << key;
+            EXPECT_EQ(*map.lookup(key), key + 1);
+        }
+    }
+    // Deletion-heavy phases leave no tombstones: reinserting reuses
+    // the freed slots without growing.
+    std::size_t capacity = map.capacity();
+    for (Addr key = 0; key < kKeys; key += 2)
+        map[key] = key + 1;
+    EXPECT_EQ(map.capacity(), capacity);
+    EXPECT_EQ(map.size(), kKeys);
+}
+
+TEST(FlatMapTest, ClearReleasesStorage)
+{
+    FlatMap<Addr, Word> map;
+    for (Addr key = 0; key < 100; key++)
+        map[key] = key;
+    map.clear();
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.capacity(), 0u);
+    EXPECT_EQ(map.peakLoadFactor(), 0.0);
+    EXPECT_EQ(map.lookup(1), nullptr);
+    map[5] = 50;
+    EXPECT_EQ(*map.lookup(5), 50u);
+}
+
+TEST(FlatMapTest, ReservePresizesPastTheGrowthThreshold)
+{
+    FlatMap<Addr, Word> map;
+    map.reserve(1000);
+    std::size_t capacity = map.capacity();
+    EXPECT_EQ(capacity & (capacity - 1), 0u);
+    EXPECT_GT(capacity * 3, 1000u * 4 - 4); // 1000 fits under 3/4
+    for (Addr key = 0; key < 1000; key++)
+        map[key] = key;
+    EXPECT_EQ(map.capacity(), capacity); // no growth needed
+    map.reserve(10); // never shrinks
+    EXPECT_EQ(map.capacity(), capacity);
+}
+
+TEST(FlatMapTest, ForEachVisitsEveryEntryExactlyOnce)
+{
+    FlatMap<Addr, Word> map;
+    for (Addr key = 0; key < 257; key++)
+        map[key * 31] = key;
+    std::vector<std::pair<Addr, Word>> seen;
+    map.forEach([&](Addr key, Word value) {
+        seen.emplace_back(key, value);
+    });
+    EXPECT_EQ(seen.size(), 257u);
+    std::sort(seen.begin(), seen.end());
+    for (Addr key = 0; key < 257; key++) {
+        EXPECT_EQ(seen[key].first, key * 31);
+        EXPECT_EQ(seen[key].second, key);
+    }
+}
+
+TEST(FlatMapTest, IterationOrderIsAPureFunctionOfTheOpSequence)
+{
+    // Two maps fed the identical operation sequence iterate in the
+    // identical order — the determinism half of the flat-map
+    // contract (the fixed Fibonacci hash, never std::hash).
+    auto build = [] {
+        FlatMap<Addr, Word> map;
+        std::mt19937_64 rng(99);
+        for (int op = 0; op < 5000; op++) {
+            Addr key = rng() % 701;
+            if (rng() % 3 == 0)
+                map.erase(key);
+            else
+                map[key] = static_cast<Word>(op);
+        }
+        return map;
+    };
+    FlatMap<Addr, Word> a = build();
+    FlatMap<Addr, Word> b = build();
+    std::vector<std::pair<Addr, Word>> wa, wb;
+    a.forEach([&](Addr k, Word v) { wa.emplace_back(k, v); });
+    b.forEach([&](Addr k, Word v) { wb.emplace_back(k, v); });
+    EXPECT_EQ(wa, wb);
+    EXPECT_FALSE(wa.empty());
+}
+
+TEST(FlatMapTest, RandomizedMirrorAgainstUnorderedMap)
+{
+    // Property test: a long random interleaving of insert, update,
+    // erase, and lookup must leave the flat map element-for-element
+    // equal to std::unordered_map at every step's observation points.
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> mirror;
+    std::mt19937_64 rng(2026);
+    // A small key universe forces constant collisions, re-inserts,
+    // and probe chains crossing erased slots.
+    constexpr std::uint64_t kUniverse = 1500;
+
+    for (int op = 0; op < 100000; op++) {
+        std::uint64_t key = rng() % kUniverse;
+        switch (rng() % 4) {
+          case 0:
+          case 1: { // insert or update
+            std::uint64_t value = rng();
+            map[key] = value;
+            mirror[key] = value;
+            break;
+          }
+          case 2: { // erase
+            bool erased = map.erase(key);
+            EXPECT_EQ(erased, mirror.erase(key) == 1);
+            break;
+          }
+          case 3: { // lookup
+            const std::uint64_t *value = map.lookup(key);
+            auto it = mirror.find(key);
+            if (it == mirror.end()) {
+                EXPECT_EQ(value, nullptr);
+            } else {
+                ASSERT_NE(value, nullptr);
+                EXPECT_EQ(*value, it->second);
+            }
+            break;
+          }
+        }
+        EXPECT_EQ(map.size(), mirror.size());
+    }
+
+    // Full-content comparison at the end.
+    std::size_t visited = 0;
+    map.forEach([&](std::uint64_t key, std::uint64_t value) {
+        auto it = mirror.find(key);
+        ASSERT_NE(it, mirror.end());
+        EXPECT_EQ(value, it->second);
+        visited++;
+    });
+    EXPECT_EQ(visited, mirror.size());
+}
+
+} // namespace
+} // namespace ddc
