@@ -90,12 +90,26 @@ printReproduction(exp::Session &session)
             config.protocol = ProtocolKind::Rb;
             config.shards = shards;
             hier::HierSystem system(config);
+            // Opt-in phase split (like perf_directory's route/serve
+            // timing): coordinator tick work vs barrier wait, both
+            // host wall-clock and emitted as metrics under --timing.
+            system.enableKernelPhaseTiming();
             system.loadTrace(trace);
             exp::RunResult result;
             result.cycles = system.run();
             result.skipped_cycles = system.skippedCycles();
             result.bus_transactions = system.globalBusTransactions() +
                                       system.clusterBusTransactions();
+            result.barrier_epochs = system.barrierEpochs();
+            result.mean_lookahead_window = system.meanLookaheadWindow();
+            result.setMetric("tick_phase_ms",
+                             system.kernelTickPhaseMs());
+            result.setMetric("barrier_wait_ms",
+                             system.kernelBarrierWaitMs());
+            result.setMetric(
+                "hardware_concurrency",
+                static_cast<double>(
+                    std::thread::hardware_concurrency()));
             return result;
         });
     }
@@ -115,7 +129,8 @@ printReproduction(exp::Session &session)
 
     Table table("Shard scaling: Cm* mix, RB, 16 clusters x 4 PEs, "
                 "8000 refs/PE, best of 3 reps");
-    table.setHeader({"shards", "cycles", "bus txns", "wall ms",
+    table.setHeader({"shards", "cycles", "bus txns", "epochs",
+                     "window", "tick ms", "barrier ms", "wall ms",
                      "Mcycles/s", "speedup"});
     const auto &baseline = bestRep(0);
     for (std::size_t i = 0; i < std::size(kShardCounts); i++) {
@@ -126,9 +141,23 @@ printReproduction(exp::Session &session)
                              ? best.sim_cycles_per_sec /
                                    baseline.sim_cycles_per_sec
                              : 0.0;
+        // Sequential arms (one lane) never barrier, so the epoch and
+        // phase-split columns are meaningless there.
+        bool barriered = best.barrier_epochs > 0;
         table.addRow({std::to_string(kShardCounts[i]),
                       std::to_string(best.cycles),
                       std::to_string(best.bus_transactions),
+                      barriered ? std::to_string(best.barrier_epochs)
+                                : "-",
+                      barriered
+                          ? Table::num(best.mean_lookahead_window, 2)
+                          : "-",
+                      barriered
+                          ? Table::num(best.metric("tick_phase_ms"), 2)
+                          : "-",
+                      barriered
+                          ? Table::num(best.metric("barrier_wait_ms"), 2)
+                          : "-",
                       Table::num(best.wall_time_ms, 2),
                       perMega(best.sim_cycles_per_sec),
                       Table::num(speedup, 2)});

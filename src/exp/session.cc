@@ -42,6 +42,12 @@ const FlagSpec kFlags[] = {
          setQuiescentSkipEnabled(false);
          return kOk;
      }},
+    {"--no-lookahead", false,
+     [](SessionOptions &options, const char *) -> std::string {
+         options.no_lookahead = true;
+         setLookaheadEnabled(false);
+         return kOk;
+     }},
     {"--no-snoop-filter", false,
      [](SessionOptions &options, const char *) -> std::string {
          options.no_snoop_filter = true;

@@ -56,6 +56,15 @@ struct SessionOptions
      */
     bool no_snoop_filter = false;
     /**
+     * Disable conservative-lookahead barrier batching for every
+     * sharded kernel the process builds (A/B baseline: back to one
+     * barrier per simulated cycle; results are byte-identical either
+     * way, only slower).  parseSessionArgs applies it process-wide
+     * via setLookaheadEnabled() so custom experiment points that
+     * construct their own HierSystems are covered too.
+     */
+    bool no_lookahead = false;
+    /**
      * Chrome-trace output file ("" = tracing off).  The first System
      * the process constructs claims it (obs::setTraceOutput), so a
      * traced session should run a single point (--jobs 1) to keep the
@@ -89,9 +98,9 @@ struct SessionOptions
 
 /**
  * Parse and remove the engine flags (`--jobs N`, `--json PATH`,
- * `--timing`, `--no-skip`, `--no-snoop-filter`, `--trace-out FILE`,
- * `--trace-categories LIST`, `--histograms`, `--sample-every N`,
- * `--shards N`) from an argv vector.
+ * `--timing`, `--no-skip`, `--no-lookahead`, `--no-snoop-filter`,
+ * `--trace-out FILE`, `--trace-categories LIST`, `--histograms`,
+ * `--sample-every N`, `--shards N`) from an argv vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed

@@ -25,7 +25,8 @@ HierSystem::HierSystem(const HierConfig &config)
              KernelConfig{config.shards > 0 ? config.shards
                                             : defaultShards(),
                           config.deterministic_shards,
-                          config.skip_quiescent})
+                          config.skip_quiescent,
+                          config.lookahead})
 {
     ddc_assert(config.num_clusters >= 1, "need at least one cluster");
     ddc_assert(config.pes_per_cluster >= 1,

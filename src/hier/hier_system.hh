@@ -104,6 +104,14 @@ struct HierConfig
      */
     bool deterministic_shards = true;
     /**
+     * Conservative-lookahead batching for sharded runs: lanes tick
+     * multi-cycle windows between barriers when no cluster can reach
+     * the global interconnect sooner (see KernelConfig::lookahead).
+     * Byte-identical either way; ANDed with the process-wide
+     * setLookaheadEnabled() switch (the --no-lookahead flag).
+     */
+    bool lookahead = true;
+    /**
      * Global interconnect: the snooping bus (default, the paper's
      * logically single broadcast medium) or the directory fabric
      * (src/dir) for large cluster counts.  With home_nodes == 1 the
@@ -156,6 +164,25 @@ class HierSystem
 
     /** Cycles run() fast-forwarded instead of ticking. */
     Cycle skippedCycles() const { return kernel.skippedCycles(); }
+
+    /** Parallel barriers run() executed (see Kernel::barrierEpochs). */
+    std::uint64_t barrierEpochs() const { return kernel.barrierEpochs(); }
+
+    /** Mean cycles per barrier window (0 on single-lane runs). */
+    double
+    meanLookaheadWindow() const
+    {
+        return kernel.meanLookaheadWindow();
+    }
+
+    /** Opt into kernel phase timing (bench hook; host-side only). */
+    void enableKernelPhaseTiming() { kernel.enablePhaseTiming(); }
+
+    /** Wall ms the coordinator spent waiting at barriers. */
+    double kernelBarrierWaitMs() const { return kernel.barrierWaitMs(); }
+
+    /** Wall ms the coordinator spent ticking its own lane. */
+    double kernelTickPhaseMs() const { return kernel.tickPhaseMs(); }
 
     bool allDone() const;
     Cycle now() const { return clock.now; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 
 #include "base/logging.hh"
 
@@ -23,7 +24,16 @@ namespace {
 // while the main thread parses flags; flipped only before any machine
 // runs in practice.
 std::atomic<bool> quiescentSkip{true};
+std::atomic<bool> lookaheadSwitch{true};
 std::atomic<int> defaultShardLanes{1};
+
+/** Wall ms between two steady-clock points. */
+double
+elapsedMs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
 
 } // namespace
 
@@ -37,6 +47,18 @@ bool
 quiescentSkipEnabled()
 {
     return quiescentSkip.load(std::memory_order_relaxed);
+}
+
+void
+setLookaheadEnabled(bool enabled)
+{
+    lookaheadSwitch.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+lookaheadEnabled()
+{
+    return lookaheadSwitch.load(std::memory_order_relaxed);
 }
 
 void
@@ -159,6 +181,44 @@ Kernel::flushStalls() const
         shard->flushStalls();
 }
 
+Cycle
+Kernel::lookaheadWindow(Cycle end) const
+{
+    const Cycle now = clock.now;
+    // The serial shard is bulk-skipped, not ticked, across a window:
+    // the window may not cross its next event (a pending arm or the
+    // end of a global transfer both pull this to now / now + left).
+    Cycle bound = end;
+    if (serial)
+        bound = std::min(bound, serial->nextEventCycle(now));
+    if (bound <= now + 1)
+        return 1;
+    // Cross-shard edge: shard traffic first lands on the global
+    // interconnect at the shard's earliestGlobalEmission, and the
+    // serial phase first observes it one cycle after that.
+    for (const auto &shard : group) {
+        Cycle emission = shard->earliestGlobalEmission(now);
+        if (emission == kNever)
+            continue;
+        bound = std::min(bound, emission + 1);
+        if (bound <= now + 1)
+            return 1;
+    }
+    // Completion clamp: allDone() is only re-checked at the barrier,
+    // so the window may not run past the cycle after the one whose
+    // tick could first finish the machine.
+    Cycle done_by = now;
+    if (serial && !serial->done())
+        done_by = std::max(done_by, serial->earliestDoneCycle(now));
+    for (const auto &shard : group) {
+        if (!shard->done())
+            done_by = std::max(done_by, shard->earliestDoneCycle(now));
+    }
+    if (done_by != kNever)
+        bound = std::min(bound, done_by + 1);
+    return bound > now ? bound - now : 1;
+}
+
 RunStatus
 Kernel::run(Cycle max_cycles)
 {
@@ -171,6 +231,7 @@ Kernel::run(Cycle max_cycles)
     // execution log, and arbiter RNG streams are byte-identical with
     // skipping on or off.
     bool skipping = config.skip_quiescent && quiescentSkipEnabled();
+    bool lookahead = config.lookahead && lookaheadEnabled();
     int lanes = workerLanes();
     if (lanes > 1)
         startWorkers(lanes);
@@ -188,10 +249,27 @@ Kernel::run(Cycle max_cycles)
             }
         }
         if (lanes > 1) {
-            if (serial)
-                serial->tick();
+            Cycle window = lookahead ? lookaheadWindow(end) : 1;
+            windowLen = window;
+            windowSkipping = skipping && window > 1;
+            if (serial) {
+                if (window > 1) {
+                    // No serial event strictly inside the window (the
+                    // lookahead bound): the serial phases it replaces
+                    // are pure idle/stream accounting, and any arms
+                    // the lanes post land too late to be observable
+                    // before the barrier.
+                    serial->skipCycles(window);
+                } else {
+                    serial->tick();
+                }
+            }
             tickShardsParallel();
-            clock.now++;
+            if (windowSkipping)
+                skipped += windowQuiescentOverlap(clock.now, window);
+            epochs++;
+            windowSum += window;
+            clock.now += window;
         } else {
             tickOnce();
         }
@@ -200,6 +278,33 @@ Kernel::run(Cycle max_cycles)
     // cycles; account them before anyone reads counters.
     flushStalls();
     return allDone() ? RunStatus::Finished : RunStatus::TimedOut;
+}
+
+void
+Kernel::tickShardWindow(Shard &shard, std::size_t index)
+{
+    const Cycle base = clock.now;
+    const Cycle limit = base + windowLen;
+    if (windowSkipping)
+        windowQuiescent[index].clear();
+    for (Cycle at = base; at < limit;) {
+        if (windowSkipping) {
+            // The quiescent-skip engine composed inside the window:
+            // shard-local next-event time advance, with the skipped
+            // stretch recorded so the coordinator can re-derive which
+            // cycles the whole machine sat quiescent.
+            Cycle next = shard.nextEventCycle(at);
+            if (next > at) {
+                Cycle to = std::min(next, limit);
+                shard.skipCycles(to - at);
+                windowQuiescent[index].emplace_back(at, to);
+                at = to;
+                continue;
+            }
+        }
+        shard.tick();
+        at++;
+    }
 }
 
 void
@@ -212,33 +317,30 @@ Kernel::runLane(int lane)
         for (std::size_t i = static_cast<std::size_t>(lane);
              i < group.size();
              i += static_cast<std::size_t>(laneCount)) {
-            group[i]->tick();
+            if (windowLen == 1)
+                group[i]->tick();
+            else
+                tickShardWindow(*group[i], i);
         }
     } else {
         // Dynamic schedule: lanes claim the next unticked shard.
-        // Every shard still ticks exactly once per cycle and shards
-        // are independent within a cycle, so results do not change —
+        // Every shard still ticks exactly once per window and shards
+        // are independent within a window, so results do not change —
         // but the assignment is load-balanced, not reproducible.
         for (std::size_t i = claim.fetch_add(1, std::memory_order_relaxed);
              i < group.size();
              i = claim.fetch_add(1, std::memory_order_relaxed)) {
-            group[i]->tick();
+            if (windowLen == 1)
+                group[i]->tick();
+            else
+                tickShardWindow(*group[i], i);
         }
     }
 }
 
 void
-Kernel::tickShardsParallel()
+Kernel::awaitArrivals()
 {
-    if (!config.deterministic)
-        claim.store(0, std::memory_order_relaxed);
-    arrivalsPending.store(laneCount - 1, std::memory_order_relaxed);
-    // The release publish of the new epoch orders the claim/arrival
-    // resets (and last cycle's serial-phase writes) before any worker
-    // starts ticking.
-    epoch.fetch_add(1, std::memory_order_release);
-    epoch.notify_all();
-    runLane(0);
     // Barrier: wait for every worker lane's arrival; the acquire
     // loads pair with the workers' release decrements so all shard
     // writes are visible to the next serial phase.
@@ -247,6 +349,64 @@ Kernel::tickShardsParallel()
          left = arrivalsPending.load(std::memory_order_acquire)) {
         arrivalsPending.wait(left, std::memory_order_acquire);
     }
+}
+
+void
+Kernel::tickShardsParallel()
+{
+    if (!config.deterministic)
+        claim.store(0, std::memory_order_relaxed);
+    if (windowSkipping && windowQuiescent.size() != group.size())
+        windowQuiescent.resize(group.size());
+    arrivalsPending.store(laneCount - 1, std::memory_order_relaxed);
+    // The release publish of the new epoch orders the claim/arrival
+    // resets, the window parameters, and last cycle's serial-phase
+    // writes before any worker starts ticking.
+    epoch.fetch_add(1, std::memory_order_release);
+    epoch.notify_all();
+    if (phaseTiming) {
+        auto start = std::chrono::steady_clock::now();
+        runLane(0);
+        auto ticked = std::chrono::steady_clock::now();
+        awaitArrivals();
+        auto arrived = std::chrono::steady_clock::now();
+        tickMs += elapsedMs(start, ticked);
+        barrierMs += elapsedMs(ticked, arrived);
+    } else {
+        runLane(0);
+        awaitArrivals();
+    }
+}
+
+Cycle
+Kernel::windowQuiescentOverlap(Cycle base, Cycle window) const
+{
+    // Intersect the per-shard quiescent stretches: a cycle every
+    // parallel shard skipped (the serial shard is quiescent across
+    // the whole window by the lookahead bound) is exactly a cycle the
+    // sequential run's whole-machine skip would have covered.
+    std::vector<std::pair<Cycle, Cycle>> overlap{{base, base + window}};
+    std::vector<std::pair<Cycle, Cycle>> merged;
+    for (const auto &segments : windowQuiescent) {
+        if (segments.empty())
+            return 0;
+        merged.clear();
+        for (const auto &have : overlap) {
+            for (const auto &seg : segments) {
+                Cycle lo = std::max(have.first, seg.first);
+                Cycle hi = std::min(have.second, seg.second);
+                if (lo < hi)
+                    merged.emplace_back(lo, hi);
+            }
+        }
+        if (merged.empty())
+            return 0;
+        overlap.swap(merged);
+    }
+    Cycle total = 0;
+    for (const auto &have : overlap)
+        total += have.second - have.first;
+    return total;
 }
 
 void

@@ -11,13 +11,19 @@
  * any number of *parallel* shards (the clusters), then calls run().
  *
  * With more than one worker lane the parallel shards tick
- * concurrently on a persistent worker pool, with one barrier per
- * cycle before the clock advances; the quiescent-skip window (the
- * minimum of every shard's nextEventCycle) is computed by the
- * coordinator between barriers, reusing the PR-3 machinery as the
- * conservative lookahead.  In deterministic mode (the default) the
+ * concurrently on a persistent worker pool, with a barrier before the
+ * clock advances; the quiescent-skip window (the minimum of every
+ * shard's nextEventCycle) is computed by the coordinator between
+ * barriers, reusing the PR-3 machinery as the conservative lookahead.
+ * Between barriers the coordinator additionally computes a safe
+ * multi-cycle window: the earliest cycle any shard could next arm the
+ * global interconnect (its earliestGlobalEmission) plus the one-cycle
+ * serial-observation latency bounds how many cycles the lanes may run
+ * unsynchronized, so quiet stretches pay one barrier for k cycles
+ * instead of k barriers.  In deterministic mode (the default) the
  * shard-to-lane schedule is static and results are byte-identical to
- * a sequential run; see DESIGN.md, "The kernel and shard contract".
+ * a sequential run; see DESIGN.md, "The kernel and shard contract"
+ * and "The lookahead contract".
  */
 
 #ifndef DDC_SIM_KERNEL_HH
@@ -28,6 +34,7 @@
 #include <memory>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/recorder.hh"
@@ -56,6 +63,16 @@ std::string_view toString(RunStatus status);
  */
 void setQuiescentSkipEnabled(bool enabled);
 bool quiescentSkipEnabled();
+
+/**
+ * Process-wide conservative-lookahead switch, default on.  The
+ * --no-lookahead flag clears it so every sharded machine built
+ * afterwards barriers once per simulated cycle — the PR-6 baseline —
+ * without threading a flag through each construction site.  Purely a
+ * host-performance knob: results are byte-identical either way.
+ */
+void setLookaheadEnabled(bool enabled);
+bool lookaheadEnabled();
 
 /**
  * Process-wide default worker-lane count for machines whose config
@@ -92,6 +109,14 @@ struct KernelConfig
      * setQuiescentSkipEnabled() switch (the --no-skip flag).
      */
     bool skip_quiescent = true;
+    /**
+     * Conservative lookahead: let parallel lanes tick multi-cycle
+     * windows between barriers when no shard can reach the global
+     * edge sooner.  Byte-identical either way; only a parallel run
+     * (more than one lane) ever forms windows.  ANDed with the
+     * process-wide setLookaheadEnabled() switch (--no-lookahead).
+     */
+    bool lookahead = true;
 };
 
 /** The shared run-loop driver (see file comment). */
@@ -163,6 +188,41 @@ class Kernel
      */
     int workerLanes() const;
 
+    /**
+     * Parallel barriers executed by run() so far: one per parallel
+     * phase, whether it covered one cycle or a multi-cycle lookahead
+     * window (0 on a single-lane run).
+     */
+    std::uint64_t barrierEpochs() const { return epochs; }
+
+    /**
+     * Mean cycles per barrier window (0 with no parallel phases);
+     * 1.0 means lookahead never beat the cycle-per-barrier baseline.
+     */
+    double
+    meanLookaheadWindow() const
+    {
+        return epochs == 0
+            ? 0.0
+            : static_cast<double>(windowSum) / static_cast<double>(epochs);
+    }
+
+    /**
+     * Start accumulating host wall time split between the
+     * coordinator's own tick work and its wait at the barrier
+     * (chrono calls only when enabled; off by default).  Purely
+     * host-side observability: simulation results are unaffected, so
+     * unlike the recorder hooks this does not pin the kernel to one
+     * lane.
+     */
+    void enablePhaseTiming() { phaseTiming = true; }
+
+    /** Wall ms the coordinator spent waiting at barriers. */
+    double barrierWaitMs() const { return barrierMs; }
+
+    /** Wall ms the coordinator spent ticking its own lane. */
+    double tickPhaseMs() const { return tickMs; }
+
   private:
     /** Earliest next event across every shard (see Shard). */
     Cycle earliestNextEvent() const;
@@ -170,11 +230,43 @@ class Kernel
     /** Fast-forward @p count quiescent cycles on every shard. */
     void skipQuiescent(Cycle count);
 
-    /** One parallel-phase cycle: release lanes, tick, barrier. */
+    /**
+     * Safe lookahead window from clock.now: the largest k such that no
+     * shard's global-ward traffic could become serially observable,
+     * and the machine could not finish, strictly inside the window.
+     * Clamped to the budget @p end; at least 1.
+     */
+    Cycle lookaheadWindow(Cycle end) const;
+
+    /**
+     * One parallel phase: release lanes, tick each shard windowLen
+     * cycles, barrier.  The caller skips/ticks the serial shard first
+     * and advances the clock after.
+     */
     void tickShardsParallel();
+
+    /** Coordinator's acquire-wait for every worker lane's arrival. */
+    void awaitArrivals();
 
     /** Tick the shards assigned to (or claimed by) @p lane. */
     void runLane(int lane);
+
+    /**
+     * Run shard @p index through the current multi-cycle window:
+     * cycle-by-cycle ticks, with shard-local quiescent stretches
+     * skipped (and recorded for the cross-shard skip accounting) when
+     * windowSkipping is set.
+     */
+    void tickShardWindow(Shard &shard, std::size_t index);
+
+    /**
+     * Cycles inside the window starting at @p base on which *every*
+     * parallel shard was skipped as quiescent — exactly the cycles a
+     * sequential run would have covered with a whole-machine skip
+     * (the serial shard is quiescent for the entire window by
+     * construction), so they land in skippedCycles().
+     */
+    Cycle windowQuiescentOverlap(Cycle base, Cycle window) const;
 
     void startWorkers(int lanes);
     void stopWorkers();
@@ -190,6 +282,23 @@ class Kernel
 
     obs::TraceSink *quiesce = nullptr;
     obs::CounterSampler *sampler = nullptr;
+
+    // Lookahead-window state.  windowLen / windowSkipping are written
+    // by the coordinator before the epoch release-publish and only
+    // read by lanes after the acquire, so they need no atomicity;
+    // windowQuiescent has exactly one writer per entry (the lane that
+    // ran that shard) and is read by the coordinator after the
+    // barrier.
+    Cycle windowLen = 1;
+    bool windowSkipping = false;
+    std::vector<std::vector<std::pair<Cycle, Cycle>>> windowQuiescent;
+    std::uint64_t epochs = 0;
+    std::uint64_t windowSum = 0;
+
+    // Opt-in host phase timing (see enablePhaseTiming()).
+    bool phaseTiming = false;
+    double barrierMs = 0.0;
+    double tickMs = 0.0;
 
     // Persistent worker pool (workers = lanes - 1; the coordinator is
     // lane 0).  Per cycle: the coordinator publishes a new epoch

@@ -105,6 +105,27 @@ class Shard
     void skipCycles(Cycle count);
 
     /**
+     * Earliest cycle at which this shard could next make state outside
+     * the shard visible, i.e. arm a request slot on the global
+     * interconnect (the lookahead contract, see DESIGN.md).  A
+     * component (bus) arms during its own tick, so it contributes its
+     * nextEventCycle directly; agents post only shard-locally, so an
+     * agent acting at cycle c first reaches the global edge at c + 1,
+     * through its cluster bus's next tick — the cluster-cache
+     * global-serialization latency the conservative lookahead window
+     * leans on.  Side-effect free; kNever when nothing in the shard
+     * can ever emit.
+     */
+    Cycle earliestGlobalEmission(Cycle now) const;
+
+    /**
+     * Lower bound on the cycle whose tick could first finish the last
+     * of this shard's still-running agents (@p now when none could
+     * constrain, including an already-done shard).  Side-effect free.
+     */
+    Cycle earliestDoneCycle(Cycle now) const;
+
+    /**
      * Push stall cycles accrued while skipping stalled agents' ticks
      * into the owning agents' counters; called at wake, at the end of
      * a run, and before any counter read, so observed statistics

@@ -3,7 +3,9 @@
  * Unit tests for the simulation kernel (sim/kernel.hh) against stub
  * agents: tick ordering, the quiescent-skip window (minimum of every
  * shard's nextEventCycle), budget clamping, stall-skip flushing,
- * shard id / random-stream assignment, and the parallel-lane barrier.
+ * shard id / random-stream assignment, the parallel-lane barrier, and
+ * the conservative-lookahead windows (multi-cycle parallel phases
+ * composed with quiescent skip, stall accrual, and the wake flag).
  */
 
 #include <gtest/gtest.h>
@@ -339,6 +341,264 @@ TEST(Kernel, ParallelLanesTickEveryShardOncePerCycle)
                 << (deterministic ? " (static)" : " (dynamic)");
         }
     }
+}
+
+/**
+ * Lookahead-capable worker: always runnable, ticks @p work times,
+ * then done.  Never reads the kernel clock (windows tick it with the
+ * clock frozen at the window base) and bounds its completion cycle,
+ * so multi-cycle windows can form around it.
+ */
+class WindowedAgent : public Agent
+{
+  public:
+    explicit WindowedAgent(int work) : remaining(work) {}
+
+    void
+    tick() override
+    {
+        ticks++;
+        if (remaining > 0)
+            remaining--;
+    }
+
+    bool done() const override { return remaining == 0; }
+
+    Cycle
+    earliestDoneCycle(Cycle now) const override
+    {
+        return remaining > 1
+            ? now + static_cast<Cycle>(remaining) - 1 : now;
+    }
+
+    int ticks = 0;
+
+  private:
+    int remaining;
+};
+
+/**
+ * Lookahead-capable self-timed waiter: event-free until cycle
+ * @p wake_at, one tick of work there, done.  Tracks its own cycle
+ * position through ticks and skips instead of reading the clock.
+ */
+class WindowWaiterAgent : public Agent
+{
+  public:
+    explicit WindowWaiterAgent(Cycle wake_at) : wakeAt(wake_at) {}
+
+    void
+    tick() override
+    {
+        if (lived >= wakeAt)
+            finished = true;
+        lived++;
+    }
+
+    bool done() const override { return finished; }
+
+    Cycle
+    nextEventCycle(Cycle now) const override
+    {
+        return now >= wakeAt ? now : wakeAt;
+    }
+
+    Cycle
+    earliestDoneCycle(Cycle now) const override
+    {
+        return std::max(now, wakeAt);
+    }
+
+    void
+    skipCycles(Cycle count) override
+    {
+        lived += count;
+        skipped += count;
+    }
+
+    Cycle skipped = 0;
+
+  private:
+    Cycle wakeAt;
+    Cycle lived = 0;
+    bool finished = false;
+};
+
+/**
+ * Lookahead-capable staller: stalls on a never-completing access
+ * after its first tick until the wake flag is raised externally, then
+ * finishes on its second tick.  Skipped stall cycles must land in
+ * stallCycles whether they arrive tick-by-tick (addStallCycles) or in
+ * bulk (skipCycles), exactly like a trace agent's stall counter.
+ */
+class WindowStallAgent : public Agent
+{
+  public:
+    void
+    tick() override
+    {
+        ticks++;
+        if (ticks >= 2)
+            finished = true;
+        issued = true;
+    }
+
+    bool done() const override { return finished; }
+
+    bool
+    stalledOnCompletion() const override
+    {
+        return issued && !finished;
+    }
+
+    Cycle
+    earliestDoneCycle(Cycle) const override
+    {
+        return kNever;
+    }
+
+    void addStallCycles(Cycle count) override { stallCycles += count; }
+    void skipCycles(Cycle count) override { stallCycles += count; }
+
+    int ticks = 0;
+    Cycle stallCycles = 0;
+
+  private:
+    bool issued = false;
+    bool finished = false;
+};
+
+TEST(Kernel, LookaheadBatchesCyclesBetweenBarriers)
+{
+    // Two always-runnable shards that bound their completion: every
+    // parallel phase may cover two cycles (each shard's next global
+    // emission is one cycle out, observed serially one cycle later),
+    // so 30 simulated cycles cost 15 barriers — and with lookahead
+    // disabled the same run pays one barrier per cycle, with every
+    // simulation observable unchanged.
+    for (bool lookahead : {true, false}) {
+        Clock clock;
+        KernelConfig config;
+        config.shards = 2;
+        config.lookahead = lookahead;
+        Kernel kernel(clock, config);
+        Shard &a = kernel.makeShard(1, 1);
+        Shard &b = kernel.makeShard(1, 1);
+        WindowedAgent slow(30), fast(20);
+        a.setAgent(0, &slow);
+        b.setAgent(0, &fast);
+        a.rebuild();
+        b.rebuild();
+
+        EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+        EXPECT_EQ(clock.now, 30u);
+        EXPECT_EQ(slow.ticks, 30);
+        EXPECT_EQ(fast.ticks, 20);
+        EXPECT_EQ(kernel.skippedCycles(), 0u);
+        if (lookahead) {
+            EXPECT_EQ(kernel.barrierEpochs(), 15u);
+            EXPECT_DOUBLE_EQ(kernel.meanLookaheadWindow(), 2.0);
+        } else {
+            EXPECT_EQ(kernel.barrierEpochs(), 30u);
+            EXPECT_DOUBLE_EQ(kernel.meanLookaheadWindow(), 1.0);
+        }
+    }
+}
+
+TEST(Kernel, LookaheadComposesQuiescentSkipInsideWindows)
+{
+    // A busy shard drives 2-cycle windows while the waiter shard is
+    // quiescent until cycle 9: the waiter's idle stretch is skipped
+    // *inside* each window (shard-local next-event advance), but no
+    // whole-machine cycle was quiescent, so skippedCycles stays 0 —
+    // exactly the sequential accounting.
+    Clock clock;
+    KernelConfig config;
+    config.shards = 2;
+    Kernel kernel(clock, config);
+    Shard &a = kernel.makeShard(1, 1);
+    Shard &b = kernel.makeShard(1, 1);
+    WindowedAgent busy(12);
+    WindowWaiterAgent waiter(9);
+    a.setAgent(0, &busy);
+    b.setAgent(0, &waiter);
+    a.rebuild();
+    b.rebuild();
+
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    EXPECT_EQ(clock.now, 12u);
+    EXPECT_EQ(busy.ticks, 12);
+    EXPECT_EQ(waiter.skipped, 9u);
+    EXPECT_EQ(kernel.skippedCycles(), 0u);
+    EXPECT_EQ(kernel.barrierEpochs(), 6u);
+    EXPECT_DOUBLE_EQ(kernel.meanLookaheadWindow(), 2.0);
+}
+
+TEST(Kernel, LookaheadCountsMachineWideQuiescenceOnceEverywhere)
+{
+    // Cycle 1 sits inside a 2-cycle window with *both* shards
+    // quiescent; the sequential run would have covered it with a
+    // whole-machine skip, so the window accounting must land it in
+    // skippedCycles too.  Cycles 2..4 are skipped by the ordinary
+    // outer engine between barriers.
+    Clock clock;
+    KernelConfig config;
+    config.shards = 2;
+    Kernel kernel(clock, config);
+    Shard &a = kernel.makeShard(1, 1);
+    Shard &b = kernel.makeShard(1, 1);
+    WindowedAgent burst(1);
+    WindowWaiterAgent waiter(5);
+    a.setAgent(0, &burst);
+    b.setAgent(0, &waiter);
+    a.rebuild();
+    b.rebuild();
+
+    EXPECT_EQ(kernel.run(1000), RunStatus::Finished);
+    // Window [0,2): burst ticks at 0, everything idle at 1 (counted
+    // skipped); outer skip covers 2..4; window [5,6) runs the waiter.
+    EXPECT_EQ(clock.now, 6u);
+    EXPECT_EQ(burst.ticks, 1);
+    EXPECT_EQ(kernel.skippedCycles(), 4u);
+    EXPECT_EQ(kernel.barrierEpochs(), 2u);
+}
+
+TEST(Kernel, LookaheadWindowsAccrueStallsAndHonorTheWake)
+{
+    // The staller ticks once and stalls; its shard turns quiescent,
+    // so windows skip it in bulk — the bulk skip must account stall
+    // cycles exactly as ticking through the stall would have.  After
+    // the external wake it finishes on its next tick, still under
+    // multi-cycle windows.
+    Clock clock;
+    KernelConfig config;
+    config.shards = 2;
+    Kernel kernel(clock, config);
+    Shard &a = kernel.makeShard(1, 1);
+    Shard &b = kernel.makeShard(1, 1);
+    WindowStallAgent stalling;
+    WindowedAgent busy(20);
+    a.setAgent(0, &stalling);
+    b.setAgent(0, &busy);
+    a.rebuild();
+    b.rebuild();
+
+    EXPECT_EQ(kernel.run(6), RunStatus::TimedOut);
+    EXPECT_EQ(clock.now, 6u);
+    EXPECT_EQ(stalling.ticks, 1);
+    EXPECT_EQ(stalling.stallCycles, 5u);
+    EXPECT_EQ(kernel.barrierEpochs(), 3u);
+
+    // The completion arrives: the agent wakes inside the next window
+    // and finishes; the busy shard runs out its remaining work.
+    *a.wakeFlag(0) = 1;
+    EXPECT_EQ(kernel.run(100), RunStatus::Finished);
+    EXPECT_EQ(clock.now, 20u);
+    EXPECT_EQ(stalling.ticks, 2);
+    EXPECT_EQ(stalling.stallCycles, 5u);
+    EXPECT_EQ(busy.ticks, 20);
+    EXPECT_EQ(kernel.skippedCycles(), 0u);
+    EXPECT_DOUBLE_EQ(kernel.meanLookaheadWindow(), 2.0);
 }
 
 TEST(Kernel, ParallelRunSurvivesRepeatedRuns)

@@ -8,7 +8,11 @@
  * machine ticks its clusters on one host thread or many — including
  * under the Random arbiter (per-bus RNG streams must not shift), for
  * timed-out runs, and for the flat machine, which is always a single
- * shard but reads the same process-wide default.  Runs here avoid
+ * shard but reads the same process-wide default.  The same contract
+ * covers conservative lookahead (multi-cycle barrier windows): the
+ * lookahead-on and lookahead-off suites pin both settings to the
+ * windowless sequential baseline for every protocol, the Random
+ * arbiter, and the directory global fabric.  Runs here avoid
  * record_log so the parallel lanes genuinely engage (the serial
  * execution log pins a machine to one lane).
  */
@@ -134,6 +138,92 @@ TEST(ParallelEquivalence, DynamicScheduleMatchesToo)
     Observed sequential = observeHier(config, trace, 1);
     expectIdentical(sequential, observeHier(config, trace, 4),
                     "dynamic schedule");
+}
+
+TEST(ParallelEquivalence, LookaheadOnVsOffAllProtocols)
+{
+    // Conservative lookahead (multi-cycle barrier windows) is a host-
+    // performance knob like the shard count: for both L1 protocols,
+    // runs with windows enabled must match the windowless baseline at
+    // every lane count, and the 1-lane run (which never forms
+    // windows) anchors both.
+    auto trace = makeUniformRandomTrace(16, 600, 128, 0.3, 0.05, 19);
+    for (auto protocol : {ProtocolKind::Rb, ProtocolKind::Rwb}) {
+        hier::HierConfig config;
+        config.num_clusters = 8;
+        config.pes_per_cluster = 2;
+        config.cache_lines = 64;
+        config.protocol = protocol;
+        config.lookahead = false;
+        Observed baseline = observeHier(config, trace, 1);
+        for (int shards : {1, 2, 4}) {
+            std::string label = std::string(toString(protocol)) +
+                                " shards " + std::to_string(shards);
+            expectIdentical(baseline,
+                            observeHier(config, trace, shards),
+                            label + " lookahead off");
+            hier::HierConfig windowed = config;
+            windowed.lookahead = true;
+            expectIdentical(baseline,
+                            observeHier(windowed, trace, shards),
+                            label + " lookahead on");
+        }
+    }
+}
+
+TEST(ParallelEquivalence, LookaheadOnVsOffRandomArbiter)
+{
+    // Windows bulk-skip the global bus between barriers; the Random
+    // arbiter's per-bus RNG draw sequences must survive that exactly.
+    auto trace = makeHotSpotTrace(8, 400, 8);
+    hier::HierConfig config;
+    config.num_clusters = 4;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    config.arbiter = ArbiterKind::Random;
+    config.arbiter_seed = 99;
+    config.lookahead = false;
+    Observed baseline = observeHier(config, trace, 1);
+    for (int shards : {1, 2, 4}) {
+        hier::HierConfig windowed = config;
+        windowed.lookahead = true;
+        expectIdentical(baseline,
+                        observeHier(config, trace, shards),
+                        "random arbiter lookahead off shards " +
+                            std::to_string(shards));
+        expectIdentical(baseline,
+                        observeHier(windowed, trace, shards),
+                        "random arbiter lookahead on shards " +
+                            std::to_string(shards));
+    }
+}
+
+TEST(ParallelEquivalence, LookaheadOnVsOffDirectoryGlobal)
+{
+    // Directory mode routes the cross-shard edge through the fabric's
+    // armEvents generation counter; lookahead windows must keep every
+    // arm exactly one serial tick ahead of its routing pass.
+    auto trace = makeUniformRandomTrace(16, 500, 128, 0.3, 0.05, 43);
+    hier::HierConfig config;
+    config.num_clusters = 8;
+    config.pes_per_cluster = 2;
+    config.cache_lines = 64;
+    config.global = hier::GlobalKind::Directory;
+    config.home_nodes = 4;
+    config.lookahead = false;
+    Observed baseline = observeHier(config, trace, 1);
+    for (int shards : {1, 2, 4}) {
+        hier::HierConfig windowed = config;
+        windowed.lookahead = true;
+        expectIdentical(baseline,
+                        observeHier(config, trace, shards),
+                        "directory lookahead off shards " +
+                            std::to_string(shards));
+        expectIdentical(baseline,
+                        observeHier(windowed, trace, shards),
+                        "directory lookahead on shards " +
+                            std::to_string(shards));
+    }
 }
 
 TEST(ParallelEquivalence, TimedOutRunReportsTheSameWallCycle)
