@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "hier/hier_system.hh"
+#include "obs/recorder.hh"
 #include "stats/table.hh"
 #include "trace/synthetic.hh"
 
@@ -144,8 +145,6 @@ printReproduction(exp::Session &session)
                         config.home_nodes = homesFor(clusters);
                     }
                     hier::HierSystem system(config);
-                    if (auto *fabric = system.directoryFabric())
-                        fabric->enablePhaseTiming();
                     system.loadTrace(trace);
                     exp::RunResult result;
                     result.cycles = system.run();
@@ -164,6 +163,34 @@ printReproduction(exp::Session &session)
                                          fabric->routePhaseMs());
                         result.setMetric("serve_phase_ms",
                                          fabric->servePhaseMs());
+                        // Hot-home skew: peak over mean per-home
+                        // message count (1.0 = perfectly balanced).
+                        double mean = fabric->meanHomeMessages();
+                        if (mean > 0.0) {
+                            result.setMetric(
+                                "hot_home_skew",
+                                static_cast<double>(
+                                    fabric->maxHomeMessages()) /
+                                    mean);
+                        }
+                        // Home service-latency percentiles need the
+                        // histogram lanes (--histograms).
+                        if (auto *observability = system.observability()) {
+                            if (auto *metrics = observability->metrics()) {
+                                const auto &hs = metrics->home_service;
+                                if (hs.count() > 0) {
+                                    result.setMetric(
+                                        "home_latency_p50",
+                                        hs.percentile(0.50));
+                                    result.setMetric(
+                                        "home_latency_p90",
+                                        hs.percentile(0.90));
+                                    result.setMetric(
+                                        "home_latency_p99",
+                                        hs.percentile(0.99));
+                                }
+                            }
+                        }
                     }
                     return result;
                 });
@@ -272,6 +299,11 @@ main(int argc, char **argv)
 {
     auto options = ddc::exp::parseSessionArgs(argc, argv);
     options.timing = true;
+    // The route/serve phase-split columns come from the fabric's
+    // profile; force it on like --timing -- this bench's output is
+    // host-dependent on purpose.
+    options.profile = true;
+    ddc::obs::setPhaseProfilingEnabled(true);
     ddc::exp::Session session(options);
     printReproduction(session);
     std::cout.flush();

@@ -25,6 +25,7 @@
 #include <thread>
 
 #include "hier/hier_system.hh"
+#include "obs/recorder.hh"
 #include "stats/table.hh"
 #include "trace/synthetic.hh"
 
@@ -90,10 +91,6 @@ printReproduction(exp::Session &session)
             config.protocol = ProtocolKind::Rb;
             config.shards = shards;
             hier::HierSystem system(config);
-            // Opt-in phase split (like perf_directory's route/serve
-            // timing): coordinator tick work vs barrier wait, both
-            // host wall-clock and emitted as metrics under --timing.
-            system.enableKernelPhaseTiming();
             system.loadTrace(trace);
             exp::RunResult result;
             result.cycles = system.run();
@@ -199,6 +196,11 @@ main(int argc, char **argv)
 {
     auto options = ddc::exp::parseSessionArgs(argc, argv);
     options.timing = true;
+    // The phase-split columns (tick ms / barrier ms) come from the
+    // kernel self-profile; force it on like --timing -- this bench's
+    // output is host-dependent on purpose.
+    options.profile = true;
+    ddc::obs::setPhaseProfilingEnabled(true);
     ddc::exp::Session session(options);
     printReproduction(session);
     std::cout.flush();

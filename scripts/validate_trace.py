@@ -7,16 +7,33 @@ Perfetto / chrome://tracing rely on):
   * the file parses as JSON with a "displayTimeUnit" and a non-empty
     "traceEvents" array;
   * every event carries name/ph/ts/pid/tid (metadata carries name/ph);
-  * non-metadata timestamps are non-decreasing (Chrome requires it);
+  * every event's pid is a known track (1 PEs, 2 Buses, 3 Locks,
+    4 Sim, 5 Homes, 6 Kernel);
+  * non-metadata timestamps are non-decreasing — Chrome requires it,
+    and for a sharded run this doubles as the merge check: per-shard
+    buffers concatenated out of order would show a ts regression;
   * duration B/E pairs are balanced per (pid, tid) track, never
-    closing a span that was not opened;
-  * 'X' complete events carry a duration.
+    closing a span that was not opened (this covers every category,
+    including the dir spans on the Homes track);
+  * 'X' complete events carry a duration;
+  * 'i' instant events carry a scope;
+  * 'C' counter events carry a numeric args dict.
 
 Usage: validate_trace.py TRACE.json
 """
 
 import json
 import sys
+
+# Track pids the writer emits (src/obs/trace.hh kTrack*).
+KNOWN_PIDS = {
+    1: "PEs",
+    2: "Buses",
+    3: "Locks",
+    4: "Sim",
+    5: "Homes",
+    6: "Kernel",
+}
 
 
 def fail(message):
@@ -39,7 +56,7 @@ def validate(path):
 
     last_ts = None
     depth = {}
-    counts = {"M": 0, "B": 0, "E": 0, "X": 0, "i": 0}
+    counts = {"M": 0, "B": 0, "E": 0, "X": 0, "i": 0, "C": 0}
     for index, event in enumerate(events):
         phase = event.get("ph")
         if phase not in counts:
@@ -47,6 +64,12 @@ def validate(path):
         counts[phase] += 1
         if "name" not in event:
             fail(f"event {index}: missing name")
+        for key in ("pid", "tid") if phase == "M" else ():
+            if key not in event:
+                fail(f"event {index}: metadata missing {key}")
+        if "pid" in event and event["pid"] not in KNOWN_PIDS:
+            fail(f"event {index}: unknown pid {event['pid']!r} "
+                 f"(known: {sorted(KNOWN_PIDS)})")
         if phase == "M":
             continue
         for key in ("ts", "pid", "tid"):
@@ -55,7 +78,8 @@ def validate(path):
         ts = event["ts"]
         if last_ts is not None and ts < last_ts:
             fail(f"event {index}: ts {ts} after {last_ts} "
-                 "(must be non-decreasing)")
+                 "(must be non-decreasing; a regression here means "
+                 "the shard merge emitted buffers out of order)")
         last_ts = ts
         track = (event["pid"], event["tid"])
         if phase == "B":
@@ -67,6 +91,16 @@ def validate(path):
                      f"on track {track}")
         elif phase == "X" and "dur" not in event:
             fail(f"event {index}: 'X' without dur")
+        elif phase == "i" and "s" not in event:
+            fail(f"event {index}: 'i' without scope")
+        elif phase == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                fail(f"event {index}: 'C' without args dict")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    fail(f"event {index}: 'C' arg {key!r} is not "
+                         "numeric")
 
     open_tracks = {t: d for t, d in depth.items() if d != 0}
     if open_tracks:
@@ -77,7 +111,8 @@ def validate(path):
     total = sum(counts.values())
     print(f"validate_trace: OK: {path}: {total} events "
           f"({counts['B']} spans, {counts['X']} completes, "
-          f"{counts['i']} instants, {counts['M']} metadata)")
+          f"{counts['i']} instants, {counts['C']} counters, "
+          f"{counts['M']} metadata)")
 
 
 if __name__ == "__main__":

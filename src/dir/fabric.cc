@@ -54,11 +54,32 @@ DirectoryFabric::setRequestArmed(int client, bool is_armed)
 }
 
 void
+DirectoryFabric::setObserver(obs::Recorder *recorder,
+                             const Clock *machine_clock)
+{
+    if (recorder == nullptr)
+        return;
+    // Homes tick on the serial shard, so all directory streams are
+    // shard 0's.
+    homeObs.trace = recorder->trace(obs::Category::Dir, 0);
+    homeObs.metrics = recorder->metricsLane(0);
+    homeObs.clock = machine_clock;
+    if (homeObs.metrics) {
+        requestStart.assign(clients.size(), kNever);
+        homeObs.requestStart = &requestStart;
+    }
+    if (homeObs.trace == nullptr && homeObs.metrics == nullptr)
+        return;
+    for (auto &home : homes)
+        home->setObserver(&homeObs);
+}
+
+void
 DirectoryFabric::tick()
 {
     using clock = std::chrono::steady_clock;
     clock::time_point routeStart;
-    if (phaseTiming)
+    if (profile)
         routeStart = clock::now();
 
     // ---- Route phase: O(armed), not O(clients). -------------------
@@ -99,17 +120,24 @@ DirectoryFabric::tick()
                 touchedHomes.push_back(h);
             target.post(c);
             posted++;
+            // Stamp the first routing of this pending request; the
+            // serving home clears the mark at completion
+            // (home_service latency), so reposted retries keep it.
+            if (homeObs.requestStart != nullptr &&
+                requestStart[index] == kNever)
+                requestStart[index] = homeObs.clock->now;
         }
         armedList.resize(kept);
     }
     lastRoutingPosted = posted;
 
     clock::time_point serveStart;
-    if (phaseTiming) {
+    if (profile) {
         serveStart = clock::now();
-        routeMs += std::chrono::duration<double, std::milli>(
-                       serveStart - routeStart)
-                       .count();
+        profile->fabric_route_ms +=
+            std::chrono::duration<double, std::milli>(serveStart -
+                                                      routeStart)
+                .count();
     }
 
     // ---- Serve phase: tick only the touched homes, in ascending id
@@ -126,10 +154,11 @@ DirectoryFabric::tick()
         stats.add(statIdle, untouched);
     touchedHomes.clear();
 
-    if (phaseTiming) {
-        serveMs += std::chrono::duration<double, std::milli>(
-                       clock::now() - serveStart)
-                       .count();
+    if (profile) {
+        profile->fabric_serve_ms +=
+            std::chrono::duration<double, std::milli>(clock::now() -
+                                                      serveStart)
+                .count();
     }
 }
 
@@ -173,6 +202,25 @@ DirectoryFabric::directoryBlocks() const
     for (const auto &home : homes)
         total += home->directory().blocks();
     return total;
+}
+
+std::uint64_t
+DirectoryFabric::maxHomeMessages() const
+{
+    std::uint64_t peak = 0;
+    for (const auto &home : homes)
+        peak = std::max(peak, home->messages());
+    return peak;
+}
+
+double
+DirectoryFabric::meanHomeMessages() const
+{
+    std::uint64_t total = 0;
+    for (const auto &home : homes)
+        total += home->messages();
+    return static_cast<double>(total) /
+           static_cast<double>(homes.size());
 }
 
 double

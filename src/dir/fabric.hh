@@ -70,6 +70,7 @@
 
 #include "base/types.hh"
 #include "dir/home_node.hh"
+#include "obs/recorder.hh"
 #include "sim/fabric.hh"
 
 namespace ddc {
@@ -174,15 +175,44 @@ class DirectoryFabric : public GlobalFabric, public Tickable
         return armedCount.load(std::memory_order_relaxed);
     }
 
-    // ---- Opt-in phase timing (bench support) -----------------------
-    /** Start accruing wall time per tick phase (off by default). */
-    void enablePhaseTiming() { phaseTiming = true; }
+    // ---- Observability ---------------------------------------------
+    /**
+     * Attach observability: dir-category trace + directory
+     * histograms for every home (all serial-phase, shard 0), plus
+     * request-latency tracking stamped by the routing pass.
+     * @p recorder may be null.  Call after every cluster attached.
+     */
+    void setObserver(obs::Recorder *recorder, const Clock *clock);
+
+    /**
+     * Route the host phase split (route vs serve wall ms) into
+     * @p profile's fabric_route_ms / fabric_serve_ms; chrono calls
+     * only when non-null (off by default).
+     */
+    void setProfile(obs::PhaseProfile *profile)
+    {
+        this->profile = profile;
+    }
 
     /** Wall time spent routing requests to homes, in milliseconds. */
-    double routePhaseMs() const { return routeMs; }
+    double
+    routePhaseMs() const
+    {
+        return profile ? profile->fabric_route_ms : 0.0;
+    }
 
     /** Wall time spent serving touched homes, in milliseconds. */
-    double servePhaseMs() const { return serveMs; }
+    double
+    servePhaseMs() const
+    {
+        return profile ? profile->fabric_serve_ms : 0.0;
+    }
+
+    /** Largest per-home message count (hot-home skew numerator). */
+    std::uint64_t maxHomeMessages() const;
+
+    /** Mean per-home message count (hot-home skew denominator). */
+    double meanHomeMessages() const;
 
   private:
     std::vector<std::unique_ptr<HomeNode>> homes;
@@ -216,9 +246,12 @@ class DirectoryFabric : public GlobalFabric, public Tickable
     /** Shared "bus.idle_cycles" handle for batched idle accounting. */
     stats::CounterId statIdle;
     std::uint64_t visitCount = 0;
-    bool phaseTiming = false;
-    double routeMs = 0.0;
-    double serveMs = 0.0;
+    /** Host phase-split accumulator (null = profiling off). */
+    obs::PhaseProfile *profile = nullptr;
+    /** Shared per-home observability context (see HomeObs). */
+    HomeObs homeObs;
+    /** Per-client first-routed cycle (home_service latency). */
+    std::vector<Cycle> requestStart;
 };
 
 } // namespace dir

@@ -60,12 +60,30 @@ HomeNode::tick(const std::vector<BusClient *> &clients,
     }
     stats.add(statBusy);
     stats.add(statMsgRequest);
+    msgCount++;
 
     int grant = arbiter->pick(inbox);
     BusRequest request =
         clients[static_cast<std::size_t>(grant)]->currentRequest();
     ddc_assert(!request.block_transfer,
                "the directory fabric uses one-word blocks");
+
+    if (obsCtx && obsCtx->trace) {
+        // The granted request as a one-cycle slice on this home's
+        // track (the synchronous model serves it within the cycle).
+        obs::TraceEvent event;
+        event.ts = obsCtx->clock->now;
+        event.dur = 1;
+        event.name = toString(request.op);
+        event.addr = request.addr;
+        event.has_addr = true;
+        event.value = grant;
+        event.value_name = "issuer";
+        event.phase = 'X';
+        event.track = obs::kTrackHomes;
+        event.tid = homeId;
+        obsCtx->trace->push(event);
+    }
 
     switch (request.op) {
       case BusOp::Read:
@@ -104,17 +122,26 @@ HomeNode::deliverWriteLike(DirEntry &entry, const BusTransaction &txn,
             targets.push_back(sharer);
     });
     std::size_t acks = 0;
+    const bool traced = obsCtx && obsCtx->trace;
     for (int sharer : targets) {
         stats.add(statMsgInval);
         visits++;
+        msgCount++;
+        if (traced)
+            traceInstant("inval", txn.addr, nullptr, sharer);
         clients[static_cast<std::size_t>(sharer)]->observe(txn);
         // The synchronous machine model collects the ack in the same
         // cycle; counted per target so ack traffic is visible.
         stats.add(statMsgAck);
+        msgCount++;
+        if (traced)
+            traceInstant("ack", txn.addr, nullptr, sharer);
         acks++;
     }
     ddc_assert(acks == targets.size(),
                "invalidate-ack collection lost a target");
+    if (obsCtx && obsCtx->metrics)
+        obsCtx->metrics->acks_per_inval.sample(acks);
 
     // Every delivered write-like observation erased its target's
     // entry; only @p keep (when it was a sharer) still holds one.
@@ -140,6 +167,9 @@ HomeNode::deliverRead(DirEntry *entry, const BusTransaction &txn,
             return;
         stats.add(statMsgUpdate);
         visits++;
+        msgCount++;
+        if (obsCtx && obsCtx->trace)
+            traceInstant("update", txn.addr, nullptr, sharer);
         clients[static_cast<std::size_t>(sharer)]->observe(txn);
     });
 }
@@ -184,6 +214,9 @@ HomeNode::executeReadLike(int grant, const BusRequest &request,
         Word value = 0;
         stats.add(statMsgFwd);
         visits++;
+        msgCount++;
+        if (obsCtx && obsCtx->trace)
+            traceInstant("fwd", request.addr, nullptr, owner);
         bool supplies = supplier->wouldSupply(request.addr, value);
         ddc_assert(supplies, "directory owner declined to supply addr ",
                    request.addr);
@@ -214,6 +247,7 @@ HomeNode::executeReadLike(int grant, const BusRequest &request,
         deliverRead(entry, {BusOp::Read, request.addr, data, grant, {}},
                     grant, clients, visits);
         addSharer(dir.ensure(request.addr), grant);
+        noteComplete(grant);
         grantee->requestComplete({data, false, {}});
         return;
       }
@@ -227,6 +261,7 @@ HomeNode::executeReadLike(int grant, const BusRequest &request,
         deliverRead(entry, {BusOp::Read, request.addr, data, grant, {}},
                     grant, clients, visits);
         addSharer(dir.ensure(request.addr), grant);
+        noteComplete(grant);
         grantee->requestComplete({data, false, {}});
         return;
       }
@@ -247,6 +282,7 @@ HomeNode::executeReadLike(int grant, const BusRequest &request,
                              grant, clients, visits);
             e.owner = grant;
             addSharer(e, grant);
+            noteComplete(grant);
             grantee->requestComplete({old, true, {}});
         } else {
             stats.add(statRmwFail);
@@ -254,6 +290,7 @@ HomeNode::executeReadLike(int grant, const BusRequest &request,
                                 {}},
                         grant, clients, visits);
             addSharer(dir.ensure(request.addr), grant);
+            noteComplete(grant);
             grantee->requestComplete({old, false, {}});
         }
         return;
@@ -316,6 +353,7 @@ HomeNode::executeWriteLike(int grant, const BusRequest &request,
         entry.owner = grant;
         addSharer(entry, grant);
     }
+    noteComplete(grant);
     grantee->requestComplete({request.data, false, {}});
 }
 
@@ -325,7 +363,42 @@ HomeNode::nack(int grant, const BusRequest &request,
 {
     stats.add(statNack);
     stats.add(statNackOp[opIndex(request.op)]);
+    if (obsCtx && obsCtx->trace)
+        traceInstant("nack", request.addr,
+                     toString(request.op).data());
     clients[static_cast<std::size_t>(grant)]->requestNacked();
+}
+
+void
+HomeNode::traceInstant(std::string_view name, Addr addr,
+                       const char *detail, int target)
+{
+    obs::TraceEvent event;
+    event.ts = obsCtx->clock->now;
+    event.name = name;
+    event.detail = detail;
+    event.addr = addr;
+    event.has_addr = true;
+    if (target >= 0) {
+        event.value = target;
+        event.value_name = "target";
+    }
+    event.track = obs::kTrackHomes;
+    event.tid = homeId;
+    obsCtx->trace->push(event);
+}
+
+void
+HomeNode::noteComplete(int grant)
+{
+    if (!obsCtx || !obsCtx->metrics || !obsCtx->requestStart)
+        return;
+    Cycle &start =
+        (*obsCtx->requestStart)[static_cast<std::size_t>(grant)];
+    if (start == kNever)
+        return;
+    obsCtx->metrics->home_service.sample(obsCtx->clock->now - start);
+    start = kNever;
 }
 
 } // namespace dir

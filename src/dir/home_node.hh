@@ -30,13 +30,40 @@
 
 #include "base/types.hh"
 #include "dir/directory.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/arbiter.hh"
 #include "sim/bus.hh"
+#include "sim/clock.hh"
 #include "sim/memory.hh"
 #include "stats/counter.hh"
 
 namespace ddc {
 namespace dir {
+
+/**
+ * Observability context shared by every home node of one fabric
+ * (dir-category trace, directory histograms, request-latency
+ * tracking).  Homes tick on the serial shard, so all of it is
+ * written single-threaded into shard 0's streams; each home holds a
+ * pointer that is null when directory observability is off — the
+ * disabled path stays one null test per site.
+ */
+struct HomeObs
+{
+    /** Dir-category trace buffer (null when not traced). */
+    obs::TraceBuffer *trace = nullptr;
+    /** Histogram lane for home_service / acks_per_inval (or null). */
+    obs::RunMetrics *metrics = nullptr;
+    const Clock *clock = nullptr;
+    /**
+     * Per-client cycle the pending request was first routed (kNever
+     * = none); set by the fabric's routing pass, cleared by the home
+     * at requestComplete — NACKs and kills keep the mark, because
+     * the retry continues the same logical request.
+     */
+    std::vector<Cycle> *requestStart = nullptr;
+};
 
 /** One address-interleaved home: memory bank + directory + arbiter. */
 class HomeNode
@@ -55,6 +82,21 @@ class HomeNode
              std::uint64_t arbiter_seed, stats::CounterSet &stats);
 
     int id() const { return homeId; }
+
+    /**
+     * Attach the fabric's shared observability context (may be
+     * null).  Serial-phase only; the home then emits message slices
+     * on its "home @p homeId" track and samples the directory
+     * histograms.
+     */
+    void setObserver(const HomeObs *context) { obsCtx = context; }
+
+    /**
+     * Point-to-point messages this home has handled (requests,
+     * forwards, invalidates, acks, updates) — the hot-home skew
+     * numerator, kept always-on next to the interned counters.
+     */
+    std::uint64_t messages() const { return msgCount; }
 
     /** Post client @p client's request into this cycle's inbox. */
     void post(int client) { inbox.push_back(client); }
@@ -123,7 +165,22 @@ class HomeNode
     void nack(int grant, const BusRequest &request,
               const std::vector<BusClient *> &clients);
 
+    /** Emit an instant message event on this home's track. */
+    void traceInstant(std::string_view name, Addr addr,
+                      const char *detail = nullptr,
+                      int target = -1);
+
+    /**
+     * Sample home_service for @p grant's completing request and
+     * clear its routing mark (call right before requestComplete).
+     */
+    void noteComplete(int grant);
+
     int homeId;
+    /** Shared fabric observability (null = directory obs off). */
+    const HomeObs *obsCtx = nullptr;
+    /** Messages handled by this home (see messages()). */
+    std::uint64_t msgCount = 0;
     stats::CounterSet &stats;
     Memory memory;
     Directory dir;

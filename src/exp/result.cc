@@ -126,6 +126,9 @@ histogramsJson(const obs::RunMetrics &metrics)
     json["lock_acquire"] = histogramJson(metrics.lock_acquire);
     json["lock_handoff"] = histogramJson(metrics.lock_handoff);
     json["write_gap"] = histogramJson(metrics.write_gap);
+    json["home_service"] = histogramJson(metrics.home_service);
+    json["acks_per_inval"] = histogramJson(metrics.acks_per_inval);
+    json["dir_occupancy"] = histogramJson(metrics.dir_occupancy);
     return json;
 }
 

@@ -98,6 +98,12 @@ const FlagSpec kFlags[] = {
          obs::setSampleInterval(options.sample_every);
          return kOk;
      }},
+    {"--profile", false,
+     [](SessionOptions &options, const char *) -> std::string {
+         options.profile = true;
+         obs::setPhaseProfilingEnabled(true);
+         return kOk;
+     }},
     {"--shards", true,
      [](SessionOptions &options, const char *value) -> std::string {
          options.shards = std::atoi(value);
@@ -170,7 +176,7 @@ Json
 Session::toJson() const
 {
     Json json = Json::object();
-    json["schema"] = Json(std::int64_t{5});
+    json["schema"] = Json(std::int64_t{6});
     Json experiments = Json::array();
     for (const auto &entry : collected) {
         Json experiment = Json::object();

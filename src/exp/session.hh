@@ -87,6 +87,14 @@ struct SessionOptions
      */
     Cycle sample_every = 0;
     /**
+     * Kernel / fabric phase profiling (host wall-clock split between
+     * tick work, barrier waits, and the fabric's route/serve
+     * phases).  A host measurement like --timing: the profile feeds
+     * the timing-gated JSON fields and bench columns only, so the
+     * deterministic JSON stays byte-identical.
+     */
+    bool profile = false;
+    /**
      * Worker lanes each hierarchical machine ticks its clusters on
      * (the kernel's parallel shard group).  Applied process-wide via
      * setDefaultShards() so custom experiment points that construct
@@ -100,7 +108,8 @@ struct SessionOptions
  * Parse and remove the engine flags (`--jobs N`, `--json PATH`,
  * `--timing`, `--no-skip`, `--no-lookahead`, `--no-snoop-filter`,
  * `--trace-out FILE`, `--trace-categories LIST`, `--histograms`,
- * `--sample-every N`, `--shards N`) from an argv vector.
+ * `--sample-every N`, `--profile`, `--shards N`) from an argv
+ * vector.
  *
  * Unrecognized arguments are left in place (benches forward them to
  * google-benchmark).  Exits with an error message on malformed

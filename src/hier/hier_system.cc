@@ -52,7 +52,8 @@ HierSystem::HierSystem(const HierConfig &config)
                    "home_nodes > 1 needs GlobalKind::Directory");
         memory = std::make_unique<Memory>(globalStats);
         globalBus = std::make_unique<Bus>(*memory, config.arbiter,
-                                          clock, globalStats,
+                                          globalShard->localClock(),
+                                          globalStats,
                                           config.arbiter_seed, 1, 0,
                                           config.snoop_filter);
         globalShard->addComponent(globalBus.get());
@@ -73,21 +74,25 @@ HierSystem::HierSystem(const HierConfig &config)
             clusterCaches.back()->connectGlobal(*fabric);
         else
             clusterCaches.back()->connectGlobal(*globalBus);
-        clusterBuses.push_back(std::make_unique<Bus>(
-            *clusterCaches.back(), config.arbiter, clock,
-            *clusterStats.back(),
-            config.arbiter_seed + static_cast<std::uint64_t>(c) + 1,
-            1, 0, config.snoop_filter));
+        // Cluster-resident components stamp observability output from
+        // the shard-local clock: inside a lookahead window the shared
+        // clock is frozen at the window base, and only the shard
+        // knows the cycle it is actually ticking.
         Shard &shard = kernel.makeShard(
             config.arbiter_seed,
             static_cast<std::size_t>(config.pes_per_cluster));
         clusterShards.push_back(&shard);
+        clusterBuses.push_back(std::make_unique<Bus>(
+            *clusterCaches.back(), config.arbiter, shard.localClock(),
+            *clusterStats.back(),
+            config.arbiter_seed + static_cast<std::uint64_t>(c) + 1,
+            1, 0, config.snoop_filter));
         shard.addComponent(clusterBuses.back().get());
 
         for (int p = 0; p < config.pes_per_cluster; p++) {
             PeId pe = c * config.pes_per_cluster + p;
             l1s.push_back(std::make_unique<Cache>(
-                pe, config.cache_lines, *protocol, clock,
+                pe, config.cache_lines, *protocol, shard.localClock(),
                 *l1Stats.back(), log));
             l1s.back()->connectBus(*clusterBuses.back());
             l1s.back()->setWakeFlag(
@@ -98,22 +103,37 @@ HierSystem::HierSystem(const HierConfig &config)
     agents.resize(static_cast<std::size_t>(numPes()));
 
     // Bus track 0 is the global bus; cluster c's bus is track 1 + c.
-    recorder = obs::makeRecorder(config.histograms, 0);
+    // Observability streams are sharded like the kernel: the serial
+    // (global) shard writes stream 0 and cluster c writes stream
+    // 1 + c, each single-writer at any lane count — so tracing and
+    // histograms no longer pin the run to one lane (see DESIGN.md,
+    // "The observability contract").
+    recorder = obs::makeRecorder(
+        config.histograms, 0,
+        static_cast<std::size_t>(1 + config.num_clusters));
     obs::CounterSampler *sampler = nullptr;
     if (recorder) {
-        // One recorder collects from every cluster; keep its feed
-        // single-threaded.
-        kernel.forceSequential();
-        // The directory fabric has no bus-track observer; the global
-        // track stays empty in directory mode.
         if (globalBus)
-            globalBus->setObserver(recorder.get(), 0);
+            globalBus->setObserver(recorder.get(), 0, 0);
+        // The directory fabric traces on its own "Homes" track
+        // (category dir) instead of a bus track.
+        if (fabric)
+            fabric->setObserver(recorder.get(),
+                                &globalShard->localClock());
         for (int c = 0; c < config.num_clusters; c++)
             clusterBuses[static_cast<std::size_t>(c)]->setObserver(
-                recorder.get(), 1 + c);
-        for (auto &l1_cache : l1s)
-            l1_cache->setObserver(recorder.get());
+                recorder.get(), 1 + c,
+                static_cast<std::size_t>(1 + c));
+        for (PeId pe = 0; pe < numPes(); pe++)
+            l1s[static_cast<std::size_t>(pe)]->setObserver(
+                recorder.get(),
+                static_cast<std::size_t>(1 + clusterOf(pe)));
         kernel.setQuiesceSink(recorder->trace(obs::Category::Quiesce));
+        if (recorder->trace(obs::Category::Kernel) != nullptr)
+            kernel.setKernelTrace(recorder->sink());
+        kernel.setProfile(recorder->profile());
+        if (fabric)
+            fabric->setProfile(recorder->profile());
         sampler = recorder->sampler();
         kernel.setSampler(sampler);
     }
@@ -131,7 +151,45 @@ HierSystem::HierSystem(const HierConfig &config)
                 "cluster" + std::to_string(c) + ".busy_cycles",
                 [cluster, busy](Cycle) { return cluster->get(busy); });
         }
+        if (fabric) {
+            dir::DirectoryFabric *fab = fabric.get();
+            // Sampling doubles as the dir_occupancy histogram feed:
+            // every row's block count is one occupancy observation.
+            obs::RunMetrics *dir_metrics =
+                config.histograms ? recorder->metricsLane(0) : nullptr;
+            sampler->addColumn(
+                "dir.blocks", [fab, dir_metrics](Cycle) {
+                    auto blocks = static_cast<std::uint64_t>(
+                        fab->directoryBlocks());
+                    if (dir_metrics)
+                        dir_metrics->dir_occupancy.sample(blocks);
+                    return blocks;
+                });
+            sampler->addColumn("dir.home_msgs.max", [fab](Cycle) {
+                return fab->maxHomeMessages();
+            });
+            sampler->addColumn("dir.home_msgs.mean", [fab](Cycle) {
+                return static_cast<std::uint64_t>(
+                    fab->meanHomeMessages());
+            });
+        }
     }
+}
+
+double
+HierSystem::kernelBarrierWaitMs() const
+{
+    const obs::PhaseProfile *profile =
+        recorder ? recorder->profile() : nullptr;
+    return profile ? profile->kernel_barrier_ms : 0.0;
+}
+
+double
+HierSystem::kernelTickPhaseMs() const
+{
+    const obs::PhaseProfile *profile =
+        recorder ? recorder->profile() : nullptr;
+    return profile ? profile->kernel_tick_ms : 0.0;
 }
 
 void

@@ -175,14 +175,17 @@ class HierSystem
         return kernel.meanLookaheadWindow();
     }
 
-    /** Opt into kernel phase timing (bench hook; host-side only). */
-    void enableKernelPhaseTiming() { kernel.enablePhaseTiming(); }
+    /** Host worker lanes the next run() will use (>= 1). */
+    int workerLanes() const { return kernel.workerLanes(); }
 
-    /** Wall ms the coordinator spent waiting at barriers. */
-    double kernelBarrierWaitMs() const { return kernel.barrierWaitMs(); }
+    /**
+     * Wall ms the coordinator spent waiting at barriers (0 unless
+     * phase profiling is on — the --profile flag).
+     */
+    double kernelBarrierWaitMs() const;
 
     /** Wall ms the coordinator spent ticking its own lane. */
-    double kernelTickPhaseMs() const { return kernel.tickPhaseMs(); }
+    double kernelTickPhaseMs() const;
 
     bool allDone() const;
     Cycle now() const { return clock.now; }

@@ -1,7 +1,12 @@
 #include "obs/recorder.hh"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 namespace ddc {
 namespace obs {
@@ -17,6 +22,7 @@ bool traceClaimed = false;
 
 std::atomic<bool> histogramsFlag{false};
 std::atomic<Cycle> sampleEveryFlag{0};
+std::atomic<bool> profilingFlag{false};
 
 } // namespace
 
@@ -53,101 +59,205 @@ sampleInterval()
     return sampleEveryFlag.load(std::memory_order_relaxed);
 }
 
-Recorder::Recorder(std::unique_ptr<TraceSink> trace_sink,
-                   bool histograms, Cycle sample_every)
-    : sink(std::move(trace_sink))
+void
+setPhaseProfilingEnabled(bool enabled)
 {
-    if (histograms)
-        runMetrics = std::make_unique<RunMetrics>();
+    profilingFlag.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+phaseProfilingEnabled()
+{
+    return profilingFlag.load(std::memory_order_relaxed);
+}
+
+Recorder::Recorder(std::unique_ptr<TraceSink> trace_sink,
+                   bool histograms, Cycle sample_every,
+                   std::size_t shards, bool profiling)
+    : traceSink(std::move(trace_sink)), histogramsOn(histograms)
+{
+    if (shards < 1)
+        shards = 1;
+    if (histogramsOn) {
+        for (std::size_t i = 0; i < shards; i++)
+            metricsLanes.push_back(std::make_unique<RunMetrics>());
+    }
     if (sample_every > 0)
         counterSampler =
             std::make_unique<CounterSampler>(sample_every);
+    if (wantsLockEvents()) {
+        for (std::size_t i = 0; i < shards; i++)
+            lockLanes.push_back(std::make_unique<LockLog>());
+    }
+    if (profiling)
+        phaseProfile = std::make_unique<PhaseProfile>();
+    if (traceSink)
+        traceSink->buffer(shards - 1);
+}
+
+Recorder::~Recorder()
+{
+    // Member destruction then writes the trace file (traceSink is
+    // the first-declared member, so it goes down last) with the
+    // replayed lock track already in place.
+    flushLockTrace();
+}
+
+RunMetrics *
+Recorder::metricsLane(std::size_t shard)
+{
+    if (!histogramsOn)
+        return nullptr;
+    while (metricsLanes.size() <= shard)
+        metricsLanes.push_back(std::make_unique<RunMetrics>());
+    return metricsLanes[shard].get();
+}
+
+RunMetrics *
+Recorder::metrics()
+{
+    if (!histogramsOn)
+        return nullptr;
+    mergedMetrics = RunMetrics{};
+    for (const auto &lane : metricsLanes)
+        mergedMetrics.merge(*lane);
+    replayLocks(&mergedMetrics, nullptr);
+    return &mergedMetrics;
+}
+
+LockLog *
+Recorder::lockLane(std::size_t shard)
+{
+    if (!wantsLockEvents())
+        return nullptr;
+    while (lockLanes.size() <= shard)
+        lockLanes.push_back(std::make_unique<LockLog>());
+    return lockLanes[shard].get();
 }
 
 void
-Recorder::lockAttempt(PeId pe, Addr addr, Cycle now, bool success)
+Recorder::flushLockTrace()
 {
-    knownLocks.insert(addr);
-    TraceSink *lock_trace = trace(Category::Lock);
-    auto key = std::make_pair(pe, addr);
-    auto episode = spinning.find(key);
+    if (lockTraceFlushed)
+        return;
+    lockTraceFlushed = true;
+    if (TraceBuffer *lock_trace = trace(Category::Lock))
+        replayLocks(nullptr, lock_trace);
+}
 
-    if (!success) {
-        if (episode == spinning.end()) {
-            spinning.emplace(key, now);
+void
+Recorder::replayLocks(RunMetrics *into,
+                      TraceBuffer *lock_trace) const
+{
+    // Merge the per-shard logs into the serial kernel's emission
+    // order: stable sort by cycle, shard index breaking ties (shard
+    // 0 ticks first within a cycle, then the clusters in order).
+    std::vector<const LockEvent *> order;
+    for (const auto &lane : lockLanes) {
+        for (const LockEvent &event : lane->entries())
+            order.push_back(&event);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const LockEvent *a, const LockEvent *b) {
+                         return a->cycle < b->cycle;
+                     });
+
+    /** Addresses that have carried an RMW (lock-word heuristic). */
+    std::unordered_set<Addr> known;
+    /** Open spin episodes: (pe, lock addr) -> first-failure cycle. */
+    std::map<std::pair<PeId, Addr>, Cycle> spinning;
+    /** Pending hand-offs: lock addr -> release cycle. */
+    std::unordered_map<Addr, Cycle> lastRelease;
+
+    for (const LockEvent *event : order) {
+        if (event->kind == 2) {
+            // A release only counts once the address is known to
+            // behave like a lock word.
+            if (known.find(event->addr) == known.end())
+                continue;
+            lastRelease[event->addr] = event->cycle;
             if (lock_trace) {
-                TraceEvent event;
-                event.ts = now;
-                event.name = "spin";
-                event.addr = addr;
-                event.has_addr = true;
-                event.phase = 'B';
-                event.track = kTrackLocks;
-                event.tid = pe;
-                lock_trace->push(event);
+                TraceEvent out;
+                out.ts = event->cycle;
+                out.name = "release";
+                out.addr = event->addr;
+                out.has_addr = true;
+                out.track = kTrackLocks;
+                out.tid = event->pe;
+                lock_trace->push(out);
+            }
+            continue;
+        }
+
+        known.insert(event->addr);
+        auto key = std::make_pair(event->pe, event->addr);
+        auto episode = spinning.find(key);
+
+        if (event->kind == 0) {
+            // A failed attempt opens (or extends) a spin episode.
+            if (episode == spinning.end()) {
+                spinning.emplace(key, event->cycle);
+                if (lock_trace) {
+                    TraceEvent out;
+                    out.ts = event->cycle;
+                    out.name = "spin";
+                    out.addr = event->addr;
+                    out.has_addr = true;
+                    out.phase = 'B';
+                    out.track = kTrackLocks;
+                    out.tid = event->pe;
+                    lock_trace->push(out);
+                }
+            }
+            continue;
+        }
+
+        // A successful RMW closes the episode, samples the acquire
+        // latency, and — when a release was seen since the last
+        // acquire — the hand-off gap.
+        Cycle waited = 0;
+        if (episode != spinning.end()) {
+            waited = event->cycle - episode->second;
+            spinning.erase(episode);
+            if (lock_trace) {
+                TraceEvent out;
+                out.ts = event->cycle;
+                out.name = "spin";
+                out.phase = 'E';
+                out.track = kTrackLocks;
+                out.tid = event->pe;
+                lock_trace->push(out);
             }
         }
-        return;
-    }
+        if (into)
+            into->lock_acquire.sample(waited);
 
-    Cycle waited = 0;
-    if (episode != spinning.end()) {
-        waited = now - episode->second;
-        spinning.erase(episode);
-        if (lock_trace) {
-            TraceEvent event;
-            event.ts = now;
-            event.name = "spin";
-            event.phase = 'E';
-            event.track = kTrackLocks;
-            event.tid = pe;
-            lock_trace->push(event);
+        auto release = lastRelease.find(event->addr);
+        if (release != lastRelease.end()) {
+            if (into)
+                into->lock_handoff.sample(event->cycle -
+                                          release->second);
+            lastRelease.erase(release);
         }
-    }
-    if (runMetrics)
-        runMetrics->lock_acquire.sample(waited);
 
-    auto release = lastRelease.find(addr);
-    if (release != lastRelease.end()) {
-        if (runMetrics)
-            runMetrics->lock_handoff.sample(now - release->second);
-        lastRelease.erase(release);
-    }
-
-    if (lock_trace) {
-        TraceEvent event;
-        event.ts = now;
-        event.name = "acquire";
-        event.addr = addr;
-        event.has_addr = true;
-        event.value = static_cast<std::int64_t>(waited);
-        event.value_name = "spin_cycles";
-        event.track = kTrackLocks;
-        event.tid = pe;
-        lock_trace->push(event);
-    }
-}
-
-void
-Recorder::lockRelease(PeId pe, Addr addr, Cycle now)
-{
-    if (knownLocks.find(addr) == knownLocks.end())
-        return;
-    lastRelease[addr] = now;
-    if (TraceSink *lock_trace = trace(Category::Lock)) {
-        TraceEvent event;
-        event.ts = now;
-        event.name = "release";
-        event.addr = addr;
-        event.has_addr = true;
-        event.track = kTrackLocks;
-        event.tid = pe;
-        lock_trace->push(event);
+        if (lock_trace) {
+            TraceEvent out;
+            out.ts = event->cycle;
+            out.name = "acquire";
+            out.addr = event->addr;
+            out.has_addr = true;
+            out.value = static_cast<std::int64_t>(waited);
+            out.value_name = "spin_cycles";
+            out.track = kTrackLocks;
+            out.tid = event->pe;
+            lock_trace->push(out);
+        }
     }
 }
 
 std::unique_ptr<Recorder>
-makeRecorder(bool config_histograms, Cycle config_sample_every)
+makeRecorder(bool config_histograms, Cycle config_sample_every,
+             std::size_t shards)
 {
     std::unique_ptr<TraceSink> sink;
     {
@@ -161,11 +271,13 @@ makeRecorder(bool config_histograms, Cycle config_sample_every)
     bool histograms = config_histograms || histogramsEnabled();
     Cycle sample_every = config_sample_every > 0 ? config_sample_every
                                                  : sampleInterval();
+    bool profiling = phaseProfilingEnabled();
 
-    if (!sink && !histograms && sample_every == 0)
+    if (!sink && !histograms && sample_every == 0 && !profiling)
         return nullptr;
     return std::make_unique<Recorder>(std::move(sink), histograms,
-                                      sample_every);
+                                      sample_every, shards,
+                                      profiling);
 }
 
 } // namespace obs

@@ -67,6 +67,13 @@ class CounterSampler
     bool due(Cycle now) const { return every > 0 && now >= next; }
 
     /**
+     * The next scheduled sample cycle.  The kernel clamps quiescent
+     * skips and lookahead windows to this bound so rows land exactly
+     * on the sampling grid regardless of lane count.
+     */
+    Cycle nextAt() const { return next; }
+
+    /**
      * Record one row at @p now and schedule the next sample.  Safe
      * to call after a quiescent skip jumped past several points: one
      * row is recorded and the schedule realigns to the grid.

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <iostream>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 namespace ddc {
@@ -23,6 +24,8 @@ constexpr CategoryName kCategoryNames[] = {
     {"lock", Category::Lock},
     {"miss", Category::Miss},
     {"quiesce", Category::Quiesce},
+    {"dir", Category::Dir},
+    {"kernel", Category::Kernel},
 };
 
 /** Minimal JSON string escaping; names are ASCII by construction. */
@@ -63,6 +66,8 @@ trackName(std::int32_t track)
       case kTrackBuses: return "Buses";
       case kTrackLocks: return "Locks";
       case kTrackSim: return "Sim";
+      case kTrackHomes: return "Homes";
+      case kTrackKernel: return "Kernel";
       default: return "Track";
     }
 }
@@ -75,8 +80,17 @@ tidPrefix(std::int32_t track)
       case kTrackBuses: return "bus";
       case kTrackLocks: return "pe";
       case kTrackSim: return "sim";
+      case kTrackHomes: return "home";
+      case kTrackKernel: return "lane";
       default: return "t";
     }
+}
+
+bool
+isQuiesceSpan(const TraceEvent &event)
+{
+    return event.phase == 'X' && event.track == kTrackSim &&
+           event.name == "quiesce";
 }
 
 } // namespace
@@ -131,6 +145,7 @@ categoryNames(std::uint32_t mask)
 TraceSink::TraceSink(std::uint32_t categories, std::string path)
     : mask(categories), outPath(std::move(path))
 {
+    lanes.push_back(std::make_unique<TraceBuffer>());
 }
 
 TraceSink::~TraceSink()
@@ -141,28 +156,83 @@ TraceSink::~TraceSink()
                   << "'\n";
 }
 
+TraceBuffer *
+TraceSink::buffer(std::size_t index)
+{
+    while (lanes.size() <= index)
+        lanes.push_back(std::make_unique<TraceBuffer>());
+    return lanes[index].get();
+}
+
+TraceBuffer *
+TraceSink::newBuffer()
+{
+    lanes.push_back(std::make_unique<TraceBuffer>());
+    return lanes.back().get();
+}
+
+std::size_t
+TraceSink::size() const
+{
+    std::size_t total = 0;
+    for (const auto &lane : lanes)
+        total += lane->size();
+    return total;
+}
+
 void
 TraceSink::write(std::ostream &os) const
 {
-    // Chrome requires a non-decreasing timestamp stream; same-cycle
-    // events must keep emission order (a B at cycle t sorts before
-    // its same-cycle E only because emission order says so).
-    std::vector<const TraceEvent *> order;
-    order.reserve(events.size());
-    for (const TraceEvent &event : events)
-        order.push_back(&event);
-    std::stable_sort(order.begin(), order.end(),
-                     [](const TraceEvent *a, const TraceEvent *b) {
-                         return a->ts < b->ts;
+    // Merge the per-shard buffers deterministically: concatenate in
+    // buffer order, then stable-sort by (ts, track, tid).  Chrome
+    // requires a non-decreasing timestamp stream; the track tiebreak
+    // fixes the cross-buffer interleave so the merge does not depend
+    // on how shards were spread over worker lanes, and same-key
+    // events keep buffer order (a B at cycle t sorts before its
+    // same-cycle E because its single writing buffer emitted it
+    // first).
+    std::vector<TraceEvent> merged;
+    merged.reserve(size());
+    for (const auto &lane : lanes) {
+        merged.insert(merged.end(), lane->entries().begin(),
+                      lane->entries().end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return std::tie(a.ts, a.track, a.tid) <
+                                std::tie(b.ts, b.track, b.tid);
                      });
+
+    // Coalesce abutting quiescent-skip spans into maximal
+    // machine-quiescent intervals.  The sequential kernel and the
+    // lookahead-window kernel skip the same quiescent cycle set but
+    // chop it at different boundaries (window edges, sampler
+    // clamps); gluing [a,b)+[b,c) -> [a,c) makes the written trace
+    // independent of that chopping.
+    std::size_t out = 0;
+    std::size_t last_quiesce = merged.size();
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        if (isQuiesceSpan(merged[i]) && last_quiesce < out &&
+            merged[last_quiesce].ts + merged[last_quiesce].dur ==
+                merged[i].ts) {
+            merged[last_quiesce].dur += merged[i].dur;
+            continue;
+        }
+        if (isQuiesceSpan(merged[i]))
+            last_quiesce = out;
+        if (out != i)
+            merged[out] = merged[i];
+        ++out;
+    }
+    merged.resize(out);
 
     os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n";
 
     // Name every track that carries events so Perfetto shows
     // "PEs/pe 0", "Buses/bus 1", ... instead of bare numbers.
     std::vector<std::pair<std::int32_t, std::int32_t>> tracks;
-    for (const TraceEvent *event : order)
-        tracks.emplace_back(event->track, event->tid);
+    for (const TraceEvent &event : merged)
+        tracks.emplace_back(event.track, event.tid);
     std::sort(tracks.begin(), tracks.end());
     tracks.erase(std::unique(tracks.begin(), tracks.end()),
                  tracks.end());
@@ -195,47 +265,47 @@ TraceSink::write(std::ostream &os) const
     };
 
     Cycle max_ts = 0;
-    for (const TraceEvent *event : order) {
-        max_ts = std::max(max_ts, event->ts + event->dur);
-        if (event->phase == 'B')
-            ++depthOf(event->track, event->tid);
-        else if (event->phase == 'E')
-            --depthOf(event->track, event->tid);
+    for (const TraceEvent &event : merged) {
+        max_ts = std::max(max_ts, event.ts + event.dur);
+        if (event.phase == 'B')
+            ++depthOf(event.track, event.tid);
+        else if (event.phase == 'E')
+            --depthOf(event.track, event.tid);
 
         if (!first)
             os << ",\n";
         first = false;
         os << "    {\"name\": ";
-        writeJsonString(os, event->name);
-        os << ", \"ph\": \"" << event->phase << "\", \"ts\": "
-           << event->ts;
-        if (event->phase == 'X')
-            os << ", \"dur\": " << event->dur;
-        if (event->phase == 'i')
+        writeJsonString(os, event.name);
+        os << ", \"ph\": \"" << event.phase << "\", \"ts\": "
+           << event.ts;
+        if (event.phase == 'X')
+            os << ", \"dur\": " << event.dur;
+        if (event.phase == 'i')
             os << ", \"s\": \"t\"";
-        os << ", \"pid\": " << event->track << ", \"tid\": "
-           << event->tid;
-        bool has_args = event->detail || event->has_addr ||
-                        event->value_name;
+        os << ", \"pid\": " << event.track << ", \"tid\": "
+           << event.tid;
+        bool has_args = event.detail || event.has_addr ||
+                        event.value_name;
         if (has_args) {
             os << ", \"args\": {";
             bool first_arg = true;
-            if (event->detail) {
+            if (event.detail) {
                 os << "\"detail\": ";
-                writeJsonString(os, event->detail);
+                writeJsonString(os, event.detail);
                 first_arg = false;
             }
-            if (event->has_addr) {
+            if (event.has_addr) {
                 if (!first_arg)
                     os << ", ";
-                os << "\"addr\": " << event->addr;
+                os << "\"addr\": " << event.addr;
                 first_arg = false;
             }
-            if (event->value_name) {
+            if (event.value_name) {
                 if (!first_arg)
                     os << ", ";
-                os << '"' << event->value_name
-                   << "\": " << event->value;
+                os << '"' << event.value_name
+                   << "\": " << event.value;
             }
             os << '}';
         }

@@ -1,13 +1,22 @@
 /**
  * @file
- * Structured event tracing: categories, events, and the TraceSink
- * that buffers them and writes Chrome trace-event JSON.
+ * Structured event tracing: categories, events, per-shard buffers,
+ * and the TraceSink that merges them and writes Chrome trace-event
+ * JSON.
  *
  * Components never talk to the sink directly when tracing is off:
- * every emission site holds a TraceSink pointer that is null unless
+ * every emission site holds a TraceBuffer pointer that is null unless
  * its category was enabled, so the disabled path costs exactly one
  * pointer test — no heap traffic, no string formatting, no virtual
  * calls (the zero-overhead-when-off contract; see DESIGN.md).
+ *
+ * Shard safety: the sink owns one private TraceBuffer per shard
+ * (plus any lane-local buffers the kernel requests), so parallel
+ * phases append without locks.  The writer concatenates the buffers
+ * in index order and stable-sorts by (ts, track, tid); because every
+ * (track, tid) pair is written by exactly one buffer, the merged
+ * stream is deterministic — independent of worker-lane count — and a
+ * sharded run's trace file is byte-identical to the sequential one.
  *
  * Event names and detail strings must have static storage duration:
  * the sink stores the pointers, not copies, so the hot path never
@@ -20,6 +29,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,7 +42,7 @@ namespace obs {
 /**
  * Trace event categories, one bit each (--trace-categories).
  * Category filtering is resolved once at System construction into
- * per-component sink pointers, so a disabled category is a null
+ * per-component buffer pointers, so a disabled category is a null
  * pointer at the emission site, not a runtime mask test per event.
  */
 enum class Category : std::uint32_t {
@@ -46,14 +56,27 @@ enum class Category : std::uint32_t {
     Miss = 1u << 3,
     /** Quiescent-skip intervals (next-event time advance). */
     Quiesce = 1u << 4,
+    /** Directory-fabric home traffic: grants, fwd/inval/ack, NACKs. */
+    Dir = 1u << 5,
+    /**
+     * Kernel self-profiling: per-lane tick spans, barrier waits, and
+     * the lookahead-window counter track.  Deliberately NOT part of
+     * "all": these events depend on the host lane count, so enabling
+     * them forfeits the byte-identical-across---shards guarantee the
+     * simulation categories keep.
+     */
+    Kernel = 1u << 6,
 };
 
-/** Every category enabled (the --trace-categories default). */
-inline constexpr std::uint32_t kAllCategories = 0x1F;
+/**
+ * Every simulation category enabled (the --trace-categories
+ * default).  Excludes Kernel, which is host-dependent by design.
+ */
+inline constexpr std::uint32_t kAllCategories = 0x3F;
 
 /**
  * Parse a comma-separated category list ("bus,state,lock,miss,
- * quiesce", or "all") into a bitmask.
+ * quiesce,dir,kernel", or "all") into a bitmask.
  * @return 0 on a malformed list; @p error (when non-null) receives
  *         the offending token.
  */
@@ -65,13 +88,15 @@ std::string categoryNames(std::uint32_t mask);
 
 /**
  * Track groups (Chrome "pid"); the track id ("tid") within a group is
- * the PE or bus index.  One track per PE and one per bus, as the
- * Perfetto view expects.
+ * the PE, bus, home-node, or lane index.  One track per PE, one per
+ * bus, one per directory home, as the Perfetto view expects.
  */
 inline constexpr std::int32_t kTrackPes = 1;
 inline constexpr std::int32_t kTrackBuses = 2;
 inline constexpr std::int32_t kTrackLocks = 3;
 inline constexpr std::int32_t kTrackSim = 4;
+inline constexpr std::int32_t kTrackHomes = 5;
+inline constexpr std::int32_t kTrackKernel = 6;
 
 /** One buffered trace event (1 simulated cycle == 1 trace us). */
 struct TraceEvent
@@ -89,7 +114,10 @@ struct TraceEvent
     /** Optional numeric arg, emitted when value_name is non-null. */
     std::int64_t value = 0;
     const char *value_name = nullptr;
-    /** 'B' begin, 'E' end, 'X' complete (with dur), 'i' instant. */
+    /**
+     * 'B' begin, 'E' end, 'X' complete (with dur), 'i' instant,
+     * 'C' counter (value under value_name).
+     */
     char phase = 'i';
     /** Track group (kTrackPes / kTrackBuses / ...). */
     std::int32_t track = kTrackPes;
@@ -98,14 +126,42 @@ struct TraceEvent
 };
 
 /**
- * Buffers events in memory and serializes them as a Chrome
- * trace-event JSON document on destruction (or via writeFile()).
+ * One shard's (or lane's) private append-only event buffer.  A
+ * buffer has exactly one writer at a time — the shard that owns it —
+ * so push() needs no synchronization.  Buffers are created and read
+ * only by the owning TraceSink.
+ */
+class TraceBuffer
+{
+  public:
+    /** Append one event (hot path while tracing; append-only). */
+    void push(const TraceEvent &event) { events.push_back(event); }
+
+    std::size_t size() const { return events.size(); }
+
+    const std::vector<TraceEvent> &entries() const { return events; }
+
+  private:
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Owns the per-shard TraceBuffers and serializes their merged event
+ * stream as a Chrome trace-event JSON document on destruction (or
+ * via writeFile()).
  *
  * The writer emits process/thread metadata naming every track,
- * stable-sorts events by timestamp (Chrome requires non-decreasing
- * ts; same-cycle events keep emission order), and balances duration
- * pairs by synthesizing an 'E' at the final timestamp for any span
- * still open when the run ended (e.g. a timed-out miss).
+ * concatenates the buffers in index order, stable-sorts by
+ * (ts, track, tid) — Chrome requires non-decreasing ts; the track
+ * tiebreak makes the merge independent of which shard's buffer an
+ * event sat in; same-key events keep buffer order, and every
+ * (track, tid) pair has a single writing buffer, so the result is
+ * deterministic.  Abutting quiescent-skip spans are coalesced into
+ * maximal machine-quiescent intervals (the sequential and windowed
+ * kernels chop the same quiescent cycles at different boundaries),
+ * and duration pairs are balanced by synthesizing an 'E' at the
+ * final timestamp for any span still open when the run ended (e.g. a
+ * timed-out miss).
  */
 class TraceSink
 {
@@ -134,11 +190,24 @@ class TraceSink
 
     const std::string &path() const { return outPath; }
 
-    /** Append one event (hot path while tracing; append-only). */
-    void push(const TraceEvent &event) { events.push_back(event); }
+    /** Append one event to the shard-0 buffer (serial phases). */
+    void push(const TraceEvent &event) { lanes[0]->push(event); }
 
-    /** Number of buffered events. */
-    std::size_t size() const { return events.size(); }
+    /**
+     * The buffer for shard @p index, created on first use.  Call
+     * only from wiring or serial phases (growth is not thread safe);
+     * the returned buffer may then be written by its owning shard.
+     */
+    TraceBuffer *buffer(std::size_t index);
+
+    /**
+     * Append a fresh anonymous buffer (kernel lane-local streams).
+     * Serial phases only.
+     */
+    TraceBuffer *newBuffer();
+
+    /** Total number of buffered events across all buffers. */
+    std::size_t size() const;
 
     /** Serialize the Chrome trace-event document to @p os. */
     void write(std::ostream &os) const;
@@ -153,7 +222,7 @@ class TraceSink
     std::uint32_t mask;
     std::string outPath;
     bool written = false;
-    std::vector<TraceEvent> events;
+    std::vector<std::unique_ptr<TraceBuffer>> lanes;
 };
 
 } // namespace obs

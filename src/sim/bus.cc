@@ -330,13 +330,13 @@ Bus::revertToFullSnoop()
 }
 
 void
-Bus::setObserver(obs::Recorder *recorder, int bus_id)
+Bus::setObserver(obs::Recorder *recorder, int bus_id,
+                 std::size_t shard)
 {
     busId = bus_id;
-    busTrace =
-        recorder ? recorder->trace(obs::Category::Bus) : nullptr;
-    lockRec =
-        recorder && recorder->wantsLockEvents() ? recorder : nullptr;
+    busTrace = recorder ? recorder->trace(obs::Category::Bus, shard)
+                        : nullptr;
+    lockRec = recorder ? recorder->lockLane(shard) : nullptr;
 }
 
 void
@@ -531,7 +531,7 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             traceComplete(toString(request.op), request.addr, grant,
                           wordCost());
         if (lockRec)
-            lockRec->lockAttempt(pe, request.addr, clock.now, true);
+            lockRec->attempt(pe, request.addr, clock.now, true);
         occupy(wordCost());
         broadcast({BusOp::Read, request.addr, data, grant, {}}, grant);
         grantee->requestComplete({data, false, {}});
@@ -549,7 +549,7 @@ Bus::executeReadLike(int grant, const BusRequest &request)
             traceComplete(toString(request.op), request.addr, grant,
                           wordCost(), success ? "success" : "fail");
         if (lockRec)
-            lockRec->lockAttempt(pe, request.addr, clock.now, success);
+            lockRec->attempt(pe, request.addr, clock.now, success);
         occupy(wordCost());
         if (success) {
             stats.add(statRmwSuccess);
@@ -666,9 +666,9 @@ Bus::nack(int grant, const BusRequest &request)
     // word is locked by another PE's two-phase RMW).
     if (lockRec &&
         (request.op == BusOp::Rmw || request.op == BusOp::ReadLock))
-        lockRec->lockAttempt(clients[static_cast<std::size_t>(grant)]
-                                 ->peId(),
-                             request.addr, clock.now, false);
+        lockRec->attempt(clients[static_cast<std::size_t>(grant)]
+                             ->peId(),
+                         request.addr, clock.now, false);
     clients[static_cast<std::size_t>(grant)]->requestNacked();
 }
 

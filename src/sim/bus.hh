@@ -192,7 +192,11 @@ class Bus : public GlobalFabric, public Tickable
      *        a flat machine, a cluster cache on the hierarchical one;
      *        a not-ready side NACKs and the transaction retries).
      * @param arbiter_kind Arbitration policy.
-     * @param clock Shared cycle counter (read-only use).
+     * @param clock Cycle counter to stamp observability output from
+     *        (read-only use).  Pass the owning shard's localClock():
+     *        inside a lookahead window the machine clock is frozen at
+     *        the window base, and only the shard-local clock carries
+     *        the cycle actually being ticked.
      * @param stats Counter set receiving bus.* statistics.
      * @param seed Seed for the Random arbitration policy.
      * @param block_words Words per cache block (block transfers
@@ -292,11 +296,15 @@ class Bus : public GlobalFabric, public Tickable
 
     /**
      * Attach observability (trace events on the "bus @p bus_id"
-     * track, lock acquire/release episodes).  @p recorder may be
-     * null; the cached per-category pointers keep the disabled path
-     * at one null test per emission site.
+     * track, raw lock attempt events).  @p recorder may be null; the
+     * cached per-category pointers keep the disabled path at one
+     * null test per emission site.  @p shard is the machine shard
+     * this bus ticks on (0 = the serial shard): the bus writes that
+     * shard's private trace buffer and lock log, so parallel lanes
+     * never share a stream.
      */
-    void setObserver(obs::Recorder *recorder, int bus_id);
+    void setObserver(obs::Recorder *recorder, int bus_id,
+                     std::size_t shard = 0);
 
     /** Advance one cycle (at most one new transaction begins). */
     void tick() override;
@@ -500,10 +508,10 @@ class Bus : public GlobalFabric, public Tickable
     /** Active-filter reverts to full snooping (see snoopFilterFallbacks). */
     std::uint64_t fallbackCount = 0;
 
-    /** Bus-category trace sink (null when not traced). */
-    obs::TraceSink *busTrace = nullptr;
-    /** Lock-episode recorder (null when lock events are off). */
-    obs::Recorder *lockRec = nullptr;
+    /** Bus-category trace buffer (null when not traced). */
+    obs::TraceBuffer *busTrace = nullptr;
+    /** This shard's lock log (null when lock events are off). */
+    obs::LockLog *lockRec = nullptr;
     /** Trace track id (bus index within the System). */
     std::int32_t busId = 0;
 

@@ -146,15 +146,16 @@ Cache::setArmed(bool is_armed)
 }
 
 void
-Cache::setObserver(obs::Recorder *recorder)
+Cache::setObserver(obs::Recorder *recorder, std::size_t shard)
 {
     stateTrace =
-        recorder ? recorder->trace(obs::Category::State) : nullptr;
+        recorder ? recorder->trace(obs::Category::State, shard)
+                 : nullptr;
     missTrace =
-        recorder ? recorder->trace(obs::Category::Miss) : nullptr;
-    metrics = recorder ? recorder->metrics() : nullptr;
-    lockRec = recorder && recorder->wantsLockEvents() ? recorder
-                                                      : nullptr;
+        recorder ? recorder->trace(obs::Category::Miss, shard)
+                 : nullptr;
+    metrics = recorder ? recorder->metricsLane(shard) : nullptr;
+    lockRec = recorder ? recorder->lockLane(shard) : nullptr;
     if (stateTrace)
         stateCause = "cpu";
 }
@@ -374,7 +375,7 @@ Cache::cpuAccess(const MemRef &ref)
     // (a Local line under a write-back scheme never hits the bus).
     if (lockRec &&
         (ref.op == CpuOp::Write || ref.op == CpuOp::WriteUnlock))
-        lockRec->lockRelease(pe, ref.addr, clock.now);
+        lockRec->release(pe, ref.addr, clock.now);
     if (metrics && ref.op == CpuOp::Write &&
         holdsBlock(line, ref.addr)) {
         if (line.last_write != kNever)

@@ -35,6 +35,16 @@ elapsedMs(std::chrono::steady_clock::time_point from,
     return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
+/** Wall us between two steady-clock points (kernel trace args). */
+std::int64_t
+elapsedUs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               to - from)
+        .count();
+}
+
 } // namespace
 
 void
@@ -114,6 +124,14 @@ Kernel::workerLanes() const
 void
 Kernel::tickOnce()
 {
+    // Every shard is synced before the serial phase, not just before
+    // its own tick: a serial-phase commit (a global bus grant, a home
+    // node completion) delivers synchronously into cluster-resident
+    // caches, and those must stamp the commit cycle.
+    if (serial)
+        serial->syncLocalTime(clock.now);
+    for (auto &shard : group)
+        shard->syncLocalTime(clock.now);
     if (serial)
         serial->tick();
     for (auto &shard : group)
@@ -164,10 +182,14 @@ Kernel::skipQuiescent(Cycle count)
         event.tid = 0;
         quiesce->push(event);
     }
-    if (serial)
+    if (serial) {
+        serial->syncLocalTime(clock.now);
         serial->skipCycles(count);
-    for (auto &shard : group)
+    }
+    for (auto &shard : group) {
+        shard->syncLocalTime(clock.now);
         shard->skipCycles(count);
+    }
     clock.now += count;
     skipped += count;
 }
@@ -189,6 +211,11 @@ Kernel::lookaheadWindow(Cycle end) const
     // the window may not cross its next event (a pending arm or the
     // end of a global transfer both pull this to now / now + left).
     Cycle bound = end;
+    // Sampling clamp: rows must land exactly on the sampling grid so
+    // the recorded series is identical at every lane count; the
+    // window may not jump past the next sample point.
+    if (sampler)
+        bound = std::min(bound, sampler->nextAt());
     if (serial)
         bound = std::min(bound, serial->nextEventCycle(now));
     if (bound <= now + 1)
@@ -243,8 +270,13 @@ Kernel::run(Cycle max_cycles)
             if (next > clock.now) {
                 // kNever (all components blocked on each other) fast-
                 // forwards to the budget, reported as timed_out by the
-                // caller.
-                skipQuiescent(std::min(next, end) - clock.now);
+                // caller.  The skip lands exactly on the next sample
+                // point when one is nearer, so the recorded series is
+                // identical at every lane count.
+                Cycle to = std::min(next, end);
+                if (sampler)
+                    to = std::min(to, sampler->nextAt());
+                skipQuiescent(to - clock.now);
                 continue;
             }
         }
@@ -253,6 +285,12 @@ Kernel::run(Cycle max_cycles)
             windowLen = window;
             windowSkipping = skipping && window > 1;
             if (serial) {
+                serial->syncLocalTime(clock.now);
+                // The serial phase delivers synchronously into the
+                // parallel shards' caches (see tickOnce); sync them
+                // to the commit cycle before it runs.
+                for (auto &shard : group)
+                    shard->syncLocalTime(clock.now);
                 if (window > 1) {
                     // No serial event strictly inside the window (the
                     // lookahead bound): the serial phases it replaces
@@ -288,6 +326,10 @@ Kernel::tickShardWindow(Shard &shard, std::size_t index)
     if (windowSkipping)
         windowQuiescent[index].clear();
     for (Cycle at = base; at < limit;) {
+        // The shared clock is frozen at the window base until the
+        // barrier; the shard-local clock carries the cycle actually
+        // being ticked so observability stamps stay lane-invariant.
+        shard.syncLocalTime(at);
         if (windowSkipping) {
             // The quiescent-skip engine composed inside the window:
             // shard-local next-event time advance, with the skipped
@@ -310,6 +352,11 @@ Kernel::tickShardWindow(Shard &shard, std::size_t index)
 void
 Kernel::runLane(int lane)
 {
+    obs::TraceBuffer *lane_trace =
+        laneTrace.empty() ? nullptr : laneTrace[lane];
+    std::chrono::steady_clock::time_point started;
+    if (lane_trace)
+        started = std::chrono::steady_clock::now();
     if (config.deterministic) {
         // Static schedule: shard i always ticks on lane i % lanes, so
         // the partition — and with it every observable byte — is a
@@ -317,10 +364,12 @@ Kernel::runLane(int lane)
         for (std::size_t i = static_cast<std::size_t>(lane);
              i < group.size();
              i += static_cast<std::size_t>(laneCount)) {
-            if (windowLen == 1)
+            if (windowLen == 1) {
+                group[i]->syncLocalTime(clock.now);
                 group[i]->tick();
-            else
+            } else {
                 tickShardWindow(*group[i], i);
+            }
         }
     } else {
         // Dynamic schedule: lanes claim the next unticked shard.
@@ -330,11 +379,26 @@ Kernel::runLane(int lane)
         for (std::size_t i = claim.fetch_add(1, std::memory_order_relaxed);
              i < group.size();
              i = claim.fetch_add(1, std::memory_order_relaxed)) {
-            if (windowLen == 1)
+            if (windowLen == 1) {
+                group[i]->syncLocalTime(clock.now);
                 group[i]->tick();
-            else
+            } else {
                 tickShardWindow(*group[i], i);
+            }
         }
+    }
+    if (lane_trace) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.dur = windowLen;
+        event.name = "tick";
+        event.value = elapsedUs(started,
+                                std::chrono::steady_clock::now());
+        event.value_name = "wall_us";
+        event.phase = 'X';
+        event.track = obs::kTrackKernel;
+        event.tid = lane;
+        lane_trace->push(event);
     }
 }
 
@@ -358,20 +422,48 @@ Kernel::tickShardsParallel()
         claim.store(0, std::memory_order_relaxed);
     if (windowSkipping && windowQuiescent.size() != group.size())
         windowQuiescent.resize(group.size());
+    // Epoch bookkeeping for the kernel trace: the lookahead-window
+    // counter track, pushed before the release so it precedes this
+    // epoch's lane spans in buffer order.
+    if (!laneTrace.empty()) {
+        obs::TraceEvent event;
+        event.ts = clock.now;
+        event.name = "window";
+        event.value = static_cast<std::int64_t>(windowLen);
+        event.value_name = "cycles";
+        event.phase = 'C';
+        event.track = obs::kTrackKernel;
+        event.tid = 0;
+        laneTrace[0]->push(event);
+    }
     arrivalsPending.store(laneCount - 1, std::memory_order_relaxed);
     // The release publish of the new epoch orders the claim/arrival
     // resets, the window parameters, and last cycle's serial-phase
     // writes before any worker starts ticking.
     epoch.fetch_add(1, std::memory_order_release);
     epoch.notify_all();
-    if (phaseTiming) {
+    if (profile || !laneTrace.empty()) {
         auto start = std::chrono::steady_clock::now();
         runLane(0);
         auto ticked = std::chrono::steady_clock::now();
         awaitArrivals();
         auto arrived = std::chrono::steady_clock::now();
-        tickMs += elapsedMs(start, ticked);
-        barrierMs += elapsedMs(ticked, arrived);
+        if (profile) {
+            profile->kernel_tick_ms += elapsedMs(start, ticked);
+            profile->kernel_barrier_ms += elapsedMs(ticked, arrived);
+        }
+        if (!laneTrace.empty()) {
+            obs::TraceEvent event;
+            event.ts = clock.now;
+            event.dur = windowLen;
+            event.name = "wait";
+            event.value = elapsedUs(ticked, arrived);
+            event.value_name = "wall_us";
+            event.phase = 'X';
+            event.track = obs::kTrackKernel;
+            event.tid = 0;
+            laneTrace[0]->push(event);
+        }
     } else {
         runLane(0);
         awaitArrivals();
@@ -379,7 +471,7 @@ Kernel::tickShardsParallel()
 }
 
 Cycle
-Kernel::windowQuiescentOverlap(Cycle base, Cycle window) const
+Kernel::windowQuiescentOverlap(Cycle base, Cycle window)
 {
     // Intersect the per-shard quiescent stretches: a cycle every
     // parallel shard skipped (the serial shard is quiescent across
@@ -404,8 +496,22 @@ Kernel::windowQuiescentOverlap(Cycle base, Cycle window) const
         overlap.swap(merged);
     }
     Cycle total = 0;
-    for (const auto &have : overlap)
+    for (const auto &have : overlap) {
         total += have.second - have.first;
+        // Segments are ascending; the writer coalesces abutting
+        // spans, so the trace shows the same maximal quiescent
+        // intervals a sequential run's whole-machine skips produce.
+        if (quiesce) {
+            obs::TraceEvent event;
+            event.ts = have.first;
+            event.dur = have.second - have.first;
+            event.name = "quiesce";
+            event.phase = 'X';
+            event.track = obs::kTrackSim;
+            event.tid = 0;
+            quiesce->push(event);
+        }
+    }
     return total;
 }
 
@@ -430,6 +536,13 @@ Kernel::startWorkers(int lanes)
         return;
     stopWorkers();
     laneCount = lanes;
+    // Cut each lane a private kernel-trace buffer (serial phase; the
+    // pool is not running yet).  Buffers persist across pool
+    // restarts, so a lane always reuses its earlier stream.
+    if (kernelSink) {
+        while (laneTrace.size() < static_cast<std::size_t>(lanes))
+            laneTrace.push_back(kernelSink->newBuffer());
+    }
     workers.reserve(static_cast<std::size_t>(lanes - 1));
     // Capture the epoch on this thread: a worker that read it itself
     // could miss a bump published between spawn and its first load and

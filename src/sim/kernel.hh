@@ -141,8 +141,25 @@ class Kernel
     /** Create the next parallel shard. */
     Shard &makeShard(std::uint64_t seed, std::size_t agent_slots);
 
-    /** Quiesce-category trace sink (may be null; off by default). */
-    void setQuiesceSink(obs::TraceSink *sink) { quiesce = sink; }
+    /**
+     * Quiesce-category trace buffer (may be null; off by default).
+     * Written only from the coordinating thread — outer skips and
+     * window-overlap segments are both serial-phase work — so a
+     * single buffer suffices at any lane count.
+     */
+    void setQuiesceSink(obs::TraceBuffer *sink) { quiesce = sink; }
+
+    /**
+     * Kernel self-profiling trace (--trace-categories=kernel): the
+     * lookahead-window counter track, per-lane tick spans, and the
+     * coordinator's barrier-wait spans.  The kernel allocates one
+     * private buffer per lane from @p sink when the worker pool
+     * starts.  Host-dependent by design (spans carry wall-clock
+     * args and the lane layout), so enabling it forfeits the
+     * byte-identical-across---shards trace guarantee; a single-lane
+     * run emits nothing (there are no epochs to profile).
+     */
+    void setKernelTrace(obs::TraceSink *sink) { kernelSink = sink; }
 
     /** Counter sampler polled each loop iteration (may be null). */
     void setSampler(obs::CounterSampler *sampler) { this->sampler = sampler; }
@@ -208,20 +225,17 @@ class Kernel
     }
 
     /**
-     * Start accumulating host wall time split between the
-     * coordinator's own tick work and its wait at the barrier
-     * (chrono calls only when enabled; off by default).  Purely
-     * host-side observability: simulation results are unaffected, so
-     * unlike the recorder hooks this does not pin the kernel to one
-     * lane.
+     * Accumulate host wall time split between the coordinator's own
+     * tick work and its wait at the barrier into @p profile
+     * (kernel_tick_ms / kernel_barrier_ms; chrono calls only when
+     * non-null, off by default).  Purely host-side observability:
+     * simulation results are unaffected, so unlike the simulated
+     * trace hooks this never needs to pin the kernel to one lane.
      */
-    void enablePhaseTiming() { phaseTiming = true; }
-
-    /** Wall ms the coordinator spent waiting at barriers. */
-    double barrierWaitMs() const { return barrierMs; }
-
-    /** Wall ms the coordinator spent ticking its own lane. */
-    double tickPhaseMs() const { return tickMs; }
+    void setProfile(obs::PhaseProfile *profile)
+    {
+        this->profile = profile;
+    }
 
   private:
     /** Earliest next event across every shard (see Shard). */
@@ -264,9 +278,12 @@ class Kernel
      * parallel shard was skipped as quiescent — exactly the cycles a
      * sequential run would have covered with a whole-machine skip
      * (the serial shard is quiescent for the entire window by
-     * construction), so they land in skippedCycles().
+     * construction), so they land in skippedCycles().  Each overlap
+     * segment is also emitted as a quiesce trace span; the writer
+     * coalesces abutting spans, so the written intervals match the
+     * sequential run's whole-machine skips exactly.
      */
-    Cycle windowQuiescentOverlap(Cycle base, Cycle window) const;
+    Cycle windowQuiescentOverlap(Cycle base, Cycle window);
 
     void startWorkers(int lanes);
     void stopWorkers();
@@ -280,8 +297,12 @@ class Kernel
     std::vector<std::unique_ptr<Shard>> group;
     Cycle skipped = 0;
 
-    obs::TraceSink *quiesce = nullptr;
+    obs::TraceBuffer *quiesce = nullptr;
     obs::CounterSampler *sampler = nullptr;
+    /** Kernel-category sink; lane buffers are cut from it on start. */
+    obs::TraceSink *kernelSink = nullptr;
+    /** Per-lane kernel trace buffers (empty = kernel trace off). */
+    std::vector<obs::TraceBuffer *> laneTrace;
 
     // Lookahead-window state.  windowLen / windowSkipping are written
     // by the coordinator before the epoch release-publish and only
@@ -295,10 +316,8 @@ class Kernel
     std::uint64_t epochs = 0;
     std::uint64_t windowSum = 0;
 
-    // Opt-in host phase timing (see enablePhaseTiming()).
-    bool phaseTiming = false;
-    double barrierMs = 0.0;
-    double tickMs = 0.0;
+    // Opt-in host phase timing (see setProfile()).
+    obs::PhaseProfile *profile = nullptr;
 
     // Persistent worker pool (workers = lanes - 1; the coordinator is
     // lane 0).  Per cycle: the coordinator publishes a new epoch

@@ -57,6 +57,22 @@ class Shard
     StreamRng &rng() { return stream; }
 
     /**
+     * Shard-local cycle counter: the cycle this shard is currently
+     * ticking, kept in sync by the kernel (the machine clock in the
+     * sequential path, the window-local cycle inside a lookahead
+     * window, where the shared clock is frozen at the window base).
+     * Shard-resident components must stamp observability output —
+     * trace events, lock-log entries, latency histogram samples —
+     * from here, never from the machine clock, so the bytes they
+     * record are identical at every lane count.  Stable for the
+     * shard's lifetime; hand it to components at construction.
+     */
+    const Clock &localClock() const { return local; }
+
+    /** Kernel only: set the cycle the next tick()/skipCycles is at. */
+    void syncLocalTime(Cycle now) { local.now = now; }
+
+    /**
      * Attach a component ticked (and skipped) by this shard before
      * its agents, in attach order — a snooping Bus or the directory
      * fabric; anything Tickable.
@@ -136,6 +152,8 @@ class Shard
   private:
     int shardId;
     StreamRng stream;
+    /** See localClock(). */
+    Clock local;
     std::vector<Tickable *> components;
     /** Installed agents by slot (non-owning; null = empty slot). */
     std::vector<Agent *> agents;

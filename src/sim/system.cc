@@ -27,7 +27,8 @@ System::System(const SystemConfig &config)
         busStats.push_back(std::make_unique<stats::CounterSet>());
         memories.push_back(std::make_unique<Memory>(*busStats.back()));
         buses.push_back(std::make_unique<Bus>(
-            *memories.back(), config.arbiter, clock, *busStats.back(),
+            *memories.back(), config.arbiter, shard->localClock(),
+            *busStats.back(),
             config.arbiter_seed + static_cast<std::uint64_t>(b),
             config.block_words, config.memory_latency,
             config.snoop_filter));
@@ -38,8 +39,8 @@ System::System(const SystemConfig &config)
     for (PeId pe = 0; pe < config.num_pes; pe++) {
         for (int b = 0; b < config.num_buses; b++) {
             caches.push_back(std::make_unique<Cache>(
-                pe, config.cache_lines, *proto, clock, cacheStats, log,
-                config.block_words, config.ways));
+                pe, config.cache_lines, *proto, shard->localClock(),
+                cacheStats, log, config.block_words, config.ways));
             caches.back()->connectBus(*buses[static_cast<std::size_t>(b)]);
             caches.back()->setWakeFlag(
                 shard->wakeFlag(static_cast<std::size_t>(pe)));
@@ -68,6 +69,9 @@ System::System(const SystemConfig &config)
         for (auto &cache : caches)
             cache->setObserver(recorder.get());
         kernel.setQuiesceSink(recorder->trace(obs::Category::Quiesce));
+        if (recorder->trace(obs::Category::Kernel) != nullptr)
+            kernel.setKernelTrace(recorder->sink());
+        kernel.setProfile(recorder->profile());
         sampler = recorder->sampler();
         kernel.setSampler(sampler);
     }

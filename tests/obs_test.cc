@@ -42,8 +42,22 @@ TEST(Categories, ParseListAndAll)
               static_cast<std::uint32_t>(Category::Bus) |
                   static_cast<std::uint32_t>(Category::State) |
                   static_cast<std::uint32_t>(Category::Lock));
-    EXPECT_EQ(obs::parseCategories("bus,state,lock,miss,quiesce"),
+    EXPECT_EQ(obs::parseCategories("bus,state,lock,miss,quiesce,dir"),
               obs::kAllCategories);
+}
+
+TEST(Categories, KernelIsOptInOnly)
+{
+    // The kernel self-profile is host-dependent (wall-clock args,
+    // lane layout), so "all" must not include it: an --trace-out run
+    // without --trace-categories=kernel keeps the byte-identical-
+    // across---shards guarantee.
+    auto kernel = obs::parseCategories("kernel");
+    EXPECT_NE(kernel, 0u);
+    EXPECT_EQ(kernel & obs::kAllCategories, 0u);
+    EXPECT_EQ(obs::parseCategories("dir,kernel"),
+              static_cast<std::uint32_t>(Category::Dir) |
+                  static_cast<std::uint32_t>(Category::Kernel));
 }
 
 TEST(Categories, ParseRejectsUnknownToken)
@@ -59,7 +73,7 @@ TEST(Categories, NamesRoundTrip)
     auto mask = obs::parseCategories("state,miss");
     EXPECT_EQ(obs::parseCategories(obs::categoryNames(mask)), mask);
     EXPECT_EQ(obs::categoryNames(obs::kAllCategories),
-              "bus,state,lock,miss,quiesce");
+              "bus,state,lock,miss,quiesce,dir");
 }
 
 TEST(TraceSinkTest, CategoryFilterIsBitmask)
@@ -241,32 +255,42 @@ TEST(CounterSamplerTest, SamplesOnGridAndRealignsAfterSkip)
 
 TEST(RecorderTest, LockEpisodesFeedHistograms)
 {
-    obs::Recorder recorder(nullptr, true, 0);
-    ASSERT_NE(recorder.metrics(), nullptr);
+    // Events land on two shard lanes (as two buses would record
+    // them); the replay must merge them by cycle before running the
+    // episode state machine.
+    obs::Recorder recorder(nullptr, true, 0, 2);
     ASSERT_TRUE(recorder.wantsLockEvents());
+    auto *lane0 = recorder.lockLane(0);
+    auto *lane1 = recorder.lockLane(1);
+    ASSERT_NE(lane0, nullptr);
+    ASSERT_NE(lane1, nullptr);
 
     // PE 0 wins immediately: acquire latency 0, no handoff.
-    recorder.lockAttempt(0, 0x100, 10, true);
+    lane0->attempt(0, 0x100, 10, true);
     // PE 1 spins from cycle 12 and wins at 30: latency 18.
-    recorder.lockAttempt(1, 0x100, 12, false);
-    recorder.lockAttempt(1, 0x100, 20, false);
-    recorder.lockRelease(0, 0x100, 25);
-    recorder.lockAttempt(1, 0x100, 30, true);
+    lane1->attempt(1, 0x100, 12, false);
+    lane1->attempt(1, 0x100, 20, false);
+    lane0->release(0, 0x100, 25);
+    lane1->attempt(1, 0x100, 30, true);
 
-    const auto &acquire = recorder.metrics()->lock_acquire;
+    auto *metrics = recorder.metrics();
+    ASSERT_NE(metrics, nullptr);
+    const auto &acquire = metrics->lock_acquire;
     EXPECT_EQ(acquire.count(), 2u);
     EXPECT_EQ(acquire.min(), 0u);
     EXPECT_EQ(acquire.max(), 18u);
 
     // Handoff: release at 25 -> acquire at 30.
-    const auto &handoff = recorder.metrics()->lock_handoff;
+    const auto &handoff = metrics->lock_handoff;
     EXPECT_EQ(handoff.count(), 1u);
     EXPECT_EQ(handoff.max(), 5u);
 
     // Writes to an address that never carried an RMW are not lock
-    // releases.
-    recorder.lockRelease(0, 0x999, 40);
-    EXPECT_EQ(handoff.count(), 1u);
+    // releases; metrics() recomputes the merged view idempotently.
+    lane0->release(0, 0x999, 40);
+    metrics = recorder.metrics();
+    EXPECT_EQ(metrics->lock_handoff.count(), 1u);
+    EXPECT_EQ(metrics->lock_acquire.count(), 2u);
 }
 
 TEST(RecorderTest, MakeRecorderIsNullWhenNothingEnabled)
@@ -294,7 +318,7 @@ TEST(RecorderTest, FirstRecorderClaimsTraceOutput)
     EXPECT_TRUE(second == nullptr ||
                 second->trace(Category::Bus) == nullptr);
     obs::setTraceOutput(""); // do not leave the file behind
-    first->trace(Category::Bus)->writeFile();
+    first->sink()->writeFile();
     std::remove("obs_test_claim.json");
 }
 

@@ -75,7 +75,7 @@ usage(std::ostream &os)
         "  --check          verify serial consistency (records the log)\n"
         "  --stats          dump all counters\n"
         "  --jobs N         experiment-engine worker threads (flat runs)\n"
-        "  --json PATH      write structured results as JSON (flat runs)\n"
+        "  --json PATH      write structured results as JSON\n"
         "  --timing         include wall_time_ms / sim_time_ms /\n"
         "                   sim_cycles_per_sec / skipped_cycles /\n"
         "                   skip_fraction / snoop_visits in the JSON\n"
@@ -314,6 +314,69 @@ describeResult(const exp::RunResult &result)
     return os.str();
 }
 
+/**
+ * Structured results for a hierarchical run.  Every field is
+ * lane-invariant — CI diffs the --shards 1 and --shards 4 files —
+ * so kernel facts that depend on the lane count (barrier epochs,
+ * lookahead windows) stay on stdout only.
+ */
+bool
+writeHierJson(const std::string &path, const hier::HierConfig &config,
+              const hier::HierSystem &system)
+{
+    exp::Json json = exp::Json::object();
+    json["machine"] = exp::Json(std::string("hierarchical"));
+    json["protocol"] =
+        exp::Json(std::string(toString(config.protocol)));
+    json["clusters"] =
+        exp::Json(static_cast<std::uint64_t>(config.num_clusters));
+    json["pes_per_cluster"] = exp::Json(
+        static_cast<std::uint64_t>(config.pes_per_cluster));
+    json["global"] = exp::Json(std::string(toString(config.global)));
+    json["status"] = exp::Json(std::string(
+        system.allDone() ? "finished" : "timed_out"));
+    json["cycles"] =
+        exp::Json(static_cast<std::uint64_t>(system.now()));
+    json["global_bus_ops"] =
+        exp::Json(system.globalBusTransactions());
+    json["cluster_bus_ops"] =
+        exp::Json(system.clusterBusTransactions());
+    if (const auto *fabric = system.directoryFabric()) {
+        json["home_nodes"] =
+            exp::Json(static_cast<std::uint64_t>(config.home_nodes));
+        double mean = fabric->meanHomeMessages();
+        if (mean > 0.0) {
+            json["hot_home_skew"] = exp::Json(
+                static_cast<double>(fabric->maxHomeMessages()) / mean);
+        }
+    }
+    if (auto *observability = system.observability()) {
+        if (const auto *metrics = observability->metrics())
+            json["histograms"] = exp::histogramsJson(*metrics);
+        if (auto *sampler = observability->sampler())
+            json["samples"] = exp::samplesJson(sampler->series());
+        // Host-dependent by design; rides the --profile flag only, so
+        // the default JSON stays lane- and host-invariant.
+        if (const auto *profile = observability->profile()) {
+            json["tick_phase_ms"] = exp::Json(profile->kernel_tick_ms);
+            json["barrier_wait_ms"] =
+                exp::Json(profile->kernel_barrier_ms);
+            if (system.directoryFabric()) {
+                json["route_phase_ms"] =
+                    exp::Json(profile->fabric_route_ms);
+                json["serve_phase_ms"] =
+                    exp::Json(profile->fabric_serve_ms);
+            }
+        }
+    }
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    json.dump(out);
+    out << "\n";
+    return out.good();
+}
+
 } // namespace
 
 int
@@ -402,9 +465,11 @@ main(int argc, char **argv)
         }
         if (options.dump_stats)
             std::cout << system.counters().report();
-        if (!session_options.json_path.empty()) {
-            std::cerr << "ddcsim: --json is not supported for "
-                         "hierarchical runs\n";
+        if (!session_options.json_path.empty() &&
+            !writeHierJson(session_options.json_path, config, system)) {
+            std::cerr << "ddcsim: cannot write "
+                      << session_options.json_path << "\n";
+            return 1;
         }
         return (!system.allDone() || !consistent) ? 1 : 0;
     }
